@@ -1,0 +1,694 @@
+//! The device-side heap: a pre-allocated arena partitioned into pages.
+//!
+//! Reproduces the allocator of §IV-A: "The dynamic memory allocator … uses a
+//! heap that is pre-allocated in GPU memory. The heap is partitioned into
+//! pages, from which allocation requests are serviced." Pages are acquired
+//! from a free pool, bump-allocated with a single atomic `fetch_add` (the
+//! per-page "free-list pointer" the paper distributes contention over), and
+//! returned to the pool when the SEPO driver evicts them to CPU memory.
+//!
+//! Every page acquisition stamps the page with a fresh, globally unique
+//! **host page id** — the identity under which its bytes will eventually
+//! live in CPU memory. This implements the paper's dual-pointer scheme: a
+//! [`Link`] holds both the device handle and the host
+//! link, and [`Heap::link_is_live`] decides residency by checking that the
+//! target page still carries the host id the link was created under.
+//!
+//! # Safety model
+//!
+//! The backing store is a `Box<[UnsafeCell<u64>]>`. All mutation goes
+//! through raw pointers derived from it. Soundness rests on two invariants:
+//!
+//! 1. **Disjointness** — `bump` hands out non-overlapping `[offset,
+//!    offset+len)` ranges within a page (it is a monotone `fetch_add`), and
+//!    pages are disjoint by construction. Plain writes target only the range
+//!    returned by the caller's own allocation.
+//! 2. **Publication** — entry bytes are fully written *before* the entry is
+//!    published via a `Release` CAS on a chain head, and read only after an
+//!    `Acquire` load of that head (the hash table enforces this). Fields
+//!    mutated after publication (combine values, value-chain heads) are
+//!    accessed exclusively through `&AtomicU64` obtained from
+//!    [`Heap::atomic_u64`], never through plain reads.
+
+use crate::layout::{align_up, DevHandle, HostLink, Link, MAX_PAGE_SIZE};
+use gpu_sim::metrics::Metrics;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a page currently stores. The *multi-valued* organization keeps keys
+/// and values on separate pages (§IV-B) so they can be evicted
+/// independently; the other organizations use `Mixed` pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageKind {
+    /// In the free pool.
+    Free = 0,
+    /// Key+value entries (basic / combining organizations).
+    Mixed = 1,
+    /// Key entries only (multi-valued).
+    Key = 2,
+    /// Value nodes only (multi-valued).
+    Value = 3,
+}
+
+impl PageKind {
+    fn from_u8(v: u8) -> PageKind {
+        match v {
+            1 => PageKind::Mixed,
+            2 => PageKind::Key,
+            3 => PageKind::Value,
+            _ => PageKind::Free,
+        }
+    }
+}
+
+/// Sentinel host id meaning "page is free / not stamped".
+const NO_HOST_ID: u64 = u64::MAX;
+
+/// Per-page metadata.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// Bump offset: next free byte. May overshoot `page_size` when
+    /// concurrent allocations race past the end; overshoot simply means
+    /// "full".
+    head: AtomicU32,
+    /// Host page id stamped at acquisition; `NO_HOST_ID` when free.
+    host_id: AtomicU64,
+    /// Current [`PageKind`] as `u8`.
+    kind: std::sync::atomic::AtomicU8,
+    /// Count of *pending* keys on this page (multi-valued: keys that still
+    /// have values to insert, which pin the page on the device, §IV-C).
+    pending_keys: AtomicU32,
+    /// Set when the SEPO driver decides to keep this page resident across
+    /// an iteration boundary.
+    kept: AtomicBool,
+}
+
+impl PageMeta {
+    fn new() -> Self {
+        PageMeta {
+            head: AtomicU32::new(0),
+            host_id: AtomicU64::new(NO_HOST_ID),
+            kind: std::sync::atomic::AtomicU8::new(PageKind::Free as u8),
+            pending_keys: AtomicU32::new(0),
+            kept: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The device heap. Shared across kernel threads via `Arc`.
+pub struct Heap {
+    backing: Box<[UnsafeCell<u64>]>,
+    page_size: usize,
+    pages: Box<[PageMeta]>,
+    pool: Mutex<Vec<u32>>,
+    next_host_id: AtomicU64,
+    /// Bytes allocated but abandoned (lost CAS races, partial iterations);
+    /// the fragmentation the paper trades against allocator scalability.
+    wasted: AtomicU64,
+    acquired_total: AtomicU64,
+    metrics: Arc<Metrics>,
+}
+
+// SAFETY: all shared mutation goes through atomics or through disjoint
+// ranges handed out by the bump allocator (see module docs).
+unsafe impl Send for Heap {}
+unsafe impl Sync for Heap {}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("page_size", &self.page_size)
+            .field("n_pages", &self.pages.len())
+            .field("free_pages", &self.free_pages())
+            .finish()
+    }
+}
+
+/// Point-in-time allocator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    pub total_pages: usize,
+    pub free_pages: usize,
+    /// Bytes bump-allocated on currently-resident pages.
+    pub used_bytes: u64,
+    /// Bytes abandoned to fragmentation/races over the heap's lifetime.
+    pub wasted_bytes: u64,
+    /// Pages acquired from the pool over the heap's lifetime.
+    pub pages_acquired: u64,
+}
+
+impl Heap {
+    /// Build a heap of `capacity_bytes` rounded down to whole pages of
+    /// `page_size` bytes. `page_size` must be a multiple of 8 and at most
+    /// [`MAX_PAGE_SIZE`]; at least one page must fit.
+    pub fn new(capacity_bytes: u64, page_size: usize, metrics: Arc<Metrics>) -> Heap {
+        assert!(page_size >= 64, "page size too small: {page_size}");
+        assert!(
+            page_size <= MAX_PAGE_SIZE,
+            "page size exceeds {MAX_PAGE_SIZE}"
+        );
+        assert_eq!(page_size % 8, 0, "page size must be 8-byte aligned");
+        let n_pages = (capacity_bytes as usize / page_size).max(1);
+        let words = n_pages * page_size / 8;
+        let backing: Box<[UnsafeCell<u64>]> = (0..words).map(|_| UnsafeCell::new(0)).collect();
+        let pages: Box<[PageMeta]> = (0..n_pages).map(|_| PageMeta::new()).collect();
+        let pool = Mutex::new((0..n_pages as u32).rev().collect());
+        Heap {
+            backing,
+            page_size,
+            pages,
+            pool,
+            next_host_id: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            acquired_total: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total number of pages.
+    #[inline]
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages currently in the free pool.
+    pub fn free_pages(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// The metrics sink this heap reports into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Page lifecycle
+    // ------------------------------------------------------------------
+
+    /// Acquire a free page for `kind`, stamping a fresh host id. Returns
+    /// `None` when the pool is exhausted — the condition that ultimately
+    /// surfaces as POSTPONE.
+    pub fn acquire_page(&self, kind: PageKind) -> Option<u32> {
+        debug_assert!(kind != PageKind::Free);
+        let page = self.pool.lock().pop()?;
+        let meta = &self.pages[page as usize];
+        let host_id = self.next_host_id.fetch_add(1, Ordering::Relaxed);
+        meta.head.store(0, Ordering::Relaxed);
+        meta.pending_keys.store(0, Ordering::Relaxed);
+        meta.kept.store(false, Ordering::Relaxed);
+        meta.kind.store(kind as u8, Ordering::Relaxed);
+        // Release so that threads that learn of this page (via the group's
+        // current-page pointer) observe the reset metadata.
+        meta.host_id.store(host_id, Ordering::Release);
+        self.acquired_total.fetch_add(1, Ordering::Relaxed);
+        Some(page)
+    }
+
+    /// Return `page` to the free pool. The caller must have evicted (or
+    /// abandoned) its contents; any live `Link` into it goes dead, which
+    /// [`Heap::link_is_live`] detects via the host-id stamp.
+    pub fn release_page(&self, page: u32) {
+        let meta = &self.pages[page as usize];
+        let used = meta.head.load(Ordering::Relaxed).min(self.page_size as u32);
+        let waste = self.page_size as u32 - used;
+        self.wasted.fetch_add(waste as u64, Ordering::Relaxed);
+        meta.host_id.store(NO_HOST_ID, Ordering::Relaxed);
+        meta.kind.store(PageKind::Free as u8, Ordering::Relaxed);
+        meta.head.store(0, Ordering::Relaxed);
+        self.pool.lock().push(page);
+    }
+
+    /// Bump-allocate `size` bytes on `page`. Returns the offset, or `None`
+    /// if the page is full. Lock-free CAS loop: the head never overshoots
+    /// the page size, so `page_used` is always the exact extent of valid
+    /// entries — page-walking eviction depends on that.
+    pub fn bump(&self, page: u32, size: usize) -> Option<u32> {
+        let size = align_up(size);
+        if size > self.page_size {
+            // An entry larger than a page can never be satisfied; report
+            // "full" so the request surfaces as POSTPONE and the driver's
+            // progress check produces a diagnosable abort.
+            return None;
+        }
+        let meta = &self.pages[page as usize];
+        let mut old = meta.head.load(Ordering::Relaxed);
+        loop {
+            if old as usize + size > self.page_size {
+                return None;
+            }
+            match meta.head.compare_exchange_weak(
+                old,
+                old + size as u32,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(old),
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata queries
+    // ------------------------------------------------------------------
+
+    /// Current host id of `page` (`u64::MAX` if free).
+    #[inline]
+    pub fn host_id(&self, page: u32) -> u64 {
+        self.pages[page as usize].host_id.load(Ordering::Acquire)
+    }
+
+    /// Kind of `page`.
+    #[inline]
+    pub fn page_kind(&self, page: u32) -> PageKind {
+        PageKind::from_u8(self.pages[page as usize].kind.load(Ordering::Relaxed))
+    }
+
+    /// Bytes bump-allocated on `page`, clamped to the page size.
+    #[inline]
+    pub fn page_used(&self, page: u32) -> usize {
+        (self.pages[page as usize].head.load(Ordering::Relaxed) as usize).min(self.page_size)
+    }
+
+    /// The dual-pointer link naming the entry at `dev` under the page's
+    /// current host identity.
+    #[inline]
+    pub fn link_for(&self, dev: DevHandle) -> Link {
+        Link {
+            dev,
+            host: HostLink::new(self.host_id(dev.page()), dev.offset()),
+        }
+    }
+
+    /// Is the target of `link` still resident on the device? True iff the
+    /// device page still carries the host id the link was created under —
+    /// exact across page recycling and across kept (multi-valued) pages.
+    #[inline]
+    pub fn link_is_live(&self, link: Link) -> bool {
+        if link.dev.is_null() {
+            return false;
+        }
+        self.host_id(link.dev.page()) == link.host.host_page()
+    }
+
+    /// Increment the pending-key count of `page` (multi-valued: a key on
+    /// this page has values that could not yet be inserted).
+    #[inline]
+    pub fn add_pending_key(&self, page: u32) {
+        self.pages[page as usize]
+            .pending_keys
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pending-key count of `page`.
+    #[inline]
+    pub fn pending_keys(&self, page: u32) -> u32 {
+        self.pages[page as usize]
+            .pending_keys
+            .load(Ordering::Relaxed)
+    }
+
+    /// Clear the pending-key count of `page` (start of a new iteration).
+    #[inline]
+    pub fn clear_pending_keys(&self, page: u32) {
+        self.pages[page as usize]
+            .pending_keys
+            .store(0, Ordering::Relaxed);
+    }
+
+    /// Mark/unmark `page` as kept across the iteration boundary.
+    #[inline]
+    pub fn set_kept(&self, page: u32, kept: bool) {
+        self.pages[page as usize]
+            .kept
+            .store(kept, Ordering::Relaxed);
+    }
+
+    /// Is `page` marked kept?
+    #[inline]
+    pub fn is_kept(&self, page: u32) -> bool {
+        self.pages[page as usize].kept.load(Ordering::Relaxed)
+    }
+
+    /// Pages that are currently resident (not free), in index order.
+    pub fn resident_pages(&self) -> Vec<u32> {
+        (0..self.pages.len() as u32)
+            .filter(|&p| self.host_id(p) != NO_HOST_ID)
+            .collect()
+    }
+
+    /// Record `bytes` of fragmentation waste (e.g. an entry abandoned after
+    /// losing an insert race).
+    #[inline]
+    pub fn note_waste(&self, bytes: u64) {
+        self.wasted.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> HeapStats {
+        let free = self.free_pages();
+        let used_bytes = self
+            .resident_pages()
+            .iter()
+            .map(|&p| self.page_used(p) as u64)
+            .sum();
+        HeapStats {
+            total_pages: self.pages.len(),
+            free_pages: free,
+            used_bytes,
+            wasted_bytes: self.wasted.load(Ordering::Relaxed),
+            pages_acquired: self.acquired_total.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn ptr_at(&self, page: u32, offset: u32) -> *mut u8 {
+        debug_assert!((page as usize) < self.pages.len());
+        debug_assert!((offset as usize) < self.page_size);
+        let byte_index = page as usize * self.page_size + offset as usize;
+        // SAFETY: index bounds checked above; UnsafeCell grants mutation.
+        unsafe { (self.backing.as_ptr() as *mut u8).add(byte_index) }
+    }
+
+    /// Write `bytes` at `dev`. The caller must own `[dev, dev+len)` via a
+    /// prior `bump` and must not have published the entry yet.
+    #[inline]
+    pub fn write(&self, dev: DevHandle, bytes: &[u8]) {
+        debug_assert!(dev.offset() as usize + bytes.len() <= self.page_size);
+        // SAFETY: exclusive range per the bump-allocation invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                self.ptr_at(dev.page(), dev.offset()),
+                bytes.len(),
+            );
+        }
+    }
+
+    /// Write a little-endian `u64` at `dev + field_offset` (pre-publication
+    /// initialization of header words).
+    #[inline]
+    pub fn write_u64(&self, dev: DevHandle, field_offset: u32, value: u64) {
+        let off = dev.offset() + field_offset;
+        debug_assert_eq!(off % 8, 0);
+        // SAFETY: aligned, in-bounds, exclusive pre-publication.
+        unsafe {
+            (self.ptr_at(dev.page(), off) as *mut u64).write(value);
+        }
+    }
+
+    /// Read `len` bytes at `dev`. Only sound for bytes that are immutable
+    /// after publication (keys, lengths, value payloads of non-combining
+    /// entries) — see the module safety notes.
+    #[inline]
+    pub fn read(&self, dev: DevHandle, len: usize) -> &[u8] {
+        debug_assert!(dev.offset() as usize + len <= self.page_size);
+        // SAFETY: published entries are immutable in these bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr_at(dev.page(), dev.offset()), len) }
+    }
+
+    /// Read a `u64` field of a published entry (immutable after publication).
+    #[inline]
+    pub fn read_u64(&self, dev: DevHandle, field_offset: u32) -> u64 {
+        let off = dev.offset() + field_offset;
+        debug_assert_eq!(off % 8, 0);
+        // SAFETY: aligned, in-bounds, immutable after publication.
+        unsafe { (self.ptr_at(dev.page(), off) as *const u64).read() }
+    }
+
+    /// Borrow the `AtomicU64` embedded at `dev + field_offset` (combine
+    /// values, value-chain heads — fields mutated after publication).
+    #[inline]
+    pub fn atomic_u64(&self, dev: DevHandle, field_offset: u32) -> &AtomicU64 {
+        let off = dev.offset() + field_offset;
+        assert_eq!(off % 8, 0, "atomic field must be 8-byte aligned");
+        assert!(off as usize + 8 <= self.page_size);
+        // SAFETY: aligned and in-bounds; AtomicU64 may alias the UnsafeCell
+        // storage because all concurrent access to this word is atomic.
+        unsafe { &*(self.ptr_at(dev.page(), off) as *const AtomicU64) }
+    }
+
+    /// Ensure future host ids start at or beyond `min` (restoring a saved
+    /// table must not reuse ids its stored pages already occupy).
+    pub fn advance_host_ids(&self, min: u64) {
+        self.next_host_id.fetch_max(min, Ordering::Relaxed);
+    }
+
+    /// Load a host page image back onto the device (the lookup phase's
+    /// page-in path): acquires a fresh page, copies `data` into it, and
+    /// marks exactly `data.len()` bytes used. Returns `None` when the pool
+    /// is exhausted or the image exceeds the page size.
+    pub fn load_page_image(&self, data: &[u8], kind: PageKind) -> Option<u32> {
+        if data.len() > self.page_size {
+            return None;
+        }
+        let page = self.acquire_page(kind)?;
+        if !data.is_empty() {
+            let off = self
+                .bump(page, data.len())
+                .expect("fresh page must fit its image");
+            debug_assert_eq!(off, 0);
+            self.write(DevHandle::new(page, 0), data);
+            // `bump` aligns up; clamp the head to the exact image length so
+            // entry walks stop at the true end.
+            self.pages[page as usize]
+                .head
+                .store(data.len() as u32, Ordering::Relaxed);
+        }
+        Some(page)
+    }
+
+    /// Snapshot the used prefix of `page` (for eviction to the host store).
+    pub fn page_data(&self, page: u32) -> Vec<u8> {
+        let used = self.page_used(page);
+        let mut out = vec![0u8; used];
+        // SAFETY: quiescent at eviction time (no kernels in flight).
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr_at(page, 0), out.as_mut_ptr(), used);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(pages: usize, page_size: usize) -> Heap {
+        Heap::new(
+            (pages * page_size) as u64,
+            page_size,
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    #[test]
+    fn construction_partitions_capacity() {
+        let h = heap(4, 1024);
+        assert_eq!(h.total_pages(), 4);
+        assert_eq!(h.free_pages(), 4);
+        assert_eq!(h.page_size(), 1024);
+    }
+
+    #[test]
+    fn acquire_stamps_monotone_host_ids() {
+        let h = heap(3, 1024);
+        let a = h.acquire_page(PageKind::Mixed).unwrap();
+        let b = h.acquire_page(PageKind::Key).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(h.host_id(a), 0);
+        assert_eq!(h.host_id(b), 1);
+        assert_eq!(h.page_kind(a), PageKind::Mixed);
+        assert_eq!(h.page_kind(b), PageKind::Key);
+        assert_eq!(h.free_pages(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let h = heap(2, 1024);
+        assert!(h.acquire_page(PageKind::Mixed).is_some());
+        assert!(h.acquire_page(PageKind::Mixed).is_some());
+        assert!(h.acquire_page(PageKind::Mixed).is_none());
+    }
+
+    #[test]
+    fn release_recycles_with_fresh_identity() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let old_id = h.host_id(p);
+        h.bump(p, 100).unwrap();
+        h.release_page(p);
+        assert_eq!(h.free_pages(), 1);
+        let p2 = h.acquire_page(PageKind::Mixed).unwrap();
+        assert_eq!(p, p2);
+        assert_ne!(h.host_id(p2), old_id);
+        assert_eq!(h.page_used(p2), 0);
+    }
+
+    #[test]
+    fn bump_is_disjoint_and_bounded() {
+        let h = heap(1, 256);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let a = h.bump(p, 100).unwrap();
+        let b = h.bump(p, 100).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 104); // 100 aligns to 104
+        assert!(h.bump(p, 100).is_none()); // 208 + 104 > 256
+        assert_eq!(h.page_used(p), 208); // head never overshoots
+        assert!(h.bump(p, 40).is_some()); // smaller request still fits
+    }
+
+    #[test]
+    fn bump_aligns_offsets() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let a = h.bump(p, 9).unwrap();
+        let b = h.bump(p, 1).unwrap();
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert_eq!(b, 16);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let h = heap(2, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let off = h.bump(p, 16).unwrap();
+        let dev = DevHandle::new(p, off);
+        h.write(dev, b"hello sepo table");
+        assert_eq!(h.read(dev, 16), b"hello sepo table");
+        h.write_u64(dev, 8, 0xDEAD_BEEF);
+        assert_eq!(h.read_u64(dev, 8), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn atomic_field_updates() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let off = h.bump(p, 8).unwrap();
+        let dev = DevHandle::new(p, off);
+        h.write_u64(dev, 0, 10);
+        let a = h.atomic_u64(dev, 0);
+        a.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(h.read_u64(dev, 0), 15);
+    }
+
+    #[test]
+    fn link_liveness_tracks_recycling() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let off = h.bump(p, 8).unwrap();
+        let link = h.link_for(DevHandle::new(p, off));
+        assert!(h.link_is_live(link));
+        h.release_page(p);
+        assert!(!h.link_is_live(link));
+        // Recycled page gets a new id; the stale link stays dead.
+        h.acquire_page(PageKind::Mixed).unwrap();
+        assert!(!h.link_is_live(link));
+        assert!(!h.link_is_live(Link::NULL));
+    }
+
+    #[test]
+    fn pending_keys_and_kept_flags() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Key).unwrap();
+        assert_eq!(h.pending_keys(p), 0);
+        h.add_pending_key(p);
+        h.add_pending_key(p);
+        assert_eq!(h.pending_keys(p), 2);
+        h.clear_pending_keys(p);
+        assert_eq!(h.pending_keys(p), 0);
+        assert!(!h.is_kept(p));
+        h.set_kept(p, true);
+        assert!(h.is_kept(p));
+    }
+
+    #[test]
+    fn stats_track_usage_and_waste() {
+        let h = heap(2, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        h.bump(p, 100).unwrap();
+        h.note_waste(24);
+        let s = h.stats();
+        assert_eq!(s.total_pages, 2);
+        assert_eq!(s.free_pages, 1);
+        assert_eq!(s.used_bytes, 104);
+        assert_eq!(s.wasted_bytes, 24);
+        assert_eq!(s.pages_acquired, 1);
+        // Releasing a partially-used page counts its tail as waste.
+        h.release_page(p);
+        assert_eq!(h.stats().wasted_bytes, 24 + (1024 - 104));
+    }
+
+    #[test]
+    fn page_data_snapshots_used_prefix() {
+        let h = heap(1, 1024);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let off = h.bump(p, 8).unwrap();
+        h.write(DevHandle::new(p, off), b"abcdefgh");
+        let data = h.page_data(p);
+        assert_eq!(data.len(), 8);
+        assert_eq!(&data, b"abcdefgh");
+    }
+
+    #[test]
+    fn concurrent_bumps_never_overlap() {
+        let h = Arc::new(heap(4, 4096));
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let offsets = parking_lot::Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    let mut local = Vec::new();
+                    while let Some(off) = h.bump(p, 24) {
+                        local.push(off);
+                    }
+                    offsets.lock().extend(local);
+                });
+            }
+        })
+        .unwrap();
+        let mut all = offsets.into_inner();
+        all.sort_unstable();
+        // Every granted offset unique and stride-separated.
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 24);
+        }
+        assert!(all.len() <= 4096 / 24 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn rejects_tiny_pages() {
+        let _ = Heap::new(1024, 8, Arc::new(Metrics::new()));
+    }
+
+    #[test]
+    fn load_page_image_round_trips() {
+        let h = heap(2, 1024);
+        let image = b"entry-bytes-go-here-12345".to_vec();
+        let p = h.load_page_image(&image, PageKind::Mixed).unwrap();
+        assert_eq!(h.page_used(p), image.len());
+        assert_eq!(h.page_data(p), image);
+        assert_eq!(h.page_kind(p), PageKind::Mixed);
+        // Oversized images and exhausted pools are declined.
+        assert!(h
+            .load_page_image(&vec![0u8; 2048], PageKind::Mixed)
+            .is_none());
+        h.load_page_image(b"x", PageKind::Mixed).unwrap();
+        assert!(h.load_page_image(b"y", PageKind::Mixed).is_none());
+    }
+}

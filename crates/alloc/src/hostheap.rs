@@ -1,0 +1,157 @@
+//! The CPU-memory side of the heap.
+//!
+//! When the SEPO driver evicts device pages (§IV-C), their bytes are copied
+//! into the `HostHeap`, indexed by the **host page id** the page was
+//! stamped with at acquisition, together with the page's [`PageKind`] (the
+//! multi-valued organization enumerates key pages and value pages
+//! differently). Because every [`HostLink`] created on the device already
+//! names `(host_page_id, offset)`, evicted chains remain traversable on the
+//! CPU without any pointer rewriting — the paper's "eventual location of
+//! contents in CPU memory" pointer (§III-B).
+
+use crate::heap::PageKind;
+use crate::layout::HostLink;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A stored page: its kind plus its bytes.
+type StoredPage = (PageKind, Arc<[u8]>);
+
+/// Store of evicted pages, keyed by host page id.
+#[derive(Debug, Default)]
+pub struct HostHeap {
+    pages: Mutex<BTreeMap<u64, StoredPage>>,
+}
+
+impl HostHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store the bytes of a page evicted under host id `host_id`.
+    /// Re-storing the same id replaces the copy (used when a kept page is
+    /// finally evicted with more content than a prior snapshot).
+    pub fn store(&self, host_id: u64, kind: PageKind, data: Vec<u8>) {
+        self.pages.lock().insert(host_id, (kind, Arc::from(data)));
+    }
+
+    /// Fetch a page's bytes.
+    pub fn page(&self, host_id: u64) -> Option<Arc<[u8]>> {
+        self.pages.lock().get(&host_id).map(|(_, d)| Arc::clone(d))
+    }
+
+    /// Fetch a page's kind.
+    pub fn page_kind(&self, host_id: u64) -> Option<PageKind> {
+        self.pages.lock().get(&host_id).map(|(k, _)| *k)
+    }
+
+    /// Read `len` bytes at `link`, if the page is present and the range is
+    /// in bounds.
+    pub fn read(&self, link: HostLink, len: usize) -> Option<Vec<u8>> {
+        let page = self.page(link.host_page())?;
+        let start = link.offset() as usize;
+        let end = start.checked_add(len)?;
+        page.get(start..end).map(|s| s.to_vec())
+    }
+
+    /// Read a little-endian `u64` at `link + field_offset`.
+    pub fn read_u64(&self, link: HostLink, field_offset: u32) -> Option<u64> {
+        let page = self.page(link.host_page())?;
+        let start = (link.offset() + field_offset) as usize;
+        let bytes: [u8; 8] = page.get(start..start + 8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    /// Number of stored pages.
+    pub fn len(&self) -> usize {
+        self.pages.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.lock().is_empty()
+    }
+
+    /// Total stored bytes (the hash table's CPU-side footprint).
+    pub fn total_bytes(&self) -> u64 {
+        self.pages
+            .lock()
+            .values()
+            .map(|(_, p)| p.len() as u64)
+            .sum()
+    }
+
+    /// All pages in ascending host-id order (final result enumeration walks
+    /// pages in eviction order).
+    pub fn pages_in_order(&self) -> Vec<(u64, PageKind, Arc<[u8]>)> {
+        self.pages
+            .lock()
+            .iter()
+            .map(|(&id, (kind, data))| (id, *kind, Arc::clone(data)))
+            .collect()
+    }
+
+    /// Drop everything (reuse across runs).
+    pub fn clear(&self) {
+        self.pages.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_read_back() {
+        let hh = HostHeap::new();
+        hh.store(7, PageKind::Mixed, b"0123456789abcdef".to_vec());
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh.total_bytes(), 16);
+        assert_eq!(hh.page_kind(7), Some(PageKind::Mixed));
+        let link = HostLink::new(7, 4);
+        assert_eq!(hh.read(link, 4).unwrap(), b"4567");
+    }
+
+    #[test]
+    fn read_u64_is_little_endian() {
+        let hh = HostHeap::new();
+        let mut data = vec![0u8; 16];
+        data[8..16].copy_from_slice(&0xABCD_EF01_2345_6789u64.to_le_bytes());
+        hh.store(1, PageKind::Value, data);
+        assert_eq!(
+            hh.read_u64(HostLink::new(1, 0), 8).unwrap(),
+            0xABCD_EF01_2345_6789
+        );
+    }
+
+    #[test]
+    fn missing_page_and_out_of_bounds_return_none() {
+        let hh = HostHeap::new();
+        hh.store(1, PageKind::Key, vec![0u8; 8]);
+        assert!(hh.read(HostLink::new(2, 0), 1).is_none());
+        assert!(hh.read(HostLink::new(1, 4), 8).is_none());
+        assert!(hh.read_u64(HostLink::new(1, 4), 0).is_none());
+        assert!(hh.page_kind(9).is_none());
+    }
+
+    #[test]
+    fn restore_replaces() {
+        let hh = HostHeap::new();
+        hh.store(3, PageKind::Key, b"old".to_vec());
+        hh.store(3, PageKind::Key, b"newer".to_vec());
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh.page(3).unwrap().as_ref(), b"newer");
+    }
+
+    #[test]
+    fn pages_iterate_in_host_id_order() {
+        let hh = HostHeap::new();
+        hh.store(5, PageKind::Mixed, vec![5]);
+        hh.store(1, PageKind::Key, vec![1]);
+        hh.store(3, PageKind::Value, vec![3]);
+        let ids: Vec<u64> = hh.pages_in_order().iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        hh.clear();
+        assert!(hh.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # sepo-alloc — the SEPO hash table's dynamic memory allocator
+//!
+//! Faithful implementation of the allocator of §IV-A of the SEPO paper:
+//!
+//! * a [`Heap`] pre-allocated in (simulated) device memory and
+//!   partitioned into pages, each bump-allocated with one atomic operation;
+//! * a free-page pool that pages return to when the SEPO driver evicts them
+//!   to CPU memory;
+//! * a [`GroupAllocator`] that spreads allocation
+//!   load over per-bucket-group current pages ("instead of accessing one
+//!   free-list pointer, the accesses are distributed over multiple free-list
+//!   pointers"), declining with POSTPONE when the pool runs dry;
+//! * dual device/host addressing ([`layout`]) so evicted chains stay
+//!   traversable from the CPU, and a [`HostHeap`]
+//!   holding the evicted bytes.
+//!
+//! The allocator reports successes, postponements and metadata traffic into
+//! the shared [`gpu_sim::Metrics`] sink so the cost model can price them.
+
+pub mod group;
+pub mod heap;
+pub mod hostheap;
+pub mod layout;
+
+pub use group::{GroupAllocator, PageClass, Postpone};
+pub use heap::{Heap, HeapStats, PageKind};
+pub use hostheap::HostHeap;
+pub use layout::{align_up, DevHandle, HostLink, Link, ALIGN, MAX_PAGE_SIZE, OFFSET_BITS};

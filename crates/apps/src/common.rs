@@ -1,0 +1,118 @@
+//! Shared application harness types.
+
+use gpu_sim::executor::Executor;
+use sepo_core::config::TableConfig;
+use sepo_core::sepo::{DriverConfig, SepoOutcome};
+use sepo_core::table::SepoTable;
+use sepo_datagen::Dataset;
+use sepo_mapreduce::Partition;
+
+/// Result of running one application on the SEPO substrate: the iteration
+/// accounting plus the finalized table holding the results in host memory.
+pub struct AppRun {
+    pub outcome: SepoOutcome,
+    pub table: SepoTable,
+}
+
+impl AppRun {
+    /// Number of SEPO iterations the run needed (the Fig. 6 bar labels).
+    pub fn iterations(&self) -> u32 {
+        self.outcome.n_iterations()
+    }
+}
+
+/// Per-run knobs shared by every application.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Device heap bytes available to the hash table.
+    pub heap_bytes: u64,
+    /// SEPO driver knobs (chunking).
+    pub driver: DriverConfig,
+    /// Place the hash-table heap in pinned CPU memory (the Fig. 7
+    /// alternative design) instead of device memory.
+    pub remote_heap: bool,
+    /// Explicit table shape; `None` tunes one from `heap_bytes`. The
+    /// organization must match what the application uses.
+    pub table: Option<TableConfig>,
+}
+
+impl AppConfig {
+    pub fn new(heap_bytes: u64) -> Self {
+        AppConfig {
+            heap_bytes,
+            driver: DriverConfig::default(),
+            remote_heap: false,
+            table: None,
+        }
+    }
+
+    /// Override the table shape (ablations, trace recording).
+    pub fn with_table(mut self, table: TableConfig) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// Resolve the table configuration for an app using `organization`.
+    pub fn table_config(&self, organization: sepo_core::config::Organization) -> TableConfig {
+        let cfg = self
+            .table
+            .clone()
+            .unwrap_or_else(|| TableConfig::tuned(organization, self.heap_bytes));
+        assert_eq!(
+            std::mem::discriminant(&cfg.organization),
+            std::mem::discriminant(&organization),
+            "table override organization must match the application"
+        );
+        cfg.with_remote_heap(self.remote_heap)
+    }
+
+    /// Pin the heap in CPU memory (Fig. 7 mode).
+    pub fn with_remote_heap(mut self, remote: bool) -> Self {
+        self.remote_heap = remote;
+        self
+    }
+
+    pub fn with_chunk_tasks(mut self, n: usize) -> Self {
+        self.driver.chunk_tasks = n;
+        self
+    }
+}
+
+/// View a generated [`Dataset`]'s record boundaries as a MapReduce
+/// [`Partition`] (the generators double as the input data partitioner).
+pub fn partition_of(ds: &Dataset) -> Partition {
+    Partition::from_offsets(ds.offsets.clone(), ds.bytes.len())
+}
+
+/// Convenience: a deterministic executor + metrics pair for tests.
+pub fn test_executor() -> (Executor, std::sync::Arc<gpu_sim::metrics::Metrics>) {
+    let m = std::sync::Arc::new(gpu_sim::metrics::Metrics::new());
+    (
+        Executor::new(gpu_sim::executor::ExecMode::Deterministic, m.clone()),
+        m,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_mirrors_dataset_records() {
+        let mut ds = Dataset::new();
+        ds.push_record(b"alpha\n");
+        ds.push_record(b"bravo-longer\n");
+        let p = partition_of(&ds);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.record(&ds.bytes, 0), b"alpha\n");
+        assert_eq!(p.record(&ds.bytes, 1), b"bravo-longer\n");
+        assert_eq!(p.record_bytes(1), 13);
+    }
+
+    #[test]
+    fn app_config_builders() {
+        let c = AppConfig::new(1024).with_chunk_tasks(7);
+        assert_eq!(c.heap_bytes, 1024);
+        assert_eq!(c.driver.chunk_tasks, 7);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sepo-apps — the seven Big Data analytics applications of §VI
+//!
+//! GPU/SEPO implementations of the paper's evaluation applications, each
+//! paired with a sequential reference oracle used by the test suite to
+//! verify exact results under forced multi-iteration (larger-than-memory)
+//! execution:
+//!
+//! | module | app | organization / mode |
+//! |---|---|---|
+//! | [`pvc`] | Page View Count | combining (Add) |
+//! | [`inverted_index`] | Inverted Index | multi-valued |
+//! | [`dna`] | DNA Assembly | combining (Or) |
+//! | [`netflix`] | Netflix | combining (Add) |
+//! | [`wordcount`] | Word Count | MAP_REDUCE (Add) |
+//! | [`patent`] | Patent Citation | MAP_GROUP |
+//! | [`geoloc`] | Geo Location | MAP_GROUP |
+//!
+//! [`runner`] dispatches by [`sepo_datagen::App`] so the benchmark harness
+//! can sweep Table I uniformly.
+
+pub mod common;
+pub mod dna;
+pub mod geoloc;
+pub mod inverted_index;
+pub mod netflix;
+pub mod patent;
+pub mod pvc;
+pub mod runner;
+pub mod wordcount;
+
+pub use common::{partition_of, AppConfig, AppRun};
+pub use runner::run_app;

@@ -1,0 +1,39 @@
+//! Uniform dispatch over the seven applications.
+
+use crate::common::{AppConfig, AppRun};
+use crate::{dna, geoloc, inverted_index, netflix, patent, pvc, wordcount};
+use gpu_sim::executor::Executor;
+use sepo_datagen::{App, Dataset};
+
+/// Run `app` over `dataset` on the SEPO substrate.
+pub fn run_app(app: App, dataset: &Dataset, cfg: &AppConfig, executor: &Executor) -> AppRun {
+    match app {
+        App::InvertedIndex => inverted_index::run(dataset, cfg, executor),
+        App::PageViewCount => pvc::run(dataset, cfg, executor),
+        App::DnaAssembly => dna::run(dataset, cfg, executor),
+        App::Netflix => netflix::run(dataset, cfg, executor),
+        App::WordCount => wordcount::run(dataset, cfg, executor),
+        App::PatentCitation => patent::run(dataset, cfg, executor),
+        App::GeoLocation => geoloc::run(dataset, cfg, executor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_executor;
+
+    #[test]
+    fn every_app_runs_on_scaled_table1_data() {
+        // Smoke test across the whole matrix at an aggressive scale: each
+        // app on its smallest dataset, ample memory, one iteration.
+        for app in App::ALL {
+            let ds = app.generate(0, 16_384);
+            let (exec, _) = test_executor();
+            let run = run_app(app, &ds, &AppConfig::new(8 << 20), &exec);
+            assert!(run.iterations() >= 1, "{} did not complete", app.name());
+            let (pages, bytes) = run.table.host_footprint();
+            assert!(pages > 0 && bytes > 0, "{} produced no results", app.name());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Real wall-clock micro-benchmarks of the page allocator: bump-allocation
+//! throughput, group distribution under threads, and the page acquire /
+//! release cycle that backs SEPO evictions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use gpu_sim::metrics::Metrics;
+use sepo_alloc::{GroupAllocator, Heap, PageClass, PageKind};
+use std::sync::Arc;
+
+fn heap(mb: usize) -> Arc<Heap> {
+    Arc::new(Heap::new(
+        (mb << 20) as u64,
+        64 * 1024,
+        Arc::new(Metrics::new()),
+    ))
+}
+
+fn bench_bump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_bump");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for groups in [1usize, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("single-thread", groups),
+            &groups,
+            |b, &g| {
+                b.iter_batched(
+                    || GroupAllocator::new(heap(32), g, PageKind::Mixed),
+                    |ga| {
+                        for i in 0..n {
+                            ga.alloc(i % g, PageClass::Primary, 48).unwrap();
+                        }
+                        ga
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bump_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_bump_threaded");
+    let n = 200_000usize;
+    for (threads, groups) in [(8usize, 1usize), (8, 256)] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{threads}t"), groups),
+            &groups,
+            |b, &g| {
+                b.iter_batched(
+                    || Arc::new(GroupAllocator::new(heap(64), g, PageKind::Mixed)),
+                    |ga| {
+                        crossbeam::scope(|s| {
+                            for w in 0..threads {
+                                let ga = Arc::clone(&ga);
+                                s.spawn(move |_| {
+                                    for i in (w..n).step_by(threads) {
+                                        let _ = ga.alloc(i % g, PageClass::Primary, 48);
+                                    }
+                                });
+                            }
+                        })
+                        .unwrap();
+                        ga
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_page_cycle(c: &mut Criterion) {
+    // The acquire→fill→evict→release cycle at the heart of SEPO iterations.
+    let mut group = c.benchmark_group("page_cycle");
+    let h = heap(16);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("acquire_fill_snapshot_release", |b| {
+        b.iter(|| {
+            let p = h.acquire_page(PageKind::Mixed).unwrap();
+            while h.bump(p, 512).is_some() {}
+            let data = h.page_data(p);
+            h.release_page(p);
+            data.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bump, bench_bump_threaded, bench_page_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Real wall-clock micro-benchmarks of the SEPO hash table's operations
+//! across the three bucket organizations. These measure the actual Rust
+//! implementation (not the simulated GPU clock): insert and lookup
+//! throughput, duplicate-heavy combining, and multi-threaded scaling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use gpu_sim::metrics::Metrics;
+use gpu_sim::NoCharge;
+use sepo_core::{Combiner, Organization, SepoTable, TableConfig};
+use std::sync::Arc;
+
+fn table(org: Organization) -> SepoTable {
+    let heap = 32 << 20;
+    SepoTable::new(
+        TableConfig::tuned(org, heap),
+        heap,
+        Arc::new(Metrics::new()),
+    )
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("key-{i:08}")).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let ks = keys(n);
+
+    group.bench_function("combining/distinct", |b| {
+        b.iter_batched(
+            || table(Organization::Combining(Combiner::Add)),
+            |t| {
+                let mut ch = NoCharge;
+                for k in &ks {
+                    t.insert_combining(k.as_bytes(), 1, &mut ch);
+                }
+                t
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("combining/duplicate-heavy", |b| {
+        // 100k inserts over 1k distinct keys: the combine-in-place path.
+        b.iter_batched(
+            || table(Organization::Combining(Combiner::Add)),
+            |t| {
+                let mut ch = NoCharge;
+                for i in 0..n {
+                    t.insert_combining(ks[i % 1_000].as_bytes(), 1, &mut ch);
+                }
+                t
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("basic", |b| {
+        b.iter_batched(
+            || table(Organization::Basic),
+            |t| {
+                let mut ch = NoCharge;
+                for k in &ks {
+                    t.insert_basic(k.as_bytes(), b"value-payload-16", &mut ch);
+                }
+                t
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("multivalued/grouping", |b| {
+        // 100k values over 10k keys: append-to-chain path dominates.
+        b.iter_batched(
+            || table(Organization::MultiValued),
+            |t| {
+                let mut ch = NoCharge;
+                for i in 0..n {
+                    t.insert_multivalued(ks[i % 10_000].as_bytes(), b"doc-0001.html", &mut ch);
+                }
+                t
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let t = table(Organization::Combining(Combiner::Add));
+    let ks = keys(100_000);
+    let mut ch = NoCharge;
+    for k in &ks {
+        t.insert_combining(k.as_bytes(), 7, &mut ch);
+    }
+    let mut group = c.benchmark_group("lookup");
+    group.throughput(Throughput::Elements(ks.len() as u64));
+    group.bench_function("combining/hit", |b| {
+        b.iter(|| {
+            let mut ch = NoCharge;
+            let mut acc = 0u64;
+            for k in &ks {
+                acc = acc.wrapping_add(t.lookup_combining(k.as_bytes(), &mut ch).unwrap());
+            }
+            acc
+        })
+    });
+    group.bench_function("combining/miss", |b| {
+        b.iter(|| {
+            let mut ch = NoCharge;
+            let mut misses = 0u64;
+            for k in &ks {
+                if t.lookup_combining(&k.as_bytes()[1..], &mut ch).is_none() {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_insert");
+    let n = 200_000usize;
+    let ks = keys(n);
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("combining", threads),
+            &threads,
+            |b, &nt| {
+                b.iter_batched(
+                    || Arc::new(table(Organization::Combining(Combiner::Add))),
+                    |t| {
+                        crossbeam::scope(|s| {
+                            for w in 0..nt {
+                                let t = Arc::clone(&t);
+                                let ks = &ks;
+                                s.spawn(move |_| {
+                                    let mut ch = NoCharge;
+                                    for i in (w..n).step_by(nt) {
+                                        t.insert_combining(ks[i].as_bytes(), 1, &mut ch);
+                                    }
+                                });
+                            }
+                        })
+                        .unwrap();
+                        t
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_lookup, bench_threaded
+}
+criterion_main!(benches);

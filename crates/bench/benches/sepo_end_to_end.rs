@@ -1,0 +1,50 @@
+//! Real wall-clock end-to-end benchmark: Page View Count through the full
+//! SEPO stack (driver, kernels, allocator, eviction, result collection),
+//! with ample memory (single pass) and under pressure (multi-iteration) —
+//! measuring the implementation's actual processing rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{pvc, AppConfig};
+use sepo_datagen::weblog::{generate, WeblogConfig};
+use std::sync::Arc;
+
+fn bench_pvc(c: &mut Criterion) {
+    let ds = generate(
+        &WeblogConfig {
+            target_bytes: 2 << 20,
+            ..Default::default()
+        },
+        99,
+    );
+    let mut group = c.benchmark_group("pvc_end_to_end");
+    group.throughput(Throughput::Bytes(ds.size_bytes()));
+    // Heap sizes: ample (1 iteration) vs tight (several SEPO iterations).
+    for (label, heap) in [("single-pass", 16u64 << 20), ("sepo-4x", 192 * 1024)] {
+        group.bench_with_input(BenchmarkId::new("deterministic", label), &heap, |b, &h| {
+            b.iter(|| {
+                let metrics = Arc::new(Metrics::new());
+                let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+                let run = pvc::run(&ds, &AppConfig::new(h), &exec);
+                run.iterations()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", label), &heap, |b, &h| {
+            b.iter(|| {
+                let metrics = Arc::new(Metrics::new());
+                let exec = Executor::new(ExecMode::Parallel { workers: 0 }, Arc::clone(&metrics));
+                let run = pvc::run(&ds, &AppConfig::new(h), &exec);
+                run.iterations()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pvc
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation A — the bucket-group size trade-off (§IV-A).
+//!
+//! "While having several pages to allocate memory from improves the
+//! performance of the memory allocator, it increases the potential for
+//! memory fragmentation … This is a trade-off in which the right balance
+//! might be different for each application. Our hash table library,
+//! therefore, allows each application to balance this trade-off by
+//! adjusting the size of the bucket groups."
+//!
+//! Sweep buckets-per-group for PVC on a fixed dataset and heap: small
+//! groups (many allocation pointers) minimize allocator contention but
+//! strand more partially-filled pages (fragmentation → more iterations);
+//! one giant group is the MapCG-like degenerate case whose single pointer
+//! serializes every allocation.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{pvc, AppConfig};
+use sepo_bench::report::fmt_bytes;
+use sepo_bench::{device_heap, gpu_total_time, scale, system, Table};
+use sepo_core::config::{Combiner, Organization, TableConfig};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+fn main() {
+    let spec = system();
+    let scale = scale();
+    let heap = device_heap(&spec);
+    let ds = App::PageViewCount.generate(2, scale);
+    // Fine 4 KiB pages give the scaled heap a page population comparable
+    // (relative to group counts) to the paper's GB-scale heap.
+    let base =
+        TableConfig::tuned(Organization::Combining(Combiner::Add), heap).with_page_size(4096);
+    let n_buckets = base.n_buckets;
+    let n_pages = heap as usize / 4096;
+
+    let mut table = Table::new(
+        "Ablation A (SS IV-A): bucket-group size vs contention and fragmentation",
+        &[
+            "Buckets/group",
+            "Groups",
+            "Iterations",
+            "Wasted bytes",
+            "Contention",
+            "Total (sim)",
+        ],
+    );
+    let mut json = Vec::new();
+    for target_groups in [n_pages / 2, n_pages / 4, 64, 16, 4, 1] {
+        let target_groups = target_groups.max(1);
+        let bpg = n_buckets.div_ceil(target_groups);
+        let cfg = base.clone().with_buckets_per_group(bpg);
+        let groups = cfg.n_groups();
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let run = pvc::run(&ds, &AppConfig::new(heap).with_table(cfg), &exec);
+        let stats = run.table.heap().stats();
+        let hist = run.table.full_contention_histogram();
+        let t = gpu_total_time(&run.outcome, &hist, &spec);
+        table.row(vec![
+            bpg.to_string(),
+            groups.to_string(),
+            t.iterations.to_string(),
+            fmt_bytes(stats.wasted_bytes),
+            t.contention.to_string(),
+            t.total.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "buckets_per_group": bpg,
+            "groups": groups,
+            "iterations": t.iterations,
+            "wasted_bytes": stats.wasted_bytes,
+            "contention_seconds": t.contention.as_secs_f64(),
+            "total_seconds": t.total.as_secs_f64(),
+        }));
+    }
+    table.note(format!(
+        "scale = 1/{scale}; PVC dataset #3; heap = {}",
+        fmt_bytes(heap)
+    ));
+    table.note("fewer groups -> less fragmentation waste but one hotter allocation pointer");
+    table.print();
+    sepo_bench::write_json(
+        "ablation_group_size",
+        &serde_json::json!({ "scale": scale, "rows": json }),
+    );
+}

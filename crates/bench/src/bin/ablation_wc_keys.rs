@@ -1,0 +1,83 @@
+//! Ablation C — Word Count's distinct-key sensitivity (§VI-B).
+//!
+//! "Word Count suffers from lock contention when accessing buckets because
+//! of the small number of distinct keys and large number of duplicate
+//! keys … when we artificially increased the number of distinct keys in
+//! the input dataset of Word Count (by adding random, meaningless words to
+//! the input documents), performance quickly improved."
+//!
+//! Sweep the vocabulary size at a fixed input volume and report the
+//! GPU-over-Phoenix++ speedup: larger vocabularies spread the combining
+//! atomics over more buckets, dissolving the serialization.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{wordcount, AppConfig};
+use sepo_baselines::run_phoenix;
+use sepo_bench::report::fmt_speedup;
+use sepo_bench::{cpu_total_time, device_heap, gpu_total_time, scale, system, Table};
+use sepo_datagen::text::{generate, TextConfig};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+fn main() {
+    let spec = system();
+    let scale = scale();
+    let heap = device_heap(&spec);
+    let input_bytes = App::WordCount.dataset_bytes(1, scale); // dataset #2 volume
+
+    let mut table = Table::new(
+        "Ablation C (SS VI-B): Word Count distinct-key sensitivity",
+        &[
+            "Vocabulary",
+            "GPU contention",
+            "GPU (sim)",
+            "Phoenix++ (sim)",
+            "Speedup",
+        ],
+    );
+    let mut json = Vec::new();
+    for vocab in [500usize, 2_000, 8_000, 32_000, 128_000] {
+        let ds = generate(
+            &TextConfig {
+                target_bytes: input_bytes,
+                vocab_size: vocab,
+                ..Default::default()
+            },
+            777,
+        );
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let run = wordcount::run(&ds, &AppConfig::new(heap), &exec);
+        let hist = run.table.full_contention_histogram();
+        let gpu = gpu_total_time(&run.outcome, &hist, &spec);
+        // Phoenix++ is nearly insensitive to the vocabulary (thread-local
+        // maps) — the paper's implied control.
+        let p = run_phoenix(App::WordCount, &ds);
+        let cpu = cpu_total_time(&p.snapshot, &p.contention, &spec);
+        let speedup = cpu.ratio(gpu.total);
+        table.row(vec![
+            vocab.to_string(),
+            gpu.contention.to_string(),
+            gpu.total.to_string(),
+            cpu.to_string(),
+            fmt_speedup(speedup),
+        ]);
+        json.push(serde_json::json!({
+            "vocab": vocab,
+            "gpu_contention_seconds": gpu.contention.as_secs_f64(),
+            "gpu_seconds": gpu.total.as_secs_f64(),
+            "cpu_seconds": cpu.as_secs_f64(),
+            "speedup": speedup,
+        }));
+    }
+    table.note(format!(
+        "scale = 1/{scale}; fixed input volume (dataset #2), vocabulary swept"
+    ));
+    table.note("paper: 'performance quickly improved' as distinct keys were added");
+    table.print();
+    sepo_bench::write_json(
+        "ablation_wc_keys",
+        &serde_json::json!({ "scale": scale, "rows": json }),
+    );
+}

@@ -1,0 +1,107 @@
+//! Figure 6 — application speedup over CPU multi-threaded implementations.
+//!
+//! "Figure 6 depicts the achieved speedups of the GPU-based applications
+//! over their CPU-based multi-threaded counterparts for different dataset
+//! sizes. The numbers shown on top of the bars indicate the number of
+//! iterations that were necessary to successfully store all KV pairs …
+//! For the last three, the baseline is Phoenix++."
+//!
+//! Expected shape: healthy speedups for Netflix, DNA Assembly, PVC, Patent
+//! Citation and Geo Location; Inverted Index held back by warp divergence;
+//! Word Count held back by duplicate-key contention; speedups degrade
+//! gracefully (not collapse) as larger datasets force more SEPO iterations.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{run_app, AppConfig};
+use sepo_baselines::{run_cpu_app, run_phoenix};
+use sepo_bench::report::{fmt_bytes, fmt_speedup, BarChart};
+use sepo_bench::{cpu_total_time, device_heap, gpu_total_time, scale, system, Table};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+fn main() {
+    let spec = system();
+    let scale = scale();
+    let heap = device_heap(&spec);
+    let mut table = Table::new(
+        "Figure 6: speedup over CPU multi-threaded implementation",
+        &[
+            "Application",
+            "Dataset",
+            "Input",
+            "Iterations",
+            "GPU (sim)",
+            "CPU (sim)",
+            "Speedup",
+        ],
+    );
+    let mut json = Vec::new();
+    let mut speedups = Vec::new();
+    let mut chart = BarChart::new("Figure 6 (rendered): speedup bars, iteration counts on top")
+        .with_reference(1.0);
+
+    for app in App::ALL {
+        let mut bars = Vec::new();
+        for idx in 0..4 {
+            let ds = app.generate(idx, scale);
+            // GPU/SEPO side.
+            let metrics = Arc::new(Metrics::new());
+            let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+            let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
+            let hist = run.table.full_contention_histogram();
+            let gpu = gpu_total_time(&run.outcome, &hist, &spec);
+            // CPU side: Phoenix++ for the MapReduce apps, the shared-table
+            // CPU implementation for the stand-alone apps.
+            let cpu = if App::MAPREDUCE.contains(&app) {
+                let p = run_phoenix(app, &ds);
+                cpu_total_time(&p.snapshot, &p.contention, &spec)
+            } else {
+                let b = run_cpu_app(app, &ds);
+                cpu_total_time(&b.snapshot, &b.contention, &spec)
+            };
+            let speedup = cpu.ratio(gpu.total);
+            speedups.push(speedup);
+            table.row(vec![
+                app.name().to_string(),
+                format!("#{}", idx + 1),
+                fmt_bytes(ds.size_bytes()),
+                gpu.iterations.to_string(),
+                gpu.total.to_string(),
+                cpu.to_string(),
+                fmt_speedup(speedup),
+            ]);
+            bars.push((
+                format!("#{}", idx + 1),
+                speedup,
+                format!("({} iter)", gpu.iterations),
+            ));
+            json.push(serde_json::json!({
+                "app": app.name(),
+                "dataset": idx + 1,
+                "input_bytes": ds.size_bytes(),
+                "iterations": gpu.iterations,
+                "gpu_seconds": gpu.total.as_secs_f64(),
+                "gpu_kernel_seconds": gpu.kernel.as_secs_f64(),
+                "gpu_transfer_seconds": gpu.transfers.as_secs_f64(),
+                "gpu_contention_seconds": gpu.contention.as_secs_f64(),
+                "cpu_seconds": cpu.as_secs_f64(),
+                "speedup": speedup,
+            }));
+        }
+        chart.group(app.name(), bars);
+    }
+
+    chart.print();
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    table.note(format!("scale = 1/{scale} (capacities and datasets)"));
+    table.note(format!("device heap = {}", fmt_bytes(heap)));
+    table.note(format!(
+        "average speedup = {avg:.2} (paper reports 3.5 on average)"
+    ));
+    table.print();
+    sepo_bench::write_json(
+        "figure6",
+        &serde_json::json!({ "scale": scale, "average_speedup": avg, "rows": json }),
+    );
+}

@@ -1,0 +1,106 @@
+//! Figure 7 — SEPO vs the pinned-CPU-memory hash table (§VI-D).
+//!
+//! Both variants are reported as speedup over the CPU multi-threaded
+//! baseline, on the largest datasets (#4). The paper finds that the SEPO
+//! table "still significantly outperforms the version that allocates the
+//! heap in CPU pinned memory. Worse, in four out of seven applications, the
+//! CPU pinned memory version … performs worse than the CPU-based
+//! multi-threaded implementations" — because every hash-table access
+//! becomes a small PCIe transaction.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{run_app, AppConfig};
+use sepo_baselines::{run_cpu_app, run_phoenix, run_pinned};
+use sepo_bench::report::{fmt_speedup, BarChart};
+use sepo_bench::{
+    cpu_total_time, device_heap, gpu_total_time, pinned_total_time, scale, system, Table,
+};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+fn main() {
+    let spec = system();
+    let scale = scale();
+    let heap = device_heap(&spec);
+    let mut table = Table::new(
+        "Figure 7: speedups compared to the pinned version (dataset #4)",
+        &[
+            "Application",
+            "SEPO iters",
+            "SEPO speedup",
+            "Pinned speedup",
+            "SEPO/pinned",
+        ],
+    );
+    let mut json = Vec::new();
+    let mut pinned_below_cpu = 0;
+    let mut chart =
+        BarChart::new("Figure 7 (rendered): speedup over the CPU baseline").with_reference(1.0);
+
+    for app in App::ALL {
+        let ds = app.generate(3, scale);
+        // SEPO run.
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
+        let sepo_t = gpu_total_time(&run.outcome, &run.table.full_contention_histogram(), &spec);
+        // Pinned-heap run.
+        let pinned = run_pinned(app, &ds);
+        let pinned_t =
+            pinned_total_time(&pinned.snapshot, &pinned.contention, ds.size_bytes(), &spec);
+        // CPU baseline.
+        let cpu_t = if App::MAPREDUCE.contains(&app) {
+            let p = run_phoenix(app, &ds);
+            cpu_total_time(&p.snapshot, &p.contention, &spec)
+        } else {
+            let b = run_cpu_app(app, &ds);
+            cpu_total_time(&b.snapshot, &b.contention, &spec)
+        };
+        let sepo_speedup = cpu_t.ratio(sepo_t.total);
+        let pinned_speedup = cpu_t.ratio(pinned_t);
+        if pinned_speedup < 1.0 {
+            pinned_below_cpu += 1;
+        }
+        table.row(vec![
+            app.name().to_string(),
+            sepo_t.iterations.to_string(),
+            fmt_speedup(sepo_speedup),
+            fmt_speedup(pinned_speedup),
+            fmt_speedup(pinned_t.ratio(sepo_t.total)),
+        ]);
+        chart.group(
+            app.name(),
+            vec![
+                (
+                    "SEPO".into(),
+                    sepo_speedup,
+                    format!("({} iter)", sepo_t.iterations),
+                ),
+                ("pinned".into(), pinned_speedup, String::new()),
+            ],
+        );
+        json.push(serde_json::json!({
+            "app": app.name(),
+            "iterations": sepo_t.iterations,
+            "sepo_seconds": sepo_t.total.as_secs_f64(),
+            "pinned_seconds": pinned_t.as_secs_f64(),
+            "cpu_seconds": cpu_t.as_secs_f64(),
+            "sepo_speedup": sepo_speedup,
+            "pinned_speedup": pinned_speedup,
+        }));
+    }
+    table.note(format!(
+        "scale = 1/{scale}; dataset #4 for every application"
+    ));
+    table.note(format!(
+        "pinned version slower than the CPU baseline for {pinned_below_cpu}/7 applications \
+         (paper: 4/7)"
+    ));
+    table.print();
+    chart.print();
+    sepo_bench::write_json(
+        "figure7",
+        &serde_json::json!({ "scale": scale, "pinned_below_cpu": pinned_below_cpu, "rows": json }),
+    );
+}

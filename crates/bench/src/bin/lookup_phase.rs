@@ -1,0 +1,96 @@
+//! Extension experiment — SEPO lookups on a larger-than-memory table.
+//!
+//! The paper leaves lookup-side SEPO "to the reader as a mental exercise"
+//! (§IV-C); `sepo_core::lookup` implements it: the host-resident table is
+//! streamed back to the device in heap-sized segments, and pending queries
+//! complete as their keys become resident. This bench sweeps the device
+//! heap size for a fixed table and Zipf-skewed query mix, reporting rounds,
+//! paged-in volume and simulated time — the lookup-side analogue of the
+//! graceful-degradation story.
+
+use gpu_sim::cost::GpuCostModel;
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::{ContentionHistogram, Metrics};
+use gpu_sim::pcie::PcieBus;
+use gpu_sim::SimTime;
+use sepo_apps::{pvc, AppConfig};
+use sepo_bench::report::fmt_bytes;
+use sepo_bench::{scale, system, Table};
+use sepo_datagen::{weblog, App, Rng, Zipf};
+use std::sync::Arc;
+
+fn main() {
+    let spec = system();
+    let scale = scale();
+    // Build the table once from PVC dataset #2.
+    let ds = App::PageViewCount.generate(1, scale);
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let build = pvc::run(&ds, &AppConfig::new(64 << 20), &exec);
+    let (_, table_bytes) = build.table.host_footprint();
+
+    // Zipf-skewed query mix over the URL universe (80% present, 20% absent).
+    let mut rng = Rng::new(4242);
+    let n_urls = ds.len() / 3; // matches the generator's derivation
+    let zipf = Zipf::new(n_urls.max(1), 0.9);
+    let owned: Vec<String> = (0..20_000)
+        .map(|i| {
+            if i % 5 == 4 {
+                format!("http://absent.example.com/{i}")
+            } else {
+                weblog::url(zipf.sample(&mut rng))
+            }
+        })
+        .collect();
+    let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+
+    let gpu = GpuCostModel::new(spec.device.clone());
+    let bus = PcieBus::new(spec.pcie.clone(), Arc::new(Metrics::new()));
+    let empty = ContentionHistogram::from_counts(std::iter::empty::<u64>());
+
+    let mut table = Table::new(
+        "Extension: SEPO lookup phase vs device-heap size (PVC table)",
+        &["Heap / table", "Rounds", "Paged-in", "Hits", "Sim time"],
+    );
+    let mut json = Vec::new();
+    for divisor in [1u64, 2, 4, 8] {
+        let heap = (table_bytes / divisor).max(64 * 1024);
+        // Rebuild the table with this heap so the lookup phase stages
+        // through it (contents identical; the build side may iterate).
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let run = pvc::run(&ds, &AppConfig::new(heap), &exec);
+        let out = run.table.lookup_phase(&exec, &queries);
+        // Price the phase: per round, paged-in transfer overlapped with the
+        // lookup kernel.
+        let mut total = SimTime::ZERO;
+        for r in &out.rounds {
+            let load = bus.bulk_transfer_time(r.loaded_bytes);
+            let kernel = gpu.kernel_time(&r.kernel, &empty);
+            total += load.max(kernel) + SimTime::from_nanos(1_200);
+        }
+        table.row(vec![
+            format!("{} / {}", fmt_bytes(heap), fmt_bytes(table_bytes)),
+            out.n_rounds().to_string(),
+            fmt_bytes(out.total_loaded_bytes()),
+            format!("{}/{}", out.hits(), queries.len()),
+            total.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "heap_bytes": heap,
+            "rounds": out.n_rounds(),
+            "loaded_bytes": out.total_loaded_bytes(),
+            "hits": out.hits(),
+            "sim_seconds": total.as_secs_f64(),
+        }));
+    }
+    table.note(format!(
+        "scale = 1/{scale}; 20k Zipf-skewed queries, 20% absent"
+    ));
+    table.note("queries postpone until their table segment is paged in (SS IV-C mental exercise)");
+    table.print();
+    sepo_bench::write_json(
+        "lookup_phase",
+        &serde_json::json!({ "scale": scale, "rows": json }),
+    );
+}

@@ -1,0 +1,60 @@
+//! Table I — input dataset sizes.
+//!
+//! Prints the paper-scale ladder alongside the scaled datasets the harness
+//! actually generates (with record counts), confirming the generators hit
+//! their targets.
+
+use sepo_bench::report::fmt_bytes;
+use sepo_bench::{scale, Table};
+use sepo_datagen::App;
+
+fn main() {
+    let scale = scale();
+    let mut table = Table::new(
+        "Table I: input dataset sizes",
+        &[
+            "Application",
+            "Dataset #1",
+            "Dataset #2",
+            "Dataset #3",
+            "Dataset #4",
+            "Generated (#1..#4, scaled)",
+        ],
+    );
+    let mut json = Vec::new();
+    for app in App::ALL {
+        let paper = app.table1_mb();
+        let mut generated = Vec::new();
+        let mut gen_cells = Vec::new();
+        for idx in 0..4 {
+            let ds = app.generate(idx, scale);
+            gen_cells.push(format!("{} ({} rec)", fmt_bytes(ds.size_bytes()), ds.len()));
+            generated.push(serde_json::json!({
+                "dataset": idx + 1,
+                "bytes": ds.size_bytes(),
+                "records": ds.len(),
+            }));
+        }
+        table.row(vec![
+            app.name().to_string(),
+            format!("{:.1} GB", paper[0] as f64 / 1000.0),
+            format!("{:.1} GB", paper[1] as f64 / 1000.0),
+            format!("{:.1} GB", paper[2] as f64 / 1000.0),
+            format!("{:.1} GB", paper[3] as f64 / 1000.0),
+            gen_cells.join(", "),
+        ]);
+        json.push(serde_json::json!({
+            "app": app.name(),
+            "paper_mb": paper,
+            "generated": generated,
+        }));
+    }
+    table.note(format!(
+        "scale = 1/{scale}: generated sizes are paper sizes / {scale}"
+    ));
+    table.print();
+    sepo_bench::write_json(
+        "table1",
+        &serde_json::json!({ "scale": scale, "rows": json }),
+    );
+}

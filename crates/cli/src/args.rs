@@ -1,0 +1,126 @@
+//! Argument parsing for the `sepo` CLI (kept dependency-free).
+
+use sepo_datagen::App;
+
+/// Parsed option flags shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flags {
+    pub dataset: usize,
+    pub scale: u64,
+    pub heap: Option<u64>,
+    pub parallel: bool,
+    pub queries: usize,
+    pub input: Option<String>,
+    pub save: Option<String>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            dataset: 1,
+            scale: 256,
+            heap: None,
+            parallel: false,
+            queries: 20_000,
+            input: None,
+            save: None,
+        }
+    }
+}
+
+/// Parse `--flag value` pairs; `None` on any malformed input.
+pub fn parse_flags(args: &[String]) -> Option<Flags> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dataset" => f.dataset = it.next()?.parse().ok().filter(|d| (1..=4).contains(d))?,
+            "--scale" => f.scale = it.next()?.parse().ok().filter(|&s| s >= 1)?,
+            "--heap" => f.heap = Some(it.next()?.parse().ok()?),
+            "--queries" => f.queries = it.next()?.parse().ok()?,
+            "--input" => f.input = Some(it.next()?.clone()),
+            "--save" => f.save = Some(it.next()?.clone()),
+            "--parallel" => f.parallel = true,
+            _ => return None,
+        }
+    }
+    Some(f)
+}
+
+/// CLI slug of an application.
+pub fn slug(app: App) -> &'static str {
+    match app {
+        App::InvertedIndex => "inverted-index",
+        App::PageViewCount => "pvc",
+        App::DnaAssembly => "dna",
+        App::Netflix => "netflix",
+        App::WordCount => "wordcount",
+        App::PatentCitation => "patents",
+        App::GeoLocation => "geo",
+    }
+}
+
+/// Look an application up by slug.
+pub fn app_by_slug(s: &str) -> Option<App> {
+    App::ALL.into_iter().find(|a| slug(*a) == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let f = parse_flags(&[]).unwrap();
+        assert_eq!(f, Flags::default());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let f = parse_flags(&strs(&[
+            "--dataset",
+            "3",
+            "--scale",
+            "512",
+            "--heap",
+            "1048576",
+            "--queries",
+            "100",
+            "--input",
+            "a.log",
+            "--save",
+            "t.sepo",
+            "--parallel",
+        ]))
+        .unwrap();
+        assert_eq!(f.dataset, 3);
+        assert_eq!(f.scale, 512);
+        assert_eq!(f.heap, Some(1_048_576));
+        assert_eq!(f.queries, 100);
+        assert_eq!(f.input.as_deref(), Some("a.log"));
+        assert_eq!(f.save.as_deref(), Some("t.sepo"));
+        assert!(f.parallel);
+    }
+
+    #[test]
+    fn malformed_flags_rejected() {
+        assert!(parse_flags(&strs(&["--dataset", "0"])).is_none());
+        assert!(parse_flags(&strs(&["--dataset", "5"])).is_none());
+        assert!(parse_flags(&strs(&["--scale", "0"])).is_none());
+        assert!(parse_flags(&strs(&["--heap"])).is_none());
+        assert!(parse_flags(&strs(&["--frobnicate"])).is_none());
+        assert!(parse_flags(&strs(&["--heap", "not-a-number"])).is_none());
+    }
+
+    #[test]
+    fn slugs_round_trip_every_app() {
+        for app in App::ALL {
+            assert_eq!(app_by_slug(slug(app)), Some(app), "{}", app.name());
+        }
+        assert_eq!(app_by_slug("nonsense"), None);
+    }
+}

@@ -1,0 +1,6 @@
+//! `sepo` CLI internals (argument parsing), exposed as a library so the
+//! parser is unit-testable.
+
+pub mod args;
+
+pub use args::{app_by_slug, parse_flags, slug, Flags};

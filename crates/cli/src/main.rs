@@ -1,0 +1,282 @@
+//! `sepo` — command-line front end for the SEPO reproduction.
+//!
+//! ```text
+//! sepo apps                              list the seven applications
+//! sepo run <app> [options]               run one app GPU-vs-CPU, report
+//!   --dataset <1..4>                     Table I dataset index (default 1)
+//!   --scale <N>                          capacity/dataset divisor (default 256)
+//!   --heap <bytes>                       device heap override
+//!   --parallel                           parallel executor (default deterministic)
+//! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
+//!                                        lookup phase over it
+//! sepo query <image> <key>...            query a table saved with --save
+//! ```
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use sepo_apps::{run_app, AppConfig};
+use sepo_baselines::{run_cpu_app, run_phoenix};
+use sepo_bench::report::{fmt_bytes, fmt_speedup};
+use sepo_bench::{cpu_total_time, device_heap, gpu_total_time};
+use sepo_cli::{app_by_slug, parse_flags, slug, Flags};
+use sepo_datagen::App;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
+         [--heap BYTES] [--parallel] [--input FILE] [--save IMAGE]\n  \
+         sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
+         \napps: {}",
+        App::ALL
+            .iter()
+            .map(|a| slug(*a))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_apps() -> ExitCode {
+    println!("{:<16} {:<30} paper dataset sizes", "slug", "application");
+    for app in App::ALL {
+        let mb = app.table1_mb();
+        println!(
+            "{:<16} {:<30} {}",
+            slug(app),
+            app.name(),
+            mb.map(|m| format!("{:.1}GB", m as f64 / 1000.0))
+                .join(" / ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(app: App, f: Flags) -> ExitCode {
+    let spec = gpu_sim::SystemSpec::scaled(f.scale);
+    let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
+    println!(
+        "{} | dataset #{} at scale 1/{} | device heap {}",
+        app.name(),
+        f.dataset,
+        f.scale,
+        fmt_bytes(heap)
+    );
+    let ds = match &f.input {
+        Some(path) => {
+            // Real user data: one record per line.
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut ds = sepo_datagen::Dataset::new();
+            let mut start = 0usize;
+            for (i, &b) in bytes.iter().enumerate() {
+                if b == b'\n' {
+                    ds.push_record(&bytes[start..=i]);
+                    start = i + 1;
+                }
+            }
+            if start < bytes.len() {
+                ds.push_record(&bytes[start..]);
+            }
+            ds
+        }
+        None => app.generate(f.dataset - 1, f.scale),
+    };
+    println!(
+        "input: {} ({} records)",
+        fmt_bytes(ds.size_bytes()),
+        ds.len()
+    );
+
+    let mode = if f.parallel {
+        ExecMode::Parallel { workers: 0 }
+    } else {
+        ExecMode::Deterministic
+    };
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(mode, Arc::clone(&metrics));
+    let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
+    let hist = run.table.full_contention_histogram();
+    let gpu = gpu_total_time(&run.outcome, &hist, &spec);
+    let (pages, bytes) = run.table.host_footprint();
+
+    let stats = run.table.table_stats();
+    println!("\nGPU/SEPO run");
+    println!("  iterations        {}", gpu.iterations);
+    println!(
+        "  table (host side) {} in {} pages",
+        fmt_bytes(bytes),
+        pages
+    );
+    println!(
+        "  evicted to CPU    {}",
+        fmt_bytes(run.outcome.total_evicted_bytes())
+    );
+    println!("  sim time          {}", gpu.total);
+    println!(
+        "    kernels {} | transfers {} | contention {}",
+        gpu.kernel, gpu.transfers, gpu.contention
+    );
+    println!(
+        "  table shape       {} keys over {} buckets (load factor {:.2}, max chain {}, mean {:.2})",
+        stats.distinct_keys, stats.buckets, stats.load_factor, stats.max_chain, stats.mean_chain
+    );
+
+    let cpu = if App::MAPREDUCE.contains(&app) {
+        let p = run_phoenix(app, &ds);
+        cpu_total_time(&p.snapshot, &p.contention, &spec)
+    } else {
+        let b = run_cpu_app(app, &ds);
+        cpu_total_time(&b.snapshot, &b.contention, &spec)
+    };
+    println!("\nCPU baseline");
+    println!(
+        "  sim time          {} ({})",
+        cpu,
+        if App::MAPREDUCE.contains(&app) {
+            "Phoenix++-style"
+        } else {
+            "shared hash table, 8 threads"
+        }
+    );
+    println!(
+        "\nspeedup             {}",
+        fmt_speedup(cpu.ratio(gpu.total))
+    );
+
+    if let Some(path) = &f.save {
+        match std::fs::File::create(path) {
+            Ok(mut file) => match run.table.save(&mut file) {
+                Ok(()) => println!("table image saved to {path}"),
+                Err(e) => {
+                    eprintln!("cannot save table: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(path: &str, keys: &[String]) -> ExitCode {
+    use sepo_core::{HostIndex, Organization, SepoTable};
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match SepoTable::load(&mut file, 1 << 20, Arc::new(Metrics::new())) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load table image: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let idx = HostIndex::build(&table);
+    println!("loaded {path}: {} distinct keys", idx.len());
+    for key in keys {
+        match table.config().organization {
+            Organization::Combining(_) => match idx.get_combined(key.as_bytes()) {
+                Some(v) => println!("{key} = {v}"),
+                None => println!("{key} = <absent>"),
+            },
+            Organization::MultiValued => match idx.get_grouped(key.as_bytes()) {
+                Some(vs) => println!(
+                    "{key} = [{}]",
+                    vs.iter()
+                        .map(|v| String::from_utf8_lossy(v).into_owned())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                None => println!("{key} = <absent>"),
+            },
+            Organization::Basic => {
+                println!("{key}: basic tables have no keyed query; use collect_basic()")
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_lookup(f: Flags) -> ExitCode {
+    use sepo_datagen::{weblog, Rng, Zipf};
+    let spec = gpu_sim::SystemSpec::scaled(f.scale);
+    let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
+    let ds = App::PageViewCount.generate(1, f.scale);
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let run = sepo_apps::pvc::run(&ds, &AppConfig::new(heap), &exec);
+    let (_, table_bytes) = run.table.host_footprint();
+    println!(
+        "built PVC table: {} over a {} heap ({} iterations)",
+        fmt_bytes(table_bytes),
+        fmt_bytes(heap),
+        run.iterations()
+    );
+
+    let mut rng = Rng::new(7);
+    let universe = (ds.len() / 3).max(1);
+    let zipf = Zipf::new(universe, 0.9);
+    let owned: Vec<String> = (0..f.queries)
+        .map(|i| {
+            if i % 5 == 4 {
+                format!("http://absent.example.com/{i}")
+            } else {
+                weblog::url(zipf.sample(&mut rng))
+            }
+        })
+        .collect();
+    let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+    let out = run.table.lookup_phase(&exec, &queries);
+    println!(
+        "lookup phase: {} queries, {} rounds, {} paged through the device, {} hits",
+        queries.len(),
+        out.n_rounds(),
+        fmt_bytes(out.total_loaded_bytes()),
+        out.hits()
+    );
+    for r in &out.rounds {
+        println!(
+            "  round {}: {:>3} pages in, {:>7} pending, {:>7} completed",
+            r.round, r.pages_loaded, r.queries_attempted, r.queries_completed
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("apps") => cmd_apps(),
+        Some("run") => {
+            let Some(app) = args.get(1).and_then(|s| app_by_slug(s)) else {
+                return usage();
+            };
+            match parse_flags(&args[2..]) {
+                Some(f) => cmd_run(app, f),
+                None => usage(),
+            }
+        }
+        Some("lookup") => match parse_flags(&args[1..]) {
+            Some(f) => cmd_lookup(f),
+            None => usage(),
+        },
+        Some("query") => match args.get(1) {
+            Some(path) => cmd_query(path, &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

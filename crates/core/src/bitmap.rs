@@ -1,0 +1,177 @@
+//! The processed-record bitmap.
+//!
+//! "We keep track of whether the input records have been successfully
+//! processed or not in a bitmap that has one bit per input record"
+//! (§III-B). Kernel lanes set bits concurrently on SUCCESS; between
+//! iterations the driver scans for unset bits to build the next pending
+//! set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size concurrent bitmap, one bit per task.
+#[derive(Debug)]
+pub struct Bitmap {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Bitmap { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`. Idempotent; safe to call concurrently.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        let mut n: usize = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum();
+        // Bits past `len` can never be set (set() asserts), so no masking
+        // is needed, but be defensive in release builds:
+        if n > self.len {
+            n = self.len;
+        }
+        n
+    }
+
+    /// Indices of clear bits, ascending — the pending set for the next SEPO
+    /// iteration.
+    pub fn unset_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, word) in self.words.iter().enumerate() {
+            let mut inv = !word.load(Ordering::Relaxed);
+            // Mask off the tail beyond `len`.
+            if (wi + 1) * 64 > self.len {
+                let valid = self.len - wi * 64;
+                if valid < 64 {
+                    inv &= (1u64 << valid) - 1;
+                }
+            }
+            while inv != 0 {
+                let bit = inv.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                inv &= inv - 1;
+            }
+        }
+        out
+    }
+
+    /// Are all bits set?
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Clear every bit.
+    pub fn clear_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let b = Bitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65) && !b.get(128));
+        assert_eq!(b.count_set(), 3);
+    }
+
+    #[test]
+    fn unset_indices_enumerates_pending() {
+        let b = Bitmap::new(10);
+        for i in [0usize, 2, 4, 6, 8] {
+            b.set(i);
+        }
+        assert_eq!(b.unset_indices(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        let b = Bitmap::new(70);
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert!(b.all_set());
+        assert!(b.unset_indices().is_empty());
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert!(b.all_set());
+        assert!(b.unset_indices().is_empty());
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let b = Bitmap::new(100);
+        for i in 0..100 {
+            b.set(i);
+        }
+        b.clear_all();
+        assert_eq!(b.count_set(), 0);
+        assert_eq!(b.unset_indices().len(), 100);
+    }
+
+    #[test]
+    fn concurrent_sets_all_land() {
+        let b = Arc::new(Bitmap::new(8_000));
+        crossbeam::scope(|s| {
+            for t in 0..8usize {
+                let b = Arc::clone(&b);
+                s.spawn(move |_| {
+                    for i in (t..8_000).step_by(8) {
+                        b.set(i);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(b.all_set());
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let b = Bitmap::new(8);
+        b.set(3);
+        b.set(3);
+        assert_eq!(b.count_set(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Iteration boundaries: halting, eviction, and restart (§IV-C, Fig. 5).
+//!
+//! At the end of a SEPO iteration the driver calls [`SepoTable::end_iteration`],
+//! which applies the organization-specific policy:
+//!
+//! * **basic / combining** — copy the entire resident heap to CPU memory,
+//!   free every page back to the pool, and reset all bucket heads (all
+//!   resident entries left the device).
+//! * **multi-valued** — copy out all *value* pages and those *key* pages
+//!   with no pending keys; key pages holding keys that still have values to
+//!   insert stay resident so next iteration's appends find them. Before
+//!   copying, every key entry's `value_host_cont` is advanced to the host
+//!   link of its current value-chain head (whose nodes are all being
+//!   evicted), and the device-side head is cleared; afterwards the bucket
+//!   chains are rebuilt to contain exactly the kept key entries.
+//!
+//! [`SepoTable::finalize`] evicts everything that remains (kept pages
+//! included) once the run is complete, leaving the whole table addressable
+//! from CPU memory.
+//!
+//! These routines require quiescence — no kernels in flight — which the
+//! SEPO driver guarantees by running them between launches.
+
+use crate::config::Organization;
+use crate::entry::{self, key_entry};
+use crate::hash::bucket_of;
+use crate::table::SepoTable;
+use sepo_alloc::{DevHandle, HostLink, Link, PageKind};
+use std::sync::atomic::Ordering;
+
+/// What an eviction moved and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Pages copied to CPU memory and freed.
+    pub evicted_pages: usize,
+    /// Bytes copied over the (simulated) PCIe bus.
+    pub evicted_bytes: u64,
+    /// Key pages kept resident because they hold pending keys.
+    pub kept_pages: usize,
+    /// Bytes still resident on kept pages.
+    pub kept_bytes: u64,
+}
+
+impl EvictReport {
+    fn absorb(&mut self, other: EvictReport) {
+        self.evicted_pages += other.evicted_pages;
+        self.evicted_bytes += other.evicted_bytes;
+        self.kept_pages += other.kept_pages;
+        self.kept_bytes += other.kept_bytes;
+    }
+}
+
+impl SepoTable {
+    /// End-of-iteration eviction per the table's organization. Quiescent
+    /// callers only.
+    pub fn end_iteration(&self) -> EvictReport {
+        match self.cfg.organization {
+            Organization::Basic | Organization::Combining(_) => self.evict_all(),
+            Organization::MultiValued => self.evict_multivalued(false),
+        }
+    }
+
+    /// Evict everything that remains (kept pages included). Call once after
+    /// the last iteration; afterwards the result collectors see the full
+    /// table in the host heap.
+    pub fn finalize(&self) -> EvictReport {
+        match self.cfg.organization {
+            Organization::Basic | Organization::Combining(_) => self.evict_all(),
+            Organization::MultiValued => self.evict_multivalued(true),
+        }
+    }
+
+    /// Copy every resident page out and free it; clear all bucket heads.
+    fn evict_all(&self) -> EvictReport {
+        let mut report = EvictReport::default();
+        for p in self.heap.resident_pages() {
+            report.absorb(self.evict_page(p));
+        }
+        self.reset_heads();
+        self.groups.reset_iteration();
+        report
+    }
+
+    /// Copy one page to the host heap under its stamped identity and
+    /// release it.
+    fn evict_page(&self, p: u32) -> EvictReport {
+        let data = self.heap.page_data(p);
+        let bytes = data.len() as u64;
+        self.host
+            .store(self.heap.host_id(p), self.heap.page_kind(p), data);
+        self.heap.release_page(p);
+        EvictReport {
+            evicted_pages: 1,
+            evicted_bytes: bytes,
+            ..Default::default()
+        }
+    }
+
+    /// The multi-valued policy (Fig. 5b). `force` evicts kept pages too
+    /// (finalize).
+    fn evict_multivalued(&self, force: bool) -> EvictReport {
+        let mut report = EvictReport::default();
+        let resident = self.heap.resident_pages();
+        let key_pages: Vec<u32> = resident
+            .iter()
+            .copied()
+            .filter(|&p| self.heap.page_kind(p) == PageKind::Key)
+            .collect();
+        let value_pages: Vec<u32> = resident
+            .iter()
+            .copied()
+            .filter(|&p| self.heap.page_kind(p) == PageKind::Value)
+            .collect();
+
+        // 1. Advance every key entry's host continuation past the value
+        //    nodes that are about to leave the device, and clear its
+        //    device-side value head. Must happen before any page is copied
+        //    so the host images carry the final continuations.
+        for &p in &key_pages {
+            self.for_each_key_entry(p, |k| {
+                let head_raw = self.heap.read_u64(k, key_entry::VALUE_HEAD);
+                if head_raw != u64::MAX {
+                    let head = DevHandle::from_raw(head_raw);
+                    let cont = self.heap.link_for(head).host;
+                    self.heap
+                        .write_u64(k, key_entry::VALUE_HOST_CONT, cont.to_raw());
+                    self.heap.write_u64(k, key_entry::VALUE_HEAD, u64::MAX);
+                }
+                // Pending flags are per-iteration state.
+                self.heap.write_u64(k, key_entry::FLAGS, 0);
+            });
+        }
+
+        // 2. Value pages always leave.
+        for &p in &value_pages {
+            report.absorb(self.evict_page(p));
+        }
+
+        // 3. Key pages leave unless they hold pending keys (or we are
+        //    finalizing). Keeping is capped at `max_kept_fraction` of the
+        //    heap — beyond that, pages with the fewest pending keys are
+        //    evicted anyway (their keys reappear as mergeable duplicates) so
+        //    value allocation always has pages to draw from.
+        let max_kept = if force || self.cfg.max_kept_fraction <= 0.0 {
+            0
+        } else {
+            // At least one page may always be kept: tiny test heaps must
+            // still honour the paper's keep-pending-keys behaviour.
+            ((self.heap.total_pages() as f64 * self.cfg.max_kept_fraction).ceil() as usize).max(1)
+        };
+        let mut candidates: Vec<u32> = key_pages
+            .iter()
+            .copied()
+            .filter(|&p| !force && self.heap.pending_keys(p) > 0)
+            .collect();
+        candidates.sort_by_key(|&p| std::cmp::Reverse(self.heap.pending_keys(p)));
+        let kept: Vec<u32> = candidates.into_iter().take(max_kept).collect();
+        for &p in &key_pages {
+            if kept.contains(&p) {
+                self.heap.set_kept(p, true);
+                self.heap.clear_pending_keys(p);
+                report.kept_pages += 1;
+                report.kept_bytes += self.heap.page_used(p) as u64;
+            } else {
+                report.absorb(self.evict_page(p));
+            }
+        }
+
+        // 4. Rebuild bucket chains over exactly the kept key entries so next
+        //    iteration's lookups see them through resident links.
+        self.reset_heads();
+        for &p in &kept {
+            self.for_each_key_entry(p, |k| {
+                let key_off = DevHandle::new(k.page(), k.offset() + key_entry::KEY);
+                let klen = (self.heap.read_u64(k, key_entry::KLEN) & 0xFFFF_FFFF) as usize;
+                let key = self.heap.read(key_off, klen);
+                let bucket = bucket_of(key, self.cfg.n_buckets);
+                let old_raw = self.heads[bucket].load(Ordering::Relaxed);
+                let next = if old_raw == u64::MAX {
+                    Link::NULL
+                } else {
+                    self.heap.link_for(DevHandle::from_raw(old_raw))
+                };
+                self.heap.write_u64(k, entry::NEXT_DEV, next.dev.to_raw());
+                self.heap.write_u64(k, entry::NEXT_HOST, next.host.to_raw());
+                self.heads[bucket].store(k.to_raw(), Ordering::Relaxed);
+            });
+        }
+        self.groups.reset_iteration();
+        report
+    }
+
+    /// Walk the complete, non-tombstoned entries of resident key page `p`
+    /// (quiescent).
+    fn for_each_key_entry(&self, p: u32, mut f: impl FnMut(DevHandle)) {
+        let used = self.heap.page_used(p);
+        let mut off = 0usize;
+        while off + key_entry::HEADER <= used {
+            let k = DevHandle::new(p, off as u32);
+            let lens = self.heap.read_u64(k, key_entry::KLEN);
+            let klen = (lens & 0xFFFF_FFFF) as usize;
+            let size = key_entry::size(klen);
+            if off + size > used {
+                break;
+            }
+            if lens & entry::TOMBSTONE == 0 {
+                f(k);
+            }
+            off += size;
+        }
+    }
+
+    fn reset_heads(&self) {
+        for h in self.heads.iter() {
+            h.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Host link of the current head entry of `bucket`, if resident —
+    /// used by tests and by result assembly sanity checks.
+    pub fn resident_head_host(&self, bucket: usize) -> Option<HostLink> {
+        let raw = self.heads[bucket].load(Ordering::Acquire);
+        if raw == u64::MAX {
+            return None;
+        }
+        Some(self.heap.link_for(DevHandle::from_raw(raw)).host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, Organization, TableConfig};
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn table(org: Organization, pages: usize) -> SepoTable {
+        let cfg = TableConfig::new(org)
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (pages * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn evict_all_frees_heap_and_resets_heads() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut c = NoCharge;
+        for i in 0..20 {
+            assert!(t
+                .insert_combining(format!("k{i}").as_bytes(), 1, &mut c)
+                .is_success());
+        }
+        let before_free = t.heap().free_pages();
+        let report = t.end_iteration();
+        assert!(report.evicted_pages > 0);
+        assert!(report.evicted_bytes > 0);
+        assert_eq!(report.kept_pages, 0);
+        assert_eq!(t.heap().free_pages(), t.heap().total_pages());
+        assert!(t.heap().free_pages() > before_free);
+        // Heads reset: previously-stored keys are no longer resident.
+        assert_eq!(t.lookup_combining(b"k0", &mut c), None);
+        // Host heap now holds the evicted pages.
+        assert_eq!(t.host_heap().len(), report.evicted_pages);
+    }
+
+    #[test]
+    fn combining_insert_after_eviction_starts_fresh_entry() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut c = NoCharge;
+        t.insert_combining(b"url", 3, &mut c);
+        t.end_iteration();
+        // Same key re-inserted post-eviction gets a fresh resident entry.
+        assert!(t.insert_combining(b"url", 4, &mut c).is_success());
+        assert_eq!(t.lookup_combining(b"url", &mut c), Some(4));
+    }
+
+    #[test]
+    fn multivalued_eviction_keeps_pending_key_pages() {
+        let t = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        assert!(t.insert_multivalued(b"key", b"v0", &mut c).is_success());
+        // Exhaust value space to force a pending mark.
+        let mut pending = false;
+        for i in 0..60 {
+            let v = format!("value-{i:03}-padding-padding");
+            if !t
+                .insert_multivalued(b"key", v.as_bytes(), &mut c)
+                .is_success()
+            {
+                pending = true;
+                break;
+            }
+        }
+        assert!(pending);
+        let report = t.end_iteration();
+        assert_eq!(report.kept_pages, 1, "pending key page must stay");
+        assert!(report.evicted_pages >= 1, "value page must leave");
+        // The key is still resident and appendable next iteration.
+        assert!(t.insert_multivalued(b"key", b"v-next", &mut c).is_success());
+    }
+
+    #[test]
+    fn multivalued_eviction_releases_non_pending_key_pages() {
+        let t = table(Organization::MultiValued, 8);
+        let mut c = NoCharge;
+        for i in 0..5 {
+            assert!(t
+                .insert_multivalued(format!("key-{i}").as_bytes(), b"v", &mut c)
+                .is_success());
+        }
+        let report = t.end_iteration();
+        assert_eq!(report.kept_pages, 0);
+        assert_eq!(t.heap().free_pages(), t.heap().total_pages());
+    }
+
+    #[test]
+    fn finalize_evicts_kept_pages_too() {
+        let t = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        t.insert_multivalued(b"key", b"v0", &mut c);
+        for i in 0..60 {
+            let v = format!("value-{i:03}-padding-padding");
+            if !t
+                .insert_multivalued(b"key", v.as_bytes(), &mut c)
+                .is_success()
+            {
+                break;
+            }
+        }
+        t.end_iteration();
+        assert!(t.heap().free_pages() < t.heap().total_pages());
+        let report = t.finalize();
+        assert!(report.evicted_pages >= 1);
+        assert_eq!(t.heap().free_pages(), t.heap().total_pages());
+    }
+
+    #[test]
+    fn kept_keys_remain_findable_across_iterations() {
+        let t = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        t.insert_multivalued(b"sticky", b"v0", &mut c);
+        for i in 0..60 {
+            let v = format!("value-{i:03}-padding-padding");
+            if !t
+                .insert_multivalued(b"sticky", v.as_bytes(), &mut c)
+                .is_success()
+            {
+                break;
+            }
+        }
+        t.end_iteration();
+        // Next iteration: the key must be found (no duplicate key entry).
+        assert!(t.insert_multivalued(b"sticky", b"v1", &mut c).is_success());
+        let key_pages: Vec<u32> = t
+            .heap()
+            .resident_pages()
+            .into_iter()
+            .filter(|&p| t.heap().page_kind(p) == PageKind::Key)
+            .collect();
+        let n_keys: usize = key_pages
+            .iter()
+            .map(|&p| entry::PageWalker::new(&t.heap().page_data(p), entry::EntryKind::Key).count())
+            .sum();
+        assert_eq!(n_keys, 1, "exactly one key entry for the sticky key");
+    }
+}

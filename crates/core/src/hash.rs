@@ -1,0 +1,87 @@
+//! Key hashing.
+//!
+//! FNV-1a over the key bytes. The table needs a fast, decent-dispersion
+//! hash for variable-length byte keys; FNV-1a is what GPU hash-table
+//! implementations of the paper's era commonly used, is trivially portable
+//! to a kernel, and is deterministic across runs — a requirement for the
+//! reproducible postponement behaviour the harness reports.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of `key`.
+#[inline]
+pub fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Finalizing mixer (splitmix64 finalizer). FNV-1a concentrates its
+/// avalanche in the low bits; the multiply-shift bucket reduction below
+/// consumes the *high* bits, so run the hash through a full-avalanche
+/// finalizer first.
+#[inline]
+pub fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Bucket index for `key` in a table of `n_buckets`.
+#[inline]
+pub fn bucket_of(key: &[u8], n_buckets: usize) -> usize {
+    debug_assert!(n_buckets > 0);
+    // Multiply-shift reduction avoids the modulo bias and division cost.
+    ((mix(fnv1a(key)) as u128 * n_buckets as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(fnv1a(b"http://example.com"), fnv1a(b"http://example.com"));
+        assert_ne!(fnv1a(b"http://example.com"), fnv1a(b"http://example.org"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn bucket_of_stays_in_range() {
+        for n in [1usize, 2, 3, 7, 1024, 1_000_003] {
+            for k in 0..200u32 {
+                let b = bucket_of(&k.to_le_bytes(), n);
+                assert!(b < n, "bucket {b} out of range for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_disperse_reasonably() {
+        // 10k distinct keys over 64 buckets: no bucket should exceed 4x the
+        // expected share — a loose sanity bound on dispersion.
+        let n = 64usize;
+        let mut counts = vec![0u32; n];
+        for i in 0..10_000u32 {
+            counts[bucket_of(format!("key-{i}").as_bytes(), n)] += 1;
+        }
+        let expected = 10_000 / n as u32;
+        assert!(counts.iter().all(|&c| c < expected * 4));
+        assert!(counts.iter().all(|&c| c > expected / 4));
+    }
+}

@@ -1,0 +1,229 @@
+//! CPU-side access to the finalized table.
+//!
+//! The dual-pointer scheme exists so that "the hash table \[is\] eventually
+//! accessible from both CPU and GPU sides" (§III-B). [`HostIndex`] is the
+//! CPU side of that promise: built once over the host heap after
+//! `finalize()`, it serves point lookups and grouped lookups directly from
+//! the evicted pages — the access path a CPU post-processing phase (the
+//! paper's "subsequent phases \[that\] use/analyze the results", §IV-C)
+//! would use, without paging anything back to the device.
+//!
+//! The index maps each key's hash to the host links of its entries;
+//! duplicate entries from different SEPO iterations (see
+//! [`results`](crate::results)) are resolved at query time the same way
+//! the collectors resolve them: combining values merge through the
+//! table's combiner, multi-valued chains concatenate.
+
+use crate::config::Organization;
+use crate::entry::{EntryKind, PageWalker, ParsedEntry};
+use crate::table::SepoTable;
+use sepo_alloc::{HostLink, PageKind};
+use std::collections::HashMap;
+
+/// An immutable CPU-side index over a finalized table.
+pub struct HostIndex<'t> {
+    table: &'t SepoTable,
+    /// key bytes → host links of every entry stored under that key.
+    entries: HashMap<Vec<u8>, Vec<HostLink>>,
+}
+
+impl<'t> HostIndex<'t> {
+    /// Build the index by walking the host pages once. Panics if the table
+    /// is not finalized.
+    pub fn build(table: &'t SepoTable) -> Self {
+        assert_eq!(
+            table.heap().free_pages(),
+            table.heap().total_pages(),
+            "HostIndex requires finalize(): resident pages would be missed"
+        );
+        let kind = match table.config().organization {
+            Organization::MultiValued => EntryKind::Key,
+            Organization::Basic => EntryKind::Basic,
+            Organization::Combining(_) => EntryKind::Combining,
+        };
+        let page_kind = match kind {
+            EntryKind::Key => PageKind::Key,
+            _ => PageKind::Mixed,
+        };
+        let mut entries: HashMap<Vec<u8>, Vec<HostLink>> = HashMap::new();
+        for (host_id, pk, page) in table.host_heap().pages_in_order() {
+            if pk != page_kind {
+                continue;
+            }
+            for (off, entry) in PageWalker::new(&page, kind) {
+                let key = match entry {
+                    ParsedEntry::Combining { key, .. } => key,
+                    ParsedEntry::Basic { key, .. } => key,
+                    ParsedEntry::Key { key, .. } => key,
+                    ParsedEntry::Value { .. } => continue,
+                };
+                entries
+                    .entry(key.to_vec())
+                    .or_default()
+                    .push(HostLink::new(host_id, off as u32));
+            }
+        }
+        HostIndex { table, entries }
+    }
+
+    /// Distinct keys in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Combined value of `key` (combining tables): partial aggregates from
+    /// different iterations merge through the table's combiner.
+    pub fn get_combined(&self, key: &[u8]) -> Option<u64> {
+        let comb = match self.table.config().organization {
+            Organization::Combining(c) => c,
+            _ => panic!("get_combined on a non-combining table"),
+        };
+        let links = self.entries.get(key)?;
+        let mut acc: Option<u64> = None;
+        for link in links {
+            let v = self
+                .table
+                .host_heap()
+                .read_u64(*link, crate::entry::combining::VALUE)
+                .expect("indexed link must resolve");
+            acc = Some(match acc {
+                None => v,
+                Some(a) => comb.apply(a, v),
+            });
+        }
+        acc
+    }
+
+    /// All values grouped under `key` (multi-valued tables), newest first
+    /// within each originating iteration.
+    pub fn get_grouped(&self, key: &[u8]) -> Option<Vec<Vec<u8>>> {
+        assert!(
+            matches!(self.table.config().organization, Organization::MultiValued),
+            "get_grouped on a non-multi-valued table"
+        );
+        let links = self.entries.get(key)?;
+        let mut values = Vec::new();
+        for link in links {
+            let cont = self
+                .table
+                .host_heap()
+                .read_u64(*link, crate::entry::key_entry::VALUE_HOST_CONT)
+                .expect("indexed link must resolve");
+            values.extend(self.table.host_values_from(HostLink::from_raw(cont)));
+        }
+        Some(values)
+    }
+
+    /// Does the table contain `key`?
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterate all keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &[u8]> {
+        self.entries.keys().map(|k| k.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, TableConfig};
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn pressured_combining(n: usize) -> SepoTable {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 3 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        let mut pending: Vec<usize> = (0..n).flat_map(|i| [i, i]).collect(); // 2 hits each
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|&i| {
+                !t.insert_combining(format!("key-{i:04}").as_bytes(), 1, &mut ch)
+                    .is_success()
+            });
+            t.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        t.finalize();
+        t
+    }
+
+    #[test]
+    fn combined_lookups_match_collectors() {
+        let t = pressured_combining(200);
+        let idx = HostIndex::build(&t);
+        assert_eq!(idx.len(), 200);
+        let collected: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        for (k, v) in &collected {
+            assert_eq!(idx.get_combined(k), Some(*v));
+            assert!(idx.contains(k));
+        }
+        assert_eq!(idx.get_combined(b"absent"), None);
+        assert!(!idx.contains(b"absent"));
+    }
+
+    #[test]
+    fn grouped_lookups_match_collectors() {
+        let cfg = TableConfig::new(Organization::MultiValued)
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        let mut pending: Vec<(String, String)> = (0..150)
+            .map(|i| (format!("key-{:02}", i % 25), format!("val-{i:04}")))
+            .collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|(k, v)| {
+                !t.insert_multivalued(k.as_bytes(), v.as_bytes(), &mut ch)
+                    .is_success()
+            });
+            t.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        t.finalize();
+        let idx = HostIndex::build(&t);
+        for (k, vs) in t.collect_multivalued() {
+            let mut got = idx.get_grouped(&k).unwrap();
+            let mut want = vs;
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+        assert_eq!(idx.get_grouped(b"absent"), None);
+    }
+
+    #[test]
+    fn keys_iterates_everything() {
+        let t = pressured_combining(50);
+        let idx = HostIndex::build(&t);
+        assert_eq!(idx.keys().count(), 50);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn rejects_unfinalized() {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(16)
+            .with_buckets_per_group(4)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 2 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        t.insert_combining(b"k", 1, &mut ch);
+        let _ = HostIndex::build(&t);
+    }
+}

@@ -1,0 +1,340 @@
+//! SEPO lookups on a larger-than-memory table — the paper's "mental
+//! exercise" (§IV-C), carried out.
+//!
+//! "The SEPO model can also be used for *lookup* operations on
+//! larger-than-memory hash tables when subsequent phases use/analyze the
+//! results … Under our SEPO model of computation, a larger-than-memory
+//! hash table will postpone certain operations (i.e., insert or lookup) if
+//! they attempt to access non-resident portions of the hash table. Such
+//! operations are postponed until the requested portions become resident"
+//! (§IV-C, §VIII).
+//!
+//! Where the insert phase iterates over the *input*, the lookup phase
+//! iterates over the *table*: the host-resident pages are streamed back to
+//! the device in batches that fit the heap; each round launches a kernel
+//! over the still-pending queries, which complete when their key is found
+//! in the resident segment and postpone otherwise. A query that survives
+//! every segment is definitively absent. Keys seen once complete
+//! immediately; with Zipf-skewed queries most of the work finishes in the
+//! first rounds — the same graceful-degradation economics as the insert
+//! side.
+
+use crate::bitmap::Bitmap;
+use crate::config::Organization;
+use crate::entry::{combining, EntryKind, PageWalker};
+use crate::hash::bucket_of;
+use crate::table::SepoTable;
+use gpu_sim::charge::Charge;
+use gpu_sim::executor::Executor;
+use gpu_sim::metrics::Snapshot;
+use sepo_alloc::{DevHandle, Link, PageKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-round accounting of a lookup phase.
+#[derive(Debug, Clone)]
+pub struct LookupRound {
+    /// 1-based round number.
+    pub round: u32,
+    /// Host pages loaded onto the device this round.
+    pub pages_loaded: usize,
+    /// Bytes streamed host → device this round (bulk PCIe).
+    pub loaded_bytes: u64,
+    /// Queries attempted this round.
+    pub queries_attempted: u64,
+    /// Queries that found their key this round.
+    pub queries_completed: u64,
+    /// Kernel metrics delta for this round.
+    pub kernel: Snapshot,
+}
+
+/// Outcome of a lookup phase.
+#[derive(Debug)]
+pub struct LookupOutcome {
+    /// Per-round accounting.
+    pub rounds: Vec<LookupRound>,
+    /// Per-query results, in query order (`None` = key absent).
+    pub results: Vec<Option<u64>>,
+}
+
+impl LookupOutcome {
+    pub fn n_rounds(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// Total bytes streamed back to the device over the phase.
+    pub fn total_loaded_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.loaded_bytes).sum()
+    }
+
+    /// Queries that found their key.
+    pub fn hits(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Result slot encoding: bit 63 = found, low bits = value (values are
+/// restricted to 63 bits during the lookup phase).
+const FOUND: u64 = 1 << 63;
+
+impl SepoTable {
+    /// Run a SEPO lookup phase over `queries` against this *finalized*
+    /// combining table. The device heap (empty after `finalize`) is used as
+    /// the staging area for table segments.
+    ///
+    /// Panics if the table is not finalized or not a combining table, or if
+    /// any stored value uses bit 63.
+    pub fn lookup_phase(&self, executor: &Executor, queries: &[&[u8]]) -> LookupOutcome {
+        assert!(
+            matches!(self.cfg.organization, Organization::Combining(_)),
+            "lookup_phase supports the combining organization"
+        );
+        assert_eq!(
+            self.heap.free_pages(),
+            self.heap.total_pages(),
+            "lookup_phase requires a finalized table (device heap empty)"
+        );
+
+        let pending = Bitmap::new(queries.len());
+        let results: Box<[AtomicU64]> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
+        let host_pages: Vec<(u64, Vec<u8>)> = self
+            .host
+            .pages_in_order()
+            .into_iter()
+            .filter(|(_, kind, _)| *kind == PageKind::Mixed)
+            .map(|(id, _, data)| (id, data.to_vec()))
+            .collect();
+
+        let mut rounds = Vec::new();
+        let mut cursor = 0usize;
+        let mut pending_queries: Vec<u32> = (0..queries.len() as u32).collect();
+
+        while cursor < host_pages.len() && !pending_queries.is_empty() {
+            let round_no = rounds.len() as u32 + 1;
+            // 1. Page in as many table segments as the heap holds.
+            let mut loaded = Vec::new();
+            let mut loaded_bytes = 0u64;
+            while cursor < host_pages.len() {
+                let (_, data) = &host_pages[cursor];
+                match self.heap.load_page_image(data, PageKind::Mixed) {
+                    Some(p) => {
+                        loaded.push(p);
+                        loaded_bytes += data.len() as u64;
+                        cursor += 1;
+                    }
+                    None => break, // heap full: this round's segment is set
+                }
+            }
+            assert!(
+                !loaded.is_empty(),
+                "device heap cannot hold a single table page"
+            );
+            self.heap.metrics().add_pcie_bulk_transfers(1);
+            self.heap.metrics().add_pcie_bulk_bytes(loaded_bytes);
+
+            // 2. Rebuild bucket chains over the loaded entries (their
+            //    embedded links referred to the *original* device layout).
+            self.rebuild_chains_over(&loaded);
+
+            // 3. One kernel over the pending queries.
+            let before = self.metrics().snapshot();
+            let attempted = pending_queries.len() as u64;
+            executor.launch(pending_queries.len(), |lane| {
+                let q = pending_queries[lane.task()] as usize;
+                let key = queries[q];
+                lane.compute(40 + key.len() as u64);
+                if let Some(v) = self.lookup_combining(key, lane) {
+                    assert_eq!(v & FOUND, 0, "values must fit in 63 bits for lookup_phase");
+                    results[q].store(v | FOUND, Ordering::Relaxed);
+                    pending.set(q);
+                }
+            });
+            let kernel = self.metrics().snapshot().delta(&before);
+
+            // 4. Unload the segment.
+            for p in loaded.iter() {
+                self.heap.release_page(*p);
+            }
+            self.reset_heads_for_lookup();
+
+            let next_pending: Vec<u32> = pending_queries
+                .iter()
+                .copied()
+                .filter(|&q| !pending.get(q as usize))
+                .collect();
+            rounds.push(LookupRound {
+                round: round_no,
+                pages_loaded: loaded.len(),
+                loaded_bytes,
+                queries_attempted: attempted,
+                queries_completed: attempted - next_pending.len() as u64,
+                kernel,
+            });
+            pending_queries = next_pending;
+        }
+
+        let results = results
+            .iter()
+            .map(|r| {
+                let v = r.load(Ordering::Relaxed);
+                (v & FOUND != 0).then_some(v & !FOUND)
+            })
+            .collect();
+        LookupOutcome { rounds, results }
+    }
+
+    /// Prepend every (non-tombstoned) combining entry of the loaded pages
+    /// into the bucket chains, rewriting the copies' link words.
+    fn rebuild_chains_over(&self, pages: &[u32]) {
+        for &p in pages {
+            let data = self.heap.page_data(p);
+            for (off, entry) in PageWalker::new(&data, EntryKind::Combining) {
+                let crate::entry::ParsedEntry::Combining { key, .. } = entry else {
+                    continue;
+                };
+                let bucket = bucket_of(key, self.cfg.n_buckets);
+                let e = DevHandle::new(p, off as u32);
+                let old_raw = self.heads[bucket].load(Ordering::Relaxed);
+                let next = if old_raw == u64::MAX {
+                    Link::NULL
+                } else {
+                    self.heap.link_for(DevHandle::from_raw(old_raw))
+                };
+                self.heap
+                    .write_u64(e, crate::entry::NEXT_DEV, next.dev.to_raw());
+                self.heap
+                    .write_u64(e, crate::entry::NEXT_HOST, next.host.to_raw());
+                self.heads[bucket].store(e.to_raw(), Ordering::Relaxed);
+            }
+        }
+        // The rewritten key bytes/values are untouched; combining::KLEN and
+        // VALUE offsets still hold, so lookup_combining works as-is.
+        let _ = combining::KLEN;
+    }
+
+    fn reset_heads_for_lookup(&self) {
+        for h in self.heads.iter() {
+            h.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, TableConfig};
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::executor::ExecMode;
+    use gpu_sim::metrics::Metrics;
+    use std::sync::Arc;
+
+    /// Build a finalized combining table with `n` keys, forcing several
+    /// insert-side SEPO iterations through a tiny heap.
+    fn populated(n: usize, pages: usize) -> SepoTable {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(128)
+            .with_buckets_per_group(32)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, (pages * 1024) as u64, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|&i| {
+                !t.insert_combining(format!("key-{i:05}").as_bytes(), i as u64 + 1, &mut ch)
+                    .is_success()
+            });
+            t.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        t.finalize();
+        t
+    }
+
+    fn exec(t: &SepoTable) -> Executor {
+        Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+    }
+
+    #[test]
+    fn finds_every_key_across_segments() {
+        let t = populated(300, 4); // table spans several 4-page segments
+        let e = exec(&t);
+        let owned: Vec<String> = (0..300).map(|i| format!("key-{i:05}")).collect();
+        let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+        let out = t.lookup_phase(&e, &queries);
+        assert!(out.n_rounds() > 1, "table must span multiple segments");
+        assert_eq!(out.hits(), 300);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, Some(i as u64 + 1), "wrong value for key {i}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_resolve_to_none_after_full_scan() {
+        let t = populated(100, 4);
+        let e = exec(&t);
+        let owned: Vec<String> = (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("key-{i:05}")
+                } else {
+                    format!("missing-{i:05}")
+                }
+            })
+            .collect();
+        let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+        let out = t.lookup_phase(&e, &queries);
+        for (i, r) in out.results.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(r.is_some(), "present key {i} not found");
+            } else {
+                assert_eq!(*r, None, "phantom hit for missing key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pending_queries_shrink_each_round() {
+        let t = populated(400, 4);
+        let e = exec(&t);
+        let owned: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+        let out = t.lookup_phase(&e, &queries);
+        for w in out.rounds.windows(2) {
+            assert!(w[1].queries_attempted < w[0].queries_attempted);
+        }
+        // Loaded bytes equal the table's host footprint (each page visits
+        // the device exactly once).
+        let (_, table_bytes) = t.host_footprint();
+        assert_eq!(out.total_loaded_bytes(), table_bytes);
+    }
+
+    #[test]
+    fn lookup_leaves_the_table_reusable() {
+        let t = populated(100, 4);
+        let e = exec(&t);
+        let owned: Vec<String> = (0..100).map(|i| format!("key-{i:05}")).collect();
+        let queries: Vec<&[u8]> = owned.iter().map(|s| s.as_bytes()).collect();
+        let _ = t.lookup_phase(&e, &queries);
+        // Heap is free again and the host store still collects correctly.
+        assert_eq!(t.heap().free_pages(), t.heap().total_pages());
+        assert_eq!(t.collect_combining().len(), 100);
+        // A second lookup phase works identically.
+        let again = t.lookup_phase(&e, &queries);
+        assert_eq!(again.hits(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized")]
+    fn rejects_unfinalized_tables() {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(32)
+            .with_buckets_per_group(8)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        t.insert_combining(b"k", 1, &mut ch);
+        let e = exec(&t);
+        let _ = t.lookup_phase(&e, &[b"k"]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Saving and restoring finalized tables.
+//!
+//! The host heap — the CPU-side image of the whole table — is
+//! self-describing, so a finalized table can be written to disk and
+//! restored later for host-side queries ([`crate::hostquery::HostIndex`]),
+//! device-side lookup phases ([`crate::lookup`]), or even further insert
+//! iterations (restored heaps continue the host-id sequence so dual
+//! pointers never collide).
+//!
+//! Format (`SEPOHST1`, little-endian):
+//!
+//! ```text
+//! magic       8 bytes  "SEPOHST1"
+//! org         1 byte   0 basic | 1 multi-valued | 2..=5 combining Add/Or/Min/Max
+//! page count  u32
+//! per page:   host_id u64, kind u8 (1 mixed | 2 key | 3 value), len u32, bytes
+//! ```
+//!
+//! Custom combiners carry function pointers and cannot be serialized;
+//! saving such a table is an error.
+
+use crate::config::{Combiner, Organization, TableConfig};
+use crate::table::SepoTable;
+use gpu_sim::metrics::Metrics;
+use sepo_alloc::{HostHeap, PageKind};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"SEPOHST1";
+
+fn org_tag(org: Organization) -> io::Result<u8> {
+    Ok(match org {
+        Organization::Basic => 0,
+        Organization::MultiValued => 1,
+        Organization::Combining(Combiner::Add) => 2,
+        Organization::Combining(Combiner::Or) => 3,
+        Organization::Combining(Combiner::Min) => 4,
+        Organization::Combining(Combiner::Max) => 5,
+        Organization::Combining(Combiner::Custom(_)) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "custom combiners cannot be serialized",
+            ))
+        }
+    })
+}
+
+fn org_from_tag(tag: u8) -> io::Result<Organization> {
+    Ok(match tag {
+        0 => Organization::Basic,
+        1 => Organization::MultiValued,
+        2 => Organization::Combining(Combiner::Add),
+        3 => Organization::Combining(Combiner::Or),
+        4 => Organization::Combining(Combiner::Min),
+        5 => Organization::Combining(Combiner::Max),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown organization tag {other}"),
+            ))
+        }
+    })
+}
+
+fn kind_tag(kind: PageKind) -> u8 {
+    match kind {
+        PageKind::Free => 0,
+        PageKind::Mixed => 1,
+        PageKind::Key => 2,
+        PageKind::Value => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> io::Result<PageKind> {
+    Ok(match tag {
+        1 => PageKind::Mixed,
+        2 => PageKind::Key,
+        3 => PageKind::Value,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown page kind tag {other}"),
+            ))
+        }
+    })
+}
+
+impl SepoTable {
+    /// Write this *finalized* table's host image to `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        assert_eq!(
+            self.heap().free_pages(),
+            self.heap().total_pages(),
+            "save requires finalize(): resident pages would be lost"
+        );
+        w.write_all(MAGIC)?;
+        w.write_all(&[org_tag(self.config().organization)?])?;
+        let pages = self.host_heap().pages_in_order();
+        w.write_all(&(pages.len() as u32).to_le_bytes())?;
+        for (id, kind, data) in pages {
+            w.write_all(&id.to_le_bytes())?;
+            w.write_all(&[kind_tag(kind)])?;
+            w.write_all(&(data.len() as u32).to_le_bytes())?;
+            w.write_all(&data)?;
+        }
+        Ok(())
+    }
+
+    /// Restore a table from a saved image. The returned table has an empty
+    /// device heap of `heap_bytes` (shaped by a tuned config for the saved
+    /// organization) and the full host image; its host-id sequence resumes
+    /// past every stored id, so further SEPO insert iterations are safe.
+    pub fn load<R: Read>(r: &mut R, heap_bytes: u64, metrics: Arc<Metrics>) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a SEPOHST1 image",
+            ));
+        }
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let organization = org_from_tag(tag[0])?;
+        let mut n = [0u8; 4];
+        r.read_exact(&mut n)?;
+        let n_pages = u32::from_le_bytes(n);
+
+        let cfg = TableConfig::tuned(organization, heap_bytes);
+        let table = SepoTable::new(cfg, heap_bytes, metrics);
+        let host = HostHeap::new();
+        let mut max_id = 0u64;
+        for _ in 0..n_pages {
+            let mut id = [0u8; 8];
+            r.read_exact(&mut id)?;
+            let id = u64::from_le_bytes(id);
+            let mut k = [0u8; 1];
+            r.read_exact(&mut k)?;
+            let kind = kind_from_tag(k[0])?;
+            let mut len = [0u8; 4];
+            r.read_exact(&mut len)?;
+            let len = u32::from_le_bytes(len) as usize;
+            let mut data = vec![0u8; len];
+            r.read_exact(&mut data)?;
+            host.store(id, kind, data);
+            max_id = max_id.max(id);
+        }
+        table.adopt_host_heap(host, max_id + 1);
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostquery::HostIndex;
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::executor::{ExecMode, Executor};
+    use std::collections::HashMap;
+
+    fn build(n: usize) -> SepoTable {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|&i| {
+                !t.insert_combining(format!("key-{i:04}").as_bytes(), i as u64, &mut ch)
+                    .is_success()
+            });
+            t.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        t.finalize();
+        t
+    }
+
+    #[test]
+    fn save_load_round_trips_results() {
+        let t = build(300);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let restored =
+            SepoTable::load(&mut buf.as_slice(), 4 * 1024, Arc::new(Metrics::new())).unwrap();
+        let a: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        let b: HashMap<Vec<u8>, u64> = restored.collect_combining().into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restored_tables_serve_host_queries_and_lookups() {
+        let t = build(200);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let restored =
+            SepoTable::load(&mut buf.as_slice(), 8 * 1024, Arc::new(Metrics::new())).unwrap();
+        let idx = HostIndex::build(&restored);
+        assert_eq!(idx.get_combined(b"key-0007"), Some(7));
+        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(restored.metrics()));
+        let out = restored.lookup_phase(&exec, &[b"key-0003", b"missing"]);
+        assert_eq!(out.results, vec![Some(3), None]);
+    }
+
+    #[test]
+    fn restored_tables_accept_further_inserts_without_id_collisions() {
+        let t = build(150);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let restored =
+            SepoTable::load(&mut buf.as_slice(), 4 * 1024, Arc::new(Metrics::new())).unwrap();
+        // Insert a second wave under memory pressure; eviction must not
+        // overwrite any stored page (ids resume past the saved maximum).
+        let mut ch = NoCharge;
+        let mut pending: Vec<usize> = (1000..1200).collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|&i| {
+                !restored
+                    .insert_combining(format!("key-{i:04}").as_bytes(), 1, &mut ch)
+                    .is_success()
+            });
+            restored.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        restored.finalize();
+        let got: HashMap<Vec<u8>, u64> = restored.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 350, "old and new keys must coexist");
+        assert_eq!(got[&b"key-0005".to_vec()], 5);
+        assert_eq!(got[&b"key-1005".to_vec()], 1);
+    }
+
+    #[test]
+    fn garbage_input_is_rejected_cleanly() {
+        let err = SepoTable::load(
+            &mut &b"not a table image"[..],
+            4 * 1024,
+            Arc::new(Metrics::new()),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated image.
+        let t = build(20);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(SepoTable::load(&mut buf.as_slice(), 4 * 1024, Arc::new(Metrics::new())).is_err());
+    }
+
+    #[test]
+    fn custom_combiners_refuse_to_serialize() {
+        fn f(a: u64, _b: u64) -> u64 {
+            a
+        }
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Custom(f)))
+            .with_buckets(16)
+            .with_buckets_per_group(4)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 2 * 1024, Arc::new(Metrics::new()));
+        t.finalize();
+        let mut buf = Vec::new();
+        assert!(t.save(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Final result enumeration from the CPU-side store.
+//!
+//! After [`SepoTable::finalize`](crate::table::SepoTable::finalize) the
+//! whole table lives in the host heap. Entries are self-describing, so
+//! basic and combining results are enumerated by *walking pages* front to
+//! back — no chain traversal and no extra index, matching how the paper's
+//! applications consume the copied-back heap. Multi-valued results walk key
+//! pages and then follow each key's host-linked value chain, which remains
+//! intact across evictions thanks to the dual-pointer scheme.
+
+use crate::config::Organization;
+use crate::entry::{EntryKind, PageWalker, ParsedEntry};
+use crate::table::SepoTable;
+use sepo_alloc::{HostLink, PageKind};
+use std::collections::HashMap;
+
+/// Owned multi-valued result: a key with every value inserted for it.
+pub type GroupedPair = (Vec<u8>, Vec<Vec<u8>>);
+
+impl SepoTable {
+    /// Collect `(key, combined value)` pairs of a combining table, in
+    /// first-eviction order.
+    ///
+    /// Within one SEPO iteration a key has exactly one entry (once a bucket
+    /// group's allocation fails it keeps failing until the iteration ends,
+    /// so all of a key's same-iteration inserts combine into the entry that
+    /// won the allocation). Across iterations a key *can* reappear when a
+    /// multi-pair task had later occurrences of the key that were never
+    /// attempted before the entry was evicted; because combiners are
+    /// commutative and associative, those partial aggregates are merged
+    /// here, on the CPU, exactly.
+    ///
+    /// Requires `finalize()`; panics if pages are still resident (that
+    /// would silently drop data).
+    pub fn collect_combining(&self) -> Vec<(Vec<u8>, u64)> {
+        self.assert_finalized();
+        let comb = match self.cfg.organization {
+            Organization::Combining(c) => c,
+            _ => panic!(
+                "collect_combining on a {} table",
+                self.cfg.organization.label()
+            ),
+        };
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut out: Vec<(Vec<u8>, u64)> = Vec::new();
+        for (_, kind, page) in self.host.pages_in_order() {
+            if kind != PageKind::Mixed {
+                continue;
+            }
+            for (_, e) in PageWalker::new(&page, EntryKind::Combining) {
+                if let ParsedEntry::Combining { key, value } = e {
+                    match index.get(key) {
+                        Some(&i) => out[i].1 = comb.apply(out[i].1, value),
+                        None => {
+                            index.insert(key.to_vec(), out.len());
+                            out.push((key.to_vec(), value));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Collect raw `(key, value)` pairs of a basic table (duplicates
+    /// preserved).
+    pub fn collect_basic(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.assert_finalized();
+        let mut out = Vec::new();
+        for (_, kind, page) in self.host.pages_in_order() {
+            if kind != PageKind::Mixed {
+                continue;
+            }
+            for (_, e) in PageWalker::new(&page, EntryKind::Basic) {
+                if let ParsedEntry::Basic { key, value } = e {
+                    out.push((key.to_vec(), value.to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Collect `(key, values)` groups of a multi-valued table. Value order
+    /// within a key is newest-first (chains are prepend-only). Groups of
+    /// the same key created in different iterations (see
+    /// [`collect_combining`](Self::collect_combining)) are concatenated.
+    pub fn collect_multivalued(&self) -> Vec<GroupedPair> {
+        self.assert_finalized();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut out: Vec<GroupedPair> = Vec::new();
+        for (_, kind, page) in self.host.pages_in_order() {
+            if kind != PageKind::Key {
+                continue;
+            }
+            for (_, e) in PageWalker::new(&page, EntryKind::Key) {
+                if let ParsedEntry::Key {
+                    key,
+                    value_host_cont,
+                } = e
+                {
+                    let values = self.follow_value_chain(HostLink::from_raw(value_host_cont));
+                    match index.get(key) {
+                        Some(&i) => out[i].1.extend(values),
+                        None => {
+                            index.insert(key.to_vec(), out.len());
+                            out.push((key.to_vec(), values));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Walk a host-linked value chain, newest to oldest (also used by the
+    /// CPU-side [`HostIndex`](crate::hostquery::HostIndex)).
+    pub(crate) fn host_values_from(&self, link: HostLink) -> Vec<Vec<u8>> {
+        self.follow_value_chain(link)
+    }
+
+    /// Walk a host-linked value chain, newest to oldest.
+    fn follow_value_chain(&self, mut link: HostLink) -> Vec<Vec<u8>> {
+        let mut values = Vec::new();
+        while !link.is_null() {
+            let page = self
+                .host
+                .page(link.host_page())
+                .expect("value chain references evicted page that must exist");
+            let off = link.offset() as usize;
+            let Some((entry, _)) = crate::entry::parse_at(&page, off, EntryKind::Value) else {
+                break;
+            };
+            let Some(ParsedEntry::Value { value, next_host }) = entry else {
+                break;
+            };
+            values.push(value.to_vec());
+            link = HostLink::from_raw(next_host);
+        }
+        values
+    }
+
+    /// Total distinct host pages + bytes the table occupies in CPU memory.
+    pub fn host_footprint(&self) -> (usize, u64) {
+        (self.host.len(), self.host.total_bytes())
+    }
+
+    fn assert_finalized(&self) {
+        assert_eq!(
+            self.heap.free_pages(),
+            self.heap.total_pages(),
+            "collect_* requires finalize(): resident pages would be missed"
+        );
+    }
+
+    /// Convenience for tests and examples: collect whichever result shape
+    /// matches the organization, normalized to grouped form (combining
+    /// values rendered as 8-byte LE).
+    pub fn collect_grouped(&self) -> Vec<GroupedPair> {
+        match self.cfg.organization {
+            Organization::Basic => self
+                .collect_basic()
+                .into_iter()
+                .map(|(k, v)| (k, vec![v]))
+                .collect(),
+            Organization::Combining(_) => self
+                .collect_combining()
+                .into_iter()
+                .map(|(k, v)| (k, vec![v.to_le_bytes().to_vec()]))
+                .collect(),
+            Organization::MultiValued => self.collect_multivalued(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{Combiner, Organization, TableConfig};
+    use crate::table::SepoTable;
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn table(org: Organization, pages: usize) -> SepoTable {
+        let cfg = TableConfig::new(org)
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (pages * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn combining_results_round_trip() {
+        let t = table(Organization::Combining(Combiner::Add), 16);
+        let mut c = NoCharge;
+        for i in 0..30u64 {
+            for _ in 0..=(i % 3) {
+                t.insert_combining(format!("url-{i}").as_bytes(), 1, &mut c);
+            }
+        }
+        t.finalize();
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 30);
+        for i in 0..30u64 {
+            assert_eq!(got[format!("url-{i}").as_bytes()], i % 3 + 1);
+        }
+    }
+
+    #[test]
+    fn combining_results_span_iterations_without_duplicates() {
+        // Force multiple evictions; each key must appear exactly once in
+        // the final results (the combining invariant).
+        let t = table(Organization::Combining(Combiner::Add), 2);
+        let mut c = NoCharge;
+        let mut remaining: Vec<u64> = (0..200).collect();
+        let mut guard = 0;
+        while !remaining.is_empty() {
+            let mut next = Vec::new();
+            for &i in &remaining {
+                if !t
+                    .insert_combining(format!("key-{i:05}").as_bytes(), 1, &mut c)
+                    .is_success()
+                {
+                    next.push(i);
+                }
+            }
+            t.end_iteration();
+            remaining = next;
+            guard += 1;
+            assert!(guard < 100, "no progress");
+        }
+        t.finalize();
+        let results = t.collect_combining();
+        assert_eq!(results.len(), 200, "every key exactly once");
+        let mut seen = std::collections::HashSet::new();
+        for (k, v) in results {
+            assert_eq!(v, 1);
+            assert!(seen.insert(k), "duplicate key across iterations");
+        }
+    }
+
+    #[test]
+    fn basic_results_preserve_duplicates() {
+        let t = table(Organization::Basic, 16);
+        let mut c = NoCharge;
+        t.insert_basic(b"k", b"v1", &mut c);
+        t.insert_basic(b"k", b"v2", &mut c);
+        t.insert_basic(b"j", b"w", &mut c);
+        t.finalize();
+        let mut got = t.collect_basic();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (b"j".to_vec(), b"w".to_vec()),
+                (b"k".to_vec(), b"v1".to_vec()),
+                (b"k".to_vec(), b"v2".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multivalued_results_group_all_values() {
+        let t = table(Organization::MultiValued, 32);
+        let mut c = NoCharge;
+        for (k, v) in [
+            ("google.com", "a.html"),
+            ("google.com", "c.html"),
+            ("google.com", "d.html"),
+            ("rust-lang.org", "x.html"),
+        ] {
+            assert!(t
+                .insert_multivalued(k.as_bytes(), v.as_bytes(), &mut c)
+                .is_success());
+        }
+        t.finalize();
+        let mut got = t.collect_multivalued();
+        got.sort();
+        assert_eq!(got.len(), 2);
+        let (k0, mut v0) = got[0].clone();
+        v0.sort();
+        assert_eq!(k0, b"google.com");
+        assert_eq!(
+            v0,
+            vec![b"a.html".to_vec(), b"c.html".to_vec(), b"d.html".to_vec()]
+        );
+        assert_eq!(got[1].0, b"rust-lang.org");
+        assert_eq!(got[1].1, vec![b"x.html".to_vec()]);
+    }
+
+    #[test]
+    fn multivalued_chains_survive_multiple_evictions() {
+        // One key accumulating values across several forced iterations; the
+        // host-linked chain must stitch them all together.
+        let t = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        let mut inserted = Vec::new();
+        let mut pending: Vec<String> = (0..40)
+            .map(|i| format!("value-{i:03}-padding-pad"))
+            .collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            let mut next = Vec::new();
+            for v in pending {
+                if t.insert_multivalued(b"key", v.as_bytes(), &mut c)
+                    .is_success()
+                {
+                    inserted.push(v);
+                } else {
+                    next.push(v);
+                }
+            }
+            t.end_iteration();
+            pending = next;
+            guard += 1;
+            assert!(guard < 50, "no progress");
+        }
+        t.finalize();
+        let got = t.collect_multivalued();
+        assert_eq!(got.len(), 1, "one key entry despite many iterations");
+        let mut vals: Vec<String> = got[0]
+            .1
+            .iter()
+            .map(|v| String::from_utf8(v.clone()).unwrap())
+            .collect();
+        vals.sort();
+        inserted.sort();
+        assert_eq!(vals, inserted);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn collecting_before_finalize_panics() {
+        let t = table(Organization::Combining(Combiner::Add), 4);
+        let mut c = NoCharge;
+        t.insert_combining(b"k", 1, &mut c);
+        let _ = t.collect_combining();
+    }
+
+    #[test]
+    fn grouped_collection_normalizes_all_organizations() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut c = NoCharge;
+        t.insert_combining(b"k", 7, &mut c);
+        t.finalize();
+        let got = t.collect_grouped();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1[0], 7u64.to_le_bytes().to_vec());
+    }
+}

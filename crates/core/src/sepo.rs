@@ -1,0 +1,453 @@
+//! The SEPO iteration driver (§III-B, §IV-C, Fig. 5).
+//!
+//! The driver owns the requestor side of the SEPO contract: it tracks which
+//! input records have been processed (the bitmap of §III-B, generalized
+//! with a per-task *pair progress* counter so one task may emit several KV
+//! pairs and resume mid-task after a postponement), launches kernels over
+//! the pending set in BigKernel-sized chunks, applies the per-organization
+//! halt policy, triggers eviction at iteration boundaries, and repeats
+//! until every record is processed.
+//!
+//! Halt policy, per Fig. 5:
+//! * **basic** — halt as soon as the fraction of postponing bucket groups
+//!   reaches the configured threshold (default 50%), because entries of
+//!   *any* key need fresh memory;
+//! * **multi-valued / combining** — run each pass to the end of the input:
+//!   duplicate-key work still succeeds with a full heap (combining updates
+//!   in place; multi-valued must see the full pass to know which keys are
+//!   pending).
+
+use crate::bitmap::Bitmap;
+use crate::config::Organization;
+use crate::evict::EvictReport;
+use crate::table::SepoTable;
+use gpu_sim::executor::{Executor, LaneCtx};
+use gpu_sim::metrics::Snapshot;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of processing one task (input record) in a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskResult {
+    /// Every KV pair of the task is stored.
+    Done,
+    /// The table postponed the pair with index `next_pair`; earlier pairs
+    /// are stored. The task will resume at `next_pair` next iteration.
+    Postponed {
+        /// Pair index to resume from.
+        next_pair: u32,
+    },
+}
+
+/// Per-iteration accounting, consumed by the benchmark harness.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// Tasks attempted this iteration (pending tasks in launched chunks).
+    pub tasks_attempted: u64,
+    /// Tasks that completed this iteration.
+    pub tasks_completed: u64,
+    /// Input bytes streamed to the device this iteration.
+    pub input_bytes: u64,
+    /// Chunks launched (each one upload + one kernel in the pipeline).
+    pub chunks: u32,
+    /// Metrics delta covering this iteration's kernels.
+    pub kernel: Snapshot,
+    /// What the iteration-boundary eviction moved.
+    pub evict: EvictReport,
+    /// Basic method: did the halt threshold fire before end of input?
+    pub halted_early: bool,
+}
+
+/// Complete accounting for one SEPO run.
+#[derive(Debug, Clone)]
+pub struct SepoOutcome {
+    /// Per-iteration statistics, in order.
+    pub iterations: Vec<IterationStats>,
+    /// Total tasks processed.
+    pub total_tasks: u64,
+    /// Eviction performed by the final `finalize()` (flushing pages kept
+    /// beyond the last iteration).
+    pub final_evict: EvictReport,
+    /// Tasks still pending when the run stopped. Non-zero only when the
+    /// iteration cap was reached — how the MapCG baseline's out-of-memory
+    /// failure surfaces.
+    pub pending_tasks: u64,
+}
+
+impl SepoOutcome {
+    /// Number of iterations the run needed — the number printed on top of
+    /// the Fig. 6 bars.
+    pub fn n_iterations(&self) -> u32 {
+        self.iterations.len() as u32
+    }
+
+    /// Did every task complete?
+    pub fn is_complete(&self) -> bool {
+        self.pending_tasks == 0
+    }
+
+    /// Total bytes evicted to CPU memory over the whole run.
+    pub fn total_evicted_bytes(&self) -> u64 {
+        self.iterations
+            .iter()
+            .map(|i| i.evict.evicted_bytes)
+            .sum::<u64>()
+            + self.final_evict.evicted_bytes
+    }
+
+    /// Total input bytes streamed (counts re-streams of postponed records).
+    pub fn total_input_bytes(&self) -> u64 {
+        self.iterations.iter().map(|i| i.input_bytes).sum()
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Tasks per kernel launch (one BigKernel chunk).
+    pub chunk_tasks: usize,
+    /// Stop (returning an incomplete [`SepoOutcome`]) once this many
+    /// iterations have run without completing every task. The MapCG
+    /// baseline sets 1 to model a runtime with no larger-than-memory
+    /// support.
+    pub max_iterations: u32,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            chunk_tasks: 8 * 1024,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// The SEPO driver. Borrows the table and executor for one run.
+pub struct SepoDriver<'a> {
+    pub table: &'a SepoTable,
+    pub executor: &'a Executor,
+    pub config: DriverConfig,
+}
+
+impl<'a> SepoDriver<'a> {
+    pub fn new(table: &'a SepoTable, executor: &'a Executor) -> Self {
+        SepoDriver {
+            table,
+            executor,
+            config: DriverConfig::default(),
+        }
+    }
+
+    pub fn with_config(mut self, config: DriverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Process `n_tasks` tasks to completion.
+    ///
+    /// `task_bytes(t)` is the input volume of task `t` (for transfer
+    /// accounting); `kernel(t, start_pair, lane)` processes task `t`
+    /// beginning at pair `start_pair`, inserting into the driver's table,
+    /// and reports [`TaskResult`].
+    pub fn run<B, K>(&self, n_tasks: usize, task_bytes: B, kernel: K) -> SepoOutcome
+    where
+        B: Fn(usize) -> u64 + Sync,
+        K: Fn(usize, u32, &mut LaneCtx<'_>) -> TaskResult + Sync,
+    {
+        let done = Bitmap::new(n_tasks);
+        let progress: Box<[AtomicU32]> = (0..n_tasks).map(|_| AtomicU32::new(0)).collect();
+        let mut iterations = Vec::new();
+        let mut pending: Vec<u32> = (0..n_tasks as u32).collect();
+        let is_basic = matches!(self.table.config().organization, Organization::Basic);
+        let halt_threshold = self.table.config().halt_threshold;
+
+        while !pending.is_empty() {
+            let iter_no = iterations.len() as u32 + 1;
+            if iter_no > self.config.max_iterations {
+                break;
+            }
+            let before = self.table.metrics().snapshot();
+            let mut input_bytes = 0u64;
+            let mut chunks = 0u32;
+            let mut halted_early = false;
+            let mut attempted = 0u64;
+
+            for chunk in pending.chunks(self.config.chunk_tasks.max(1)) {
+                // Stream the chunk's records to the device.
+                for &t in chunk {
+                    input_bytes += task_bytes(t as usize);
+                }
+                chunks += 1;
+                attempted += chunk.len() as u64;
+                // One kernel launch over the chunk's pending tasks.
+                self.executor.launch(chunk.len(), |lane| {
+                    let t = chunk[lane.task()] as usize;
+                    lane.read_stream(task_bytes(t));
+                    let start = progress[t].load(Ordering::Relaxed);
+                    match kernel(t, start, lane) {
+                        TaskResult::Done => done.set(t),
+                        TaskResult::Postponed { next_pair } => {
+                            progress[t].store(next_pair, Ordering::Relaxed);
+                        }
+                    }
+                });
+                if is_basic && self.table.fraction_failed() >= halt_threshold {
+                    // §IV-C: halt, evict, restart from the first postponed
+                    // record (the pending-set rescan below realizes that).
+                    halted_early = true;
+                    break;
+                }
+            }
+
+            let evict = self.table.end_iteration();
+            let after = self.table.metrics().snapshot();
+            let next_pending: Vec<u32> = pending
+                .iter()
+                .copied()
+                .filter(|&t| !done.get(t as usize))
+                .collect();
+            let tasks_completed = pending.len() as u64 - next_pending.len() as u64;
+            // Progress check: an iteration may complete no whole task yet
+            // still advance (multi-pair tasks storing a prefix of their
+            // pairs); what must never happen is an iteration in which not a
+            // single allocation succeeded — that configuration can never
+            // terminate.
+            let kernel_delta = after.delta(&before);
+            assert!(
+                tasks_completed > 0 || kernel_delta.alloc_success > 0 || next_pending.is_empty(),
+                "SEPO iteration {iter_no} stored nothing \
+                 ({} tasks pending): the heap cannot hold a single new entry",
+                next_pending.len()
+            );
+            iterations.push(IterationStats {
+                iteration: iter_no,
+                tasks_attempted: attempted,
+                tasks_completed,
+                input_bytes,
+                chunks,
+                kernel: kernel_delta,
+                evict,
+                halted_early,
+            });
+            pending = next_pending;
+        }
+
+        let final_evict = self.table.finalize();
+        SepoOutcome {
+            iterations,
+            total_tasks: n_tasks as u64,
+            final_evict,
+            pending_tasks: pending.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, Organization, TableConfig};
+    use gpu_sim::executor::ExecMode;
+    use gpu_sim::metrics::Metrics;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn exec(metrics: &Arc<Metrics>) -> Executor {
+        Executor::new(ExecMode::Deterministic, Arc::clone(metrics))
+    }
+
+    fn small_table(org: Organization, pages: usize) -> SepoTable {
+        let cfg = TableConfig::new(org)
+            .with_buckets(128)
+            .with_buckets_per_group(32)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (pages * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn single_iteration_when_everything_fits() {
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let e = exec(t.metrics());
+        let keys: Vec<String> = (0..100).map(|i| format!("key-{i}")).collect();
+        let outcome = SepoDriver::new(&t, &e).run(
+            keys.len(),
+            |_| 16,
+            |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                crate::table::InsertStatus::Success => TaskResult::Done,
+                crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+            },
+        );
+        assert_eq!(outcome.n_iterations(), 1);
+        assert_eq!(outcome.total_tasks, 100);
+        assert_eq!(t.collect_combining().len(), 100);
+    }
+
+    #[test]
+    fn multiple_iterations_with_tiny_heap() {
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let outcome = SepoDriver::new(&t, &e).run(
+            keys.len(),
+            |_| 16,
+            |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                crate::table::InsertStatus::Success => TaskResult::Done,
+                crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+            },
+        );
+        assert!(
+            outcome.n_iterations() > 1,
+            "4 KiB heap cannot fit 400 keys in one pass"
+        );
+        // Every key stored exactly once with count 1.
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 400);
+        assert!(got.values().all(|&v| v == 1));
+        // Later iterations attempted strictly fewer tasks.
+        let attempts: Vec<u64> = outcome
+            .iterations
+            .iter()
+            .map(|i| i.tasks_attempted)
+            .collect();
+        for w in attempts.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        // Evictions moved bytes every iteration.
+        assert!(outcome.total_evicted_bytes() > 0);
+        assert!(outcome.total_input_bytes() >= 400 * 16);
+    }
+
+    #[test]
+    fn duplicates_combine_across_postponements_exactly_once() {
+        // Records: 10 copies of each of 120 keys, interleaved. Even with
+        // forced iterations, each key's final count must be exactly 10.
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let records: Vec<String> = (0..1200).map(|i| format!("key-{:04}", i % 120)).collect();
+        SepoDriver::new(&t, &e).run(
+            records.len(),
+            |_| 16,
+            |task, _start, lane| match t.insert_combining(records[task].as_bytes(), 1, lane) {
+                crate::table::InsertStatus::Success => TaskResult::Done,
+                crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+            },
+        );
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 120);
+        for (k, v) in got {
+            assert_eq!(v, 10, "bad count for {}", String::from_utf8_lossy(&k));
+        }
+    }
+
+    #[test]
+    fn basic_method_halts_at_threshold() {
+        let t = small_table(Organization::Basic, 4);
+        let e = exec(t.metrics());
+        let outcome = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                chunk_tasks: 32,
+                max_iterations: 1000,
+            })
+            .run(
+                600,
+                |_| 32,
+                |task, _start, lane| {
+                    let key = format!("key-{task:05}");
+                    match t.insert_basic(key.as_bytes(), b"value-payload", lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    }
+                },
+            );
+        assert!(outcome.n_iterations() > 1);
+        assert!(
+            outcome.iterations[..outcome.iterations.len() - 1]
+                .iter()
+                .any(|i| i.halted_early),
+            "the basic method must halt early at the 50% threshold"
+        );
+        assert_eq!(t.collect_basic().len(), 600);
+    }
+
+    #[test]
+    fn multi_pair_tasks_resume_at_saved_progress() {
+        // Each task inserts 5 pairs; with a tiny heap, tasks postpone
+        // mid-way and must not re-insert earlier pairs.
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let n_tasks = 120usize;
+        SepoDriver::new(&t, &e).run(
+            n_tasks,
+            |_| 80,
+            |task, start, lane| {
+                for pair in start..5 {
+                    let key = format!("task{task:04}-pair{pair}");
+                    match t.insert_combining(key.as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => {}
+                        crate::table::InsertStatus::Postponed => {
+                            return TaskResult::Postponed { next_pair: pair };
+                        }
+                    }
+                }
+                TaskResult::Done
+            },
+        );
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), n_tasks * 5);
+        assert!(
+            got.values().all(|&v| v == 1),
+            "a pair was inserted more than once: progress tracking broken"
+        );
+    }
+
+    #[test]
+    fn multivalued_driver_run_groups_everything() {
+        let t = small_table(Organization::MultiValued, 6);
+        let e = exec(t.metrics());
+        // 30 keys x 8 values, far exceeding 6 KiB.
+        let records: Vec<(String, String)> = (0..240)
+            .map(|i| (format!("key-{:02}", i % 30), format!("value-{i:04}-pad")))
+            .collect();
+        let outcome = SepoDriver::new(&t, &e).run(
+            records.len(),
+            |_| 24,
+            |task, _start, lane| {
+                let (k, v) = &records[task];
+                match t.insert_multivalued(k.as_bytes(), v.as_bytes(), lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                }
+            },
+        );
+        assert!(outcome.n_iterations() >= 1);
+        let got = t.collect_multivalued();
+        assert_eq!(got.len(), 30, "one group per distinct key");
+        let total: usize = got.iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total, 240, "every value grouped exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold a single new entry")]
+    fn impossible_configuration_aborts() {
+        // Heap of one page, entries bigger than the page: no progress ever.
+        let cfg = TableConfig::new(Organization::Basic)
+            .with_buckets(4)
+            .with_buckets_per_group(4)
+            .with_page_size(64);
+        let t = SepoTable::new(cfg, 64, Arc::new(Metrics::new()));
+        let e = exec(t.metrics());
+        SepoDriver::new(&t, &e).run(
+            4,
+            |_| 8,
+            |_task, _start, lane| {
+                let big = [7u8; 128];
+                match t.insert_basic(b"key", &big, lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                }
+            },
+        );
+    }
+}

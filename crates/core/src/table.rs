@@ -1,0 +1,777 @@
+//! The SEPO hash table: device-side structure and insert paths.
+//!
+//! Closed addressing with separate chaining (§IV): an array of bucket
+//! heads, each the root of a linked list of dynamically allocated entries.
+//! New entries are "always inserted at the head of the bucket linked list …
+//! so that there is no need to traverse the linked list elements that might
+//! no longer be in GPU memory" (§III-B). Inserts are lock-free: an entry is
+//! fully written, then published with a Release CAS on the head; a lost
+//! race triggers a re-walk for duplicate detection (combining /
+//! multi-valued) before retrying.
+//!
+//! The insert methods return [`InsertStatus`]: `Postponed` is the SEPO
+//! response — the requestor marks the record unprocessed and re-issues it
+//! in a later iteration (§III).
+
+use crate::config::{Organization, TableConfig};
+use crate::entry::{self, basic, combining, key_entry, value_node};
+use crate::hash::bucket_of;
+use gpu_sim::charge::Charge;
+use gpu_sim::metrics::{ContentionHistogram, Metrics};
+use sepo_alloc::{DevHandle, GroupAllocator, Heap, HostHeap, HostLink, Link, PageClass, PageKind};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result of an insert request under the SEPO model of computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertStatus {
+    /// The pair was stored (or combined into an existing entry).
+    Success,
+    /// The table declined the request — re-issue it in a later iteration.
+    Postponed,
+}
+
+impl InsertStatus {
+    pub fn is_success(self) -> bool {
+        matches!(self, InsertStatus::Success)
+    }
+}
+
+/// The GPU-resident hash table plus its CPU-side evicted store.
+///
+/// Shared across kernel lanes via `Arc`; all hot-path methods take `&self`.
+pub struct SepoTable {
+    pub(crate) cfg: TableConfig,
+    pub(crate) heap: Arc<Heap>,
+    pub(crate) groups: GroupAllocator,
+    pub(crate) heads: Box<[AtomicU64]>,
+    /// Per-bucket insert-touch counters feeding the contention model.
+    touches: Box<[AtomicU32]>,
+    pub(crate) host: HostHeap,
+    metrics: Arc<Metrics>,
+}
+
+const NULL_RAW: u64 = u64::MAX;
+
+impl std::fmt::Debug for SepoTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SepoTable")
+            .field("organization", &self.cfg.organization.label())
+            .field("n_buckets", &self.cfg.n_buckets)
+            .field("heap", &self.heap)
+            .finish()
+    }
+}
+
+impl SepoTable {
+    /// Build a table whose heap spans `heap_bytes` of device memory.
+    ///
+    /// The bucket array and per-bucket counters are device structures too,
+    /// but tiny next to the heap; callers that track device capacity
+    /// precisely reserve them via [`gpu_sim::DeviceMemory`] before sizing
+    /// the heap with `reserve_remaining` (see the examples).
+    pub fn new(cfg: TableConfig, heap_bytes: u64, metrics: Arc<Metrics>) -> Self {
+        let heap = Arc::new(Heap::new(heap_bytes, cfg.page_size, Arc::clone(&metrics)));
+        let primary_kind = match cfg.organization {
+            Organization::MultiValued => PageKind::Key,
+            _ => PageKind::Mixed,
+        };
+        let groups = GroupAllocator::new(Arc::clone(&heap), cfg.n_groups(), primary_kind);
+        let heads = (0..cfg.n_buckets)
+            .map(|_| AtomicU64::new(NULL_RAW))
+            .collect();
+        let touches = (0..cfg.n_buckets).map(|_| AtomicU32::new(0)).collect();
+        SepoTable {
+            cfg,
+            heap,
+            groups,
+            heads,
+            touches,
+            host: HostHeap::new(),
+            metrics,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+
+    /// The device heap (capacity inspection, tests).
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// The CPU-side store of evicted pages.
+    pub fn host_heap(&self) -> &HostHeap {
+        &self.host
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Adopt a restored host image: copy its pages into this table's host
+    /// heap and advance the device heap's host-id sequence past them.
+    pub(crate) fn adopt_host_heap(&self, host: HostHeap, next_host_id: u64) {
+        for (id, kind, data) in host.pages_in_order() {
+            self.host.store(id, kind, data.to_vec());
+        }
+        self.heap.advance_host_ids(next_host_id);
+    }
+
+    /// Fraction of bucket groups currently postponing allocations — the
+    /// basic method's halt signal.
+    pub fn fraction_failed(&self) -> f64 {
+        self.groups.fraction_failed()
+    }
+
+    /// Histogram of per-bucket insert touches, for the contention term of
+    /// the cost model.
+    pub fn contention_histogram(&self) -> ContentionHistogram {
+        ContentionHistogram::from_counts(
+            self.touches
+                .iter()
+                .map(|t| t.load(Ordering::Relaxed) as u64),
+        )
+    }
+
+    /// Bucket-touch contention plus the allocator's per-group bump-pointer
+    /// updates — the complete serialized-atomic profile of a run. With many
+    /// bucket groups the allocator term is negligible (the design goal of
+    /// §IV-A); with one group it degenerates to a MapCG-style central
+    /// allocator hot spot.
+    pub fn full_contention_histogram(&self) -> ContentionHistogram {
+        let mut h = self.contention_histogram();
+        for c in self.groups.alloc_counts() {
+            h.add_location(c);
+        }
+        h
+    }
+
+    /// Reset the per-bucket touch counters (between measured phases).
+    pub fn reset_touches(&self) {
+        for t in self.touches.iter() {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared chain machinery
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn touch(&self, bucket: usize) {
+        self.touches[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn head_raw(&self, bucket: usize) -> u64 {
+        self.heads[bucket].load(Ordering::Acquire)
+    }
+
+    /// Dual link naming the current head of `bucket` (NULL when empty).
+    #[inline]
+    fn head_link(&self, head_raw: u64) -> Link {
+        if head_raw == NULL_RAW {
+            Link::NULL
+        } else {
+            self.heap.link_for(DevHandle::from_raw(head_raw))
+        }
+    }
+
+    /// Walk the resident portion of `bucket`'s chain looking for `key`.
+    /// `klen_off`/`key_off` locate the key within an entry of the table's
+    /// organization.
+    fn find_resident<C: Charge>(
+        &self,
+        head_raw: u64,
+        key: &[u8],
+        klen_off: u32,
+        key_off: u32,
+        charge: &mut C,
+    ) -> Option<DevHandle> {
+        let mut cur_raw = head_raw;
+        while cur_raw != NULL_RAW {
+            let cur = DevHandle::from_raw(cur_raw);
+            self.charge_hop(charge);
+            let klen = (self.heap.read_u64(cur, klen_off) & 0xFFFF_FFFF) as usize;
+            if klen == key.len() {
+                self.charge_heap(charge, klen as u64, 1);
+                if self
+                    .heap
+                    .read(DevHandle::new(cur.page(), cur.offset() + key_off), klen)
+                    == key
+                {
+                    return Some(cur);
+                }
+            }
+            let next = Link {
+                dev: DevHandle::from_raw(self.heap.read_u64(cur, entry::NEXT_DEV)),
+                host: HostLink::from_raw(self.heap.read_u64(cur, entry::NEXT_HOST)),
+            };
+            // Stop at the first non-resident link: everything beyond lives
+            // only in CPU memory (§III-B).
+            if !self.heap.link_is_live(next) {
+                break;
+            }
+            cur_raw = next.dev.to_raw();
+        }
+        None
+    }
+
+    /// Write the common prefix (dual next link) of a fresh entry.
+    #[inline]
+    fn write_next(&self, e: DevHandle, next: Link) {
+        self.heap.write_u64(e, entry::NEXT_DEV, next.dev.to_raw());
+        self.heap.write_u64(e, entry::NEXT_HOST, next.host.to_raw());
+    }
+
+    /// Charge heap-entry traffic: device memory normally, small PCIe
+    /// transactions when the heap is pinned in CPU memory (Fig. 7 mode).
+    #[inline]
+    fn charge_heap<C: Charge>(&self, charge: &mut C, bytes: u64, transactions: u64) {
+        if self.cfg.remote_heap {
+            self.metrics.add_pcie_small_transactions(transactions);
+            self.metrics.add_pcie_small_bytes(bytes);
+        } else {
+            charge.device_bytes(bytes);
+        }
+    }
+
+    /// Charge one chain-link traversal (a 16-byte dual-link read).
+    #[inline]
+    fn charge_hop<C: Charge>(&self, charge: &mut C) {
+        if self.cfg.remote_heap {
+            self.metrics.add_pcie_small_transactions(1);
+            self.metrics.add_pcie_small_bytes(16);
+        } else {
+            charge.chain_hops(1);
+        }
+    }
+
+    /// Abandon an unpublished allocation: stamp a tombstone carrying the
+    /// region's size so page walkers skip it, and account the waste. See
+    /// [`entry::TOMBSTONE`].
+    fn abandon(&self, e: DevHandle, lens_off: u32, lens_word: u64, size: usize) {
+        self.heap
+            .write_u64(e, lens_off, lens_word | entry::TOMBSTONE);
+        self.heap.note_waste(size as u64);
+    }
+
+    /// Publish `e` as the new head of `bucket` if the head is still
+    /// `expect`; returns the observed head on failure.
+    #[inline]
+    fn publish(&self, bucket: usize, expect: u64, e: DevHandle) -> Result<(), u64> {
+        self.heads[bucket]
+            .compare_exchange(expect, e.to_raw(), Ordering::Release, Ordering::Acquire)
+            .map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Combining organization (§IV-B "combining method")
+    // ------------------------------------------------------------------
+
+    /// Insert `<key, value>` with on-the-fly combining. If the key is
+    /// resident, its value is combined in place — no memory is allocated,
+    /// which is why combining-method iterations keep absorbing duplicate
+    /// keys even after the heap fills (§IV-C, Fig. 5c).
+    pub fn insert_combining<C: Charge>(
+        &self,
+        key: &[u8],
+        value: u64,
+        charge: &mut C,
+    ) -> InsertStatus {
+        let comb = match self.cfg.organization {
+            Organization::Combining(c) => c,
+            _ => panic!(
+                "insert_combining on a {} table",
+                self.cfg.organization.label()
+            ),
+        };
+        let bucket = bucket_of(key, self.cfg.n_buckets);
+        self.touch(bucket);
+        // Hash + bucket lookup + allocator bookkeeping: ~120 scalar ops
+        // plus the per-byte hashing/compare work.
+        charge.compute(120 + 2 * key.len() as u64);
+        charge.device_bytes(16); // head read + touch counter
+
+        let mut allocated: Option<DevHandle> = None;
+        let size = combining::size(key.len());
+        loop {
+            let head_raw = self.head_raw(bucket);
+            if let Some(e) =
+                self.find_resident(head_raw, key, combining::KLEN, combining::KEY, charge)
+            {
+                // Duplicate: combine atomically via the callback.
+                let slot = self.heap.atomic_u64(e, combining::VALUE);
+                slot.fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
+                    Some(comb.apply(old, value))
+                })
+                .expect("combiner closure never fails");
+                self.charge_heap(charge, 16, 2);
+                if let Some(a) = allocated {
+                    // We allocated speculatively and lost the race to a peer
+                    // inserting the same key: tombstone the entry so the
+                    // host page walk neither misparses nor double-counts it.
+                    self.abandon(a, combining::KLEN, key.len() as u64, size);
+                }
+                return InsertStatus::Success;
+            }
+            let e = match allocated {
+                Some(e) => e,
+                None => match self.alloc_primary(bucket, size) {
+                    Ok(e) => e,
+                    Err(()) => return InsertStatus::Postponed,
+                },
+            };
+            // Fill the entry (next = current head) and publish.
+            self.write_next(e, self.head_link(head_raw));
+            self.heap.write_u64(e, combining::VALUE, value);
+            self.heap.write_u64(e, combining::KLEN, key.len() as u64);
+            self.heap
+                .write(DevHandle::new(e.page(), e.offset() + combining::KEY), key);
+            match self.publish(bucket, head_raw, e) {
+                Ok(()) => {
+                    self.charge_heap(charge, size as u64, 1);
+                    charge.device_bytes(8); // head CAS (device-resident)
+                    return InsertStatus::Success;
+                }
+                Err(_) => {
+                    // Head moved: keep the entry, re-walk for a duplicate,
+                    // and retry with the new head.
+                    allocated = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Resident-side lookup of a combining key's current value (testing and
+    /// intra-phase reads; evicted keys are not consulted).
+    pub fn lookup_combining<C: Charge>(&self, key: &[u8], charge: &mut C) -> Option<u64> {
+        let bucket = bucket_of(key, self.cfg.n_buckets);
+        let head_raw = self.head_raw(bucket);
+        let e = self.find_resident(head_raw, key, combining::KLEN, combining::KEY, charge)?;
+        Some(
+            self.heap
+                .atomic_u64(e, combining::VALUE)
+                .load(Ordering::Acquire),
+        )
+    }
+
+    /// Stable host link of a *resident* combining entry for `key` — its
+    /// eventual CPU address, used by the access-trace instrumentation of
+    /// the Table III experiment.
+    pub fn resident_entry_host(&self, key: &[u8]) -> Option<sepo_alloc::HostLink> {
+        let bucket = bucket_of(key, self.cfg.n_buckets);
+        let head_raw = self.head_raw(bucket);
+        let mut nocharge = gpu_sim::charge::NoCharge;
+        let e = self.find_resident(
+            head_raw,
+            key,
+            combining::KLEN,
+            combining::KEY,
+            &mut nocharge,
+        )?;
+        Some(self.heap.link_for(e).host)
+    }
+
+    // ------------------------------------------------------------------
+    // Basic organization
+    // ------------------------------------------------------------------
+
+    /// Insert `<key, value>` as a fresh entry; duplicate keys coexist.
+    pub fn insert_basic<C: Charge>(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        charge: &mut C,
+    ) -> InsertStatus {
+        assert!(
+            matches!(self.cfg.organization, Organization::Basic),
+            "insert_basic on a {} table",
+            self.cfg.organization.label()
+        );
+        assert!(
+            (value.len() as u64) < (1 << 31),
+            "basic values are capped below 2^31 bytes (tombstone bit)"
+        );
+        let bucket = bucket_of(key, self.cfg.n_buckets);
+        self.touch(bucket);
+        charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);
+        charge.device_bytes(16);
+
+        let size = basic::size(key.len(), value.len());
+        let e = match self.alloc_primary(bucket, size) {
+            Ok(e) => e,
+            Err(()) => return InsertStatus::Postponed,
+        };
+        self.heap.write_u64(
+            e,
+            basic::LENS,
+            key.len() as u64 | ((value.len() as u64) << 32),
+        );
+        let payload = DevHandle::new(e.page(), e.offset() + basic::PAYLOAD);
+        self.heap.write(payload, key);
+        self.heap.write(
+            DevHandle::new(payload.page(), payload.offset() + key.len() as u32),
+            value,
+        );
+        loop {
+            let head_raw = self.head_raw(bucket);
+            self.write_next(e, self.head_link(head_raw));
+            if self.publish(bucket, head_raw, e).is_ok() {
+                self.charge_heap(charge, size as u64, 1);
+                charge.device_bytes(8); // head CAS (device-resident)
+                return InsertStatus::Success;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-valued organization (§IV-B, Fig. 3)
+    // ------------------------------------------------------------------
+
+    /// Insert `<key, value>`, grouping `value` under `key`'s value list.
+    pub fn insert_multivalued<C: Charge>(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        charge: &mut C,
+    ) -> InsertStatus {
+        assert!(
+            matches!(self.cfg.organization, Organization::MultiValued),
+            "insert_multivalued on a {} table",
+            self.cfg.organization.label()
+        );
+        let bucket = bucket_of(key, self.cfg.n_buckets);
+        self.touch(bucket);
+        charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);
+        charge.device_bytes(16);
+
+        let group = self.cfg.group_of(bucket);
+        let vsize = value_node::size(value.len());
+        let mut allocated_key: Option<DevHandle> = None;
+        loop {
+            let head_raw = self.head_raw(bucket);
+            if let Some(k) =
+                self.find_resident(head_raw, key, key_entry::KLEN, key_entry::KEY, charge)
+            {
+                if let Some(a) = allocated_key {
+                    self.abandon(
+                        a,
+                        key_entry::KLEN,
+                        key.len() as u64,
+                        key_entry::size(key.len()),
+                    );
+                }
+                return self.append_value(k, group, value, vsize, charge);
+            }
+            // Key absent: need a key entry plus its first value node.
+            let ksize = key_entry::size(key.len());
+            let k = match allocated_key {
+                Some(k) => k,
+                None => match self.alloc_class(group, PageClass::Primary, ksize) {
+                    Ok(k) => k,
+                    Err(()) => return InsertStatus::Postponed,
+                },
+            };
+            let v = match self.alloc_class(group, PageClass::Value, vsize) {
+                Ok(v) => v,
+                Err(()) => {
+                    // The key entry was carved out but can't be completed;
+                    // tombstone it so key-page walks skip the region.
+                    self.abandon(k, key_entry::KLEN, key.len() as u64, ksize);
+                    return InsertStatus::Postponed;
+                }
+            };
+            // First value node of a brand-new key: no predecessor.
+            self.write_next(v, Link::NULL);
+            self.heap.write_u64(v, value_node::VLEN, value.len() as u64);
+            self.heap.write(
+                DevHandle::new(v.page(), v.offset() + value_node::VALUE),
+                value,
+            );
+            // Key entry.
+            self.write_next(k, self.head_link(head_raw));
+            self.heap.write_u64(k, key_entry::VALUE_HEAD, v.to_raw());
+            self.heap
+                .write_u64(k, key_entry::VALUE_HOST_CONT, HostLink::NULL.to_raw());
+            self.heap.write_u64(k, key_entry::FLAGS, 0);
+            self.heap.write_u64(k, key_entry::KLEN, key.len() as u64);
+            self.heap
+                .write(DevHandle::new(k.page(), k.offset() + key_entry::KEY), key);
+            match self.publish(bucket, head_raw, k) {
+                Ok(()) => {
+                    self.charge_heap(charge, (ksize + vsize) as u64, 2);
+                    charge.device_bytes(8); // head CAS (device-resident)
+                    return InsertStatus::Success;
+                }
+                Err(_) => {
+                    // Keep the key entry for a retry, but the value node was
+                    // linked assuming this key; it will be re-pointed if a
+                    // peer inserted the key first (next loop iteration finds
+                    // it and appends a *new* node — abandon this one).
+                    self.abandon(v, value_node::VLEN, value.len() as u64, vsize);
+                    allocated_key = Some(k);
+                }
+            }
+        }
+    }
+
+    /// Append a value node to existing key entry `k`; on allocation failure
+    /// mark the key pending (its page must stay resident, §IV-C) and
+    /// postpone.
+    fn append_value<C: Charge>(
+        &self,
+        k: DevHandle,
+        group: usize,
+        value: &[u8],
+        vsize: usize,
+        charge: &mut C,
+    ) -> InsertStatus {
+        let v = match self.alloc_class(group, PageClass::Value, vsize) {
+            Ok(v) => v,
+            Err(()) => {
+                self.mark_pending(k);
+                return InsertStatus::Postponed;
+            }
+        };
+        self.heap.write_u64(v, value_node::VLEN, value.len() as u64);
+        self.heap.write(
+            DevHandle::new(v.page(), v.offset() + value_node::VALUE),
+            value,
+        );
+        let head = self.heap.atomic_u64(k, key_entry::VALUE_HEAD);
+        loop {
+            let old_raw = head.load(Ordering::Acquire);
+            let next = if old_raw == NULL_RAW {
+                // Chain continues in CPU memory (or is empty): link to the
+                // key's host continuation.
+                Link::host_only(HostLink::from_raw(
+                    self.heap.read_u64(k, key_entry::VALUE_HOST_CONT),
+                ))
+            } else {
+                self.heap.link_for(DevHandle::from_raw(old_raw))
+            };
+            self.write_next(v, next);
+            if head
+                .compare_exchange(old_raw, v.to_raw(), Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                self.charge_heap(charge, vsize as u64 + 16, 3);
+                return InsertStatus::Success;
+            }
+        }
+    }
+
+    /// Mark key entry `k` pending: its page must survive this iteration's
+    /// eviction. The per-entry flag dedups the per-page counter increment.
+    fn mark_pending(&self, k: DevHandle) {
+        let flags = self.heap.atomic_u64(k, key_entry::FLAGS);
+        let prev = flags.fetch_or(key_entry::FLAG_PENDING, Ordering::AcqRel);
+        if prev & key_entry::FLAG_PENDING == 0 {
+            self.heap.add_pending_key(k.page());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation helpers
+    // ------------------------------------------------------------------
+
+    fn alloc_primary(&self, bucket: usize, size: usize) -> Result<DevHandle, ()> {
+        self.alloc_class(self.cfg.group_of(bucket), PageClass::Primary, size)
+    }
+
+    fn alloc_class(&self, group: usize, class: PageClass, size: usize) -> Result<DevHandle, ()> {
+        self.groups.alloc(group, class, size).map_err(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Combiner;
+    use gpu_sim::charge::NoCharge;
+
+    fn table(org: Organization, heap_kb: usize) -> SepoTable {
+        let cfg = TableConfig::new(org)
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (heap_kb * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn combining_inserts_and_combines() {
+        let t = table(Organization::Combining(Combiner::Add), 64);
+        let mut c = NoCharge;
+        assert!(t.insert_combining(b"url-a", 1, &mut c).is_success());
+        assert!(t.insert_combining(b"url-a", 1, &mut c).is_success());
+        assert!(t.insert_combining(b"url-b", 5, &mut c).is_success());
+        assert_eq!(t.lookup_combining(b"url-a", &mut c), Some(2));
+        assert_eq!(t.lookup_combining(b"url-b", &mut c), Some(5));
+        assert_eq!(t.lookup_combining(b"url-c", &mut c), None);
+    }
+
+    #[test]
+    fn combining_postpones_when_heap_full() {
+        // Tiny heap: 1 page of 1KiB. Fill it with distinct keys, then expect
+        // POSTPONE for new keys but SUCCESS for duplicates (Fig. 5c).
+        let t = table(Organization::Combining(Combiner::Add), 1);
+        let mut c = NoCharge;
+        let mut stored = Vec::new();
+        let mut postponed = false;
+        for i in 0..100 {
+            let key = format!("key-{i:04}");
+            match t.insert_combining(key.as_bytes(), 1, &mut c) {
+                InsertStatus::Success => stored.push(key),
+                InsertStatus::Postponed => {
+                    postponed = true;
+                    break;
+                }
+            }
+        }
+        assert!(postponed, "1 KiB heap must fill");
+        assert!(!stored.is_empty());
+        // Duplicate keys still combine even though the heap is full.
+        for key in &stored {
+            assert!(t.insert_combining(key.as_bytes(), 1, &mut c).is_success());
+            assert_eq!(t.lookup_combining(key.as_bytes(), &mut c), Some(2));
+        }
+        assert!(t.fraction_failed() > 0.0);
+    }
+
+    #[test]
+    fn basic_keeps_duplicates_separate() {
+        let t = table(Organization::Basic, 64);
+        let mut c = NoCharge;
+        assert!(t.insert_basic(b"k", b"v1", &mut c).is_success());
+        assert!(t.insert_basic(b"k", b"v2", &mut c).is_success());
+        // Both entries resident: walk the chain by hand through the heap.
+        let bucket = bucket_of(b"k", t.cfg.n_buckets);
+        let head = DevHandle::from_raw(t.heads[bucket].load(Ordering::Acquire));
+        assert!(!head.is_null());
+        let next_raw = t.heap.read_u64(head, entry::NEXT_DEV);
+        assert_ne!(next_raw, NULL_RAW, "second entry links to first");
+    }
+
+    #[test]
+    fn multivalued_groups_values_under_one_key() {
+        let t = table(Organization::MultiValued, 64);
+        let mut c = NoCharge;
+        for v in [&b"a.html"[..], b"c.html", b"d.html"] {
+            assert!(t
+                .insert_multivalued(b"http://google.com", v, &mut c)
+                .is_success());
+        }
+        assert!(t
+            .insert_multivalued(b"http://other.com", b"x.html", &mut c)
+            .is_success());
+        // Exactly two key entries were allocated (Key pages), value nodes on
+        // Value pages.
+        let key_pages: Vec<_> = t
+            .heap
+            .resident_pages()
+            .into_iter()
+            .filter(|&p| t.heap.page_kind(p) == PageKind::Key)
+            .collect();
+        assert!(!key_pages.is_empty());
+        let n_keys: usize = key_pages
+            .iter()
+            .map(|&p| entry::PageWalker::new(&t.heap.page_data(p), entry::EntryKind::Key).count())
+            .sum();
+        assert_eq!(n_keys, 2);
+    }
+
+    #[test]
+    fn multivalued_postpone_marks_key_pending() {
+        // Heap with 2 pages: key page + value page, both tiny.
+        let t = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        // First insert takes both pages.
+        assert!(t.insert_multivalued(b"key", b"v0", &mut c).is_success());
+        // Fill the value page.
+        let mut postponed = false;
+        for i in 0..50 {
+            let v = format!("value-{i:03}-padding-padding");
+            if !t
+                .insert_multivalued(b"key", v.as_bytes(), &mut c)
+                .is_success()
+            {
+                postponed = true;
+                break;
+            }
+        }
+        assert!(postponed);
+        // The key's page must now be pinned by a pending key.
+        let key_page = t
+            .heap
+            .resident_pages()
+            .into_iter()
+            .find(|&p| t.heap.page_kind(p) == PageKind::Key)
+            .unwrap();
+        assert_eq!(t.heap.pending_keys(key_page), 1);
+        // A second postponement does not double-count.
+        assert!(!t
+            .insert_multivalued(b"key", b"another-long-value-xxxx", &mut c)
+            .is_success());
+        assert_eq!(t.heap.pending_keys(key_page), 1);
+    }
+
+    #[test]
+    fn wrong_organization_panics() {
+        let t = table(Organization::Basic, 4);
+        let mut c = NoCharge;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert_combining(b"k", 1, &mut c)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn contention_histogram_reflects_touches() {
+        let t = table(Organization::Combining(Combiner::Add), 64);
+        let mut c = NoCharge;
+        for _ in 0..10 {
+            t.insert_combining(b"hot", 1, &mut c);
+        }
+        t.insert_combining(b"cold", 1, &mut c);
+        let h = t.contention_histogram();
+        assert_eq!(h.total_updates(), 11);
+        assert_eq!(h.max_count(), 10);
+        t.reset_touches();
+        assert_eq!(t.contention_histogram().total_updates(), 0);
+    }
+
+    #[test]
+    fn concurrent_combining_counts_exactly() {
+        // The core lock-free-insert correctness test: N threads each add 1
+        // to a small key set; totals must be exact.
+        let t = Arc::new(table(Organization::Combining(Combiner::Add), 256));
+        let keys: Vec<String> = (0..20).map(|i| format!("key-{i}")).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                let t = Arc::clone(&t);
+                let keys = &keys;
+                s.spawn(move |_| {
+                    let mut c = NoCharge;
+                    for i in 0..5_000 {
+                        let k = &keys[i % keys.len()];
+                        assert!(t.insert_combining(k.as_bytes(), 1, &mut c).is_success());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut c = NoCharge;
+        for k in &keys {
+            assert_eq!(
+                t.lookup_combining(k.as_bytes(), &mut c),
+                Some(8 * 5_000 / 20),
+                "miscount for {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The in-memory dataset format shared by all generators.
+//!
+//! A dataset is one contiguous byte blob (what the paper streams over PCIe
+//! with BigKernel) plus explicit record boundaries (what the *input data
+//! partitioner* of §V produces). Keeping boundaries explicit lets the SEPO
+//! driver treat "task" = "record" without re-scanning for separators on the
+//! device.
+
+/// A generated input dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Raw input bytes.
+    pub bytes: Vec<u8>,
+    /// Start offset of each record; record `i` spans
+    /// `offsets[i]..offsets[i+1]` (last record runs to the end).
+    pub offsets: Vec<usize>,
+}
+
+impl Dataset {
+    /// An empty dataset being built up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn push_record(&mut self, record: &[u8]) {
+        self.offsets.push(self.bytes.len());
+        self.bytes.extend_from_slice(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Record `i` as a byte slice.
+    #[inline]
+    pub fn record(&self, i: usize) -> &[u8] {
+        let start = self.offsets[i];
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.bytes.len());
+        &self.bytes[start..end]
+    }
+
+    /// Size of record `i` in bytes.
+    #[inline]
+    pub fn record_bytes(&self, i: usize) -> u64 {
+        self.record(i).len() as u64
+    }
+
+    /// Iterate all records.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(move |i| self.record(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_records() {
+        let mut d = Dataset::new();
+        d.push_record(b"first");
+        d.push_record(b"second record");
+        d.push_record(b"");
+        d.push_record(b"last");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.record(0), b"first");
+        assert_eq!(d.record(1), b"second record");
+        assert_eq!(d.record(2), b"");
+        assert_eq!(d.record(3), b"last");
+        assert_eq!(d.size_bytes(), 5 + 13 + 4);
+        assert_eq!(d.record_bytes(1), 13);
+    }
+
+    #[test]
+    fn records_iterator_matches_indexing() {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push_record(format!("rec-{i}").as_bytes());
+        }
+        let collected: Vec<&[u8]> = d.records().collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[7], b"rec-7");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new();
+        assert!(d.is_empty());
+        assert_eq!(d.size_bytes(), 0);
+        assert_eq!(d.records().count(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! DNA Assembly input: short reads from a synthetic genome.
+//!
+//! The application merges DNA fragments to reconstruct a larger sequence
+//! (Meraculous-style \[2\]): each read is decomposed into k-mers, and the
+//! hash table stores `<k-mer, edge bits>` — the set of observed predecessor
+//! and successor bases — combined with bitwise OR (the *combining* method).
+//! The generator synthesizes a random genome and samples overlapping reads
+//! at a configurable coverage, so k-mers genuinely repeat across reads.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+
+/// Configuration for the read generator.
+#[derive(Debug, Clone)]
+pub struct DnaConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Mean sequencing coverage (reads overlapping each genome position).
+    pub coverage: f64,
+    /// Per-base sequencing error rate (substitutions).
+    pub error_rate: f64,
+}
+
+impl Default for DnaConfig {
+    fn default() -> Self {
+        DnaConfig {
+            target_bytes: 1 << 20,
+            read_len: 100,
+            coverage: 8.0,
+            error_rate: 0.001,
+        }
+    }
+}
+
+const BASES: [u8; 4] = *b"ACGT";
+
+/// Generate a read dataset. One record per read line.
+pub fn generate(cfg: &DnaConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let read_len = cfg.read_len.max(8);
+    // target reads ≈ target_bytes / (read_len + 1); genome sized so that
+    // coverage = reads * read_len / genome_len.
+    let n_reads = (cfg.target_bytes / (read_len as u64 + 1)).max(1);
+    let genome_len =
+        ((n_reads as f64 * read_len as f64 / cfg.coverage.max(0.1)) as usize).max(read_len + 1);
+    let mut genome = Vec::with_capacity(genome_len);
+    for _ in 0..genome_len {
+        genome.push(BASES[rng.below(4) as usize]);
+    }
+    let mut ds = Dataset::new();
+    let mut read = Vec::with_capacity(read_len + 1);
+    while ds.size_bytes() < cfg.target_bytes {
+        let start = rng.below((genome_len - read_len) as u64) as usize;
+        read.clear();
+        read.extend_from_slice(&genome[start..start + read_len]);
+        if cfg.error_rate > 0.0 {
+            for b in read.iter_mut() {
+                if rng.f64() < cfg.error_rate {
+                    *b = BASES[rng.below(4) as usize];
+                }
+            }
+        }
+        read.push(b'\n');
+        ds.push_record(&read);
+    }
+    ds
+}
+
+/// Encode base byte → 2-bit code (A=0 C=1 G=2 T=3); `None` for non-bases.
+#[inline]
+pub fn base_code(b: u8) -> Option<u8> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// The de Bruijn edge bits for a k-mer occurrence: bits 0-3 mark the
+/// predecessor base (if any), bits 4-7 the successor base. OR-combining
+/// occurrences accumulates the k-mer's full edge set — the value the DNA
+/// application stores.
+pub fn edge_bits(prev: Option<u8>, next: Option<u8>) -> u64 {
+    let mut bits = 0u64;
+    if let Some(p) = prev.and_then(base_code) {
+        bits |= 1 << p;
+    }
+    if let Some(n) = next.and_then(base_code) {
+        bits |= 1 << (4 + n);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn reads_are_well_formed() {
+        let cfg = DnaConfig {
+            target_bytes: 50_000,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 1);
+        assert!(ds.len() > 400);
+        for rec in ds.records() {
+            assert_eq!(rec.len(), 101);
+            assert_eq!(rec[100], b'\n');
+            assert!(rec[..100].iter().all(|b| BASES.contains(b)));
+        }
+    }
+
+    #[test]
+    fn coverage_produces_repeated_kmers() {
+        let cfg = DnaConfig {
+            target_bytes: 100_000,
+            coverage: 10.0,
+            error_rate: 0.0,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 2);
+        let k = 16;
+        let mut counts: HashMap<&[u8], u32> = HashMap::new();
+        for rec in ds.records() {
+            let bases = &rec[..rec.len() - 1];
+            for w in bases.windows(k) {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let repeated = counts.values().filter(|&&c| c > 1).count();
+        assert!(
+            repeated as f64 / counts.len() as f64 > 0.5,
+            "high coverage must repeat most k-mers: {}/{}",
+            repeated,
+            counts.len()
+        );
+    }
+
+    #[test]
+    fn edge_bits_accumulate_under_or() {
+        let occ1 = edge_bits(Some(b'A'), Some(b'C'));
+        let occ2 = edge_bits(Some(b'G'), None);
+        let merged = occ1 | occ2;
+        assert_eq!(merged & 0xF, 0b0101); // predecessors A and G
+        assert_eq!((merged >> 4) & 0xF, 0b0010); // successor C
+        assert_eq!(edge_bits(None, None), 0);
+    }
+
+    #[test]
+    fn base_codes() {
+        assert_eq!(base_code(b'A'), Some(0));
+        assert_eq!(base_code(b'T'), Some(3));
+        assert_eq!(base_code(b'N'), None);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DnaConfig {
+            target_bytes: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, 7).bytes, generate(&cfg, 7).bytes);
+        assert_ne!(generate(&cfg, 7).bytes, generate(&cfg, 8).bytes);
+    }
+}

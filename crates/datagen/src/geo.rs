@@ -1,0 +1,150 @@
+//! Geo Location input: geotagged article records.
+//!
+//! The MapReduce application "groups Wikipedia articles based on the
+//! geographic location from which they have been created" (§VI-A),
+//! inserting `<location string, article ID>` under MAP_GROUP. Article
+//! density is wildly skewed across places (cities vs. oceans), modelled
+//! with a Zipf draw over a place universe of named grid cells.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Configuration for the geo generator.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Distinct places; `None` derives from volume.
+    pub n_places: Option<usize>,
+    /// Zipf exponent of article density per place.
+    pub zipf_exponent: f64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            target_bytes: 1 << 20,
+            n_places: None,
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+/// Render the place with rank `r` as a `lat,lon@name` location string.
+pub fn place(rank: usize) -> String {
+    // Deterministic pseudo-coordinates on a 0.1-degree grid.
+    let h = (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let lat = (h % 1800) as i64 - 900;
+    let lon = ((h >> 16) % 3600) as i64 - 1800;
+    format!(
+        "{}.{},{}.{}@place{rank:06}",
+        lat / 10,
+        (lat % 10).abs(),
+        lon / 10,
+        (lon % 10).abs()
+    )
+}
+
+const APPROX_LINE: u64 = 78;
+
+/// Generate a geo dataset: lines of
+/// `<articleId> <location-string> <metadata>`.
+pub fn generate(cfg: &GeoConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let n_articles = (cfg.target_bytes / APPROX_LINE).max(1);
+    let n_places = cfg.n_places.unwrap_or((n_articles / 8).max(2) as usize);
+    let zipf = Zipf::new(n_places, cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut line = String::new();
+    let mut article = 0u64;
+    while ds.size_bytes() < cfg.target_bytes {
+        let p = zipf.sample(&mut rng);
+        line.clear();
+        line.push_str(&format!(
+            "A{article:09} {} rev:{:04} lang:{} bytes:{:06}\n",
+            place(p),
+            rng.below(10_000),
+            ["en", "de", "fr", "ja", "pt", "ru"][rng.below(6) as usize],
+            rng.range(300, 90_000),
+        ));
+        ds.push_record(line.as_bytes());
+        article += 1;
+    }
+    ds
+}
+
+/// Parse a geo record into `(article_id, location)` — the first two
+/// fields; trailing metadata (revision, language, size) is ignored.
+pub fn parse_article(record: &[u8]) -> Option<(&[u8], &[u8])> {
+    let sp = record.iter().position(|&b| b == b' ')?;
+    let article = &record[..sp];
+    let rest = &record[sp + 1..];
+    let end = rest
+        .iter()
+        .position(|&b| b == b' ' || b == b'\n')
+        .unwrap_or(rest.len());
+    if article.is_empty() || end == 0 {
+        return None;
+    }
+    Some((article, &rest[..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn articles_parse_back() {
+        let ds = generate(
+            &GeoConfig {
+                target_bytes: 40_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(ds.len() > 500);
+        for (i, rec) in ds.records().enumerate() {
+            let (article, loc) = parse_article(rec).unwrap();
+            assert_eq!(article, format!("A{i:09}").as_bytes());
+            assert!(loc.windows(6).any(|w| w == b"@place"));
+        }
+    }
+
+    #[test]
+    fn places_unique_per_rank() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..5_000 {
+            assert!(seen.insert(place(r)));
+        }
+    }
+
+    #[test]
+    fn popular_places_dominate() {
+        let ds = generate(
+            &GeoConfig {
+                target_bytes: 80_000,
+                n_places: Some(300),
+                zipf_exponent: 1.1,
+            },
+            2,
+        );
+        let mut counts = std::collections::HashMap::new();
+        for rec in ds.records() {
+            let (_, loc) = parse_article(rec).unwrap();
+            *counts.entry(loc.to_vec()).or_insert(0u32) += 1;
+        }
+        let total: u32 = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        assert!(max as f64 / total as f64 > 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeoConfig {
+            target_bytes: 4_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, 3).bytes, generate(&cfg, 3).bytes);
+    }
+}

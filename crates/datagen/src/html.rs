@@ -1,0 +1,178 @@
+//! Inverted Index input: HTML documents with hyperlinks.
+//!
+//! Each record is one HTML page; the application scans it for
+//! `<a href="...">` hyperlinks and inserts `<link URL, page path>` under
+//! the multi-valued organization (§IV-B, Fig. 3). Link targets span a wide
+//! length range ("URLs that are between 5 and thousands of characters",
+//! §IV fn. 4) — precisely the variable-length-key case the dynamic
+//! allocator exists for.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Configuration for the HTML corpus generator.
+#[derive(Debug, Clone)]
+pub struct HtmlConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Distinct link targets; `None` derives from volume.
+    pub n_links: Option<usize>,
+    /// Hyperlinks per page (mean).
+    pub links_per_page: usize,
+    /// Zipf exponent of link popularity.
+    pub zipf_exponent: f64,
+}
+
+impl Default for HtmlConfig {
+    fn default() -> Self {
+        HtmlConfig {
+            target_bytes: 1 << 20,
+            n_links: None,
+            links_per_page: 24,
+            zipf_exponent: 0.8,
+        }
+    }
+}
+
+/// The link URL with rank `r`. Lengths vary from short hosts to long deep
+/// paths, exercising variable-length keys.
+pub fn link_url(rank: usize) -> String {
+    let host = rank % 211;
+    match rank % 5 {
+        0 => format!("http://h{:05}.org", rank / 5),
+        1 => format!("http://h{host:03}.org/a/{rank:x}"),
+        2 => format!("http://h{host:03}.org/articles/{rank:08}/index.html"),
+        3 => format!(
+            "http://h{host:03}.org/very/deep/path/with/many/segments/{rank:010}/resource.html"
+        ),
+        _ => format!(
+            "http://h{host:03}.org/search?q=term{}&page={}&session={:016x}&locale=en-us",
+            rank % 1000,
+            rank % 30,
+            (rank as u64).wrapping_mul(0x9e3779b97f4a7c15)
+        ),
+    }
+}
+
+/// Generate an HTML corpus. One record per page.
+pub fn generate(cfg: &HtmlConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    // Rough page size: header/footer + links * ~90 bytes.
+    let approx_page = 120 + cfg.links_per_page as u64 * 90;
+    let n_pages = (cfg.target_bytes / approx_page).max(1);
+    let n_links = cfg
+        .n_links
+        .unwrap_or(((n_pages as usize) * cfg.links_per_page / 6).max(1));
+    let zipf = Zipf::new(n_links, cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut page = String::new();
+    let mut idx = 0usize;
+    while ds.size_bytes() < cfg.target_bytes {
+        page.clear();
+        page.push_str("<html><head><title>page</title></head><body>\n");
+        // Page path comment marks the record's identity for the app.
+        page.push_str(&format!("<!--path:docs/doc{idx:08}.html-->\n"));
+        let n =
+            cfg.links_per_page.max(1) / 2 + rng.below(cfg.links_per_page.max(1) as u64) as usize;
+        for _ in 0..n {
+            let l = zipf.sample(&mut rng);
+            page.push_str("<p>text <a href=\"");
+            page.push_str(&link_url(l));
+            page.push_str("\">anchor</a></p>\n");
+        }
+        page.push_str("</body></html>\n");
+        ds.push_record(page.as_bytes());
+        idx += 1;
+    }
+    ds
+}
+
+/// Parse a page record: returns `(page_path, link_urls)` — the Inverted
+/// Index map step.
+pub fn parse_page(record: &[u8]) -> (Vec<u8>, Vec<&[u8]>) {
+    let path = find_between(record, b"<!--path:", b"-->").unwrap_or(b"unknown");
+    let mut links = Vec::new();
+    let mut rest = record;
+    while let Some(start) = find(rest, b"<a href=\"") {
+        let from = start + 9;
+        let Some(len) = rest[from..].iter().position(|&b| b == b'"') else {
+            break;
+        };
+        links.push(&rest[from..from + len]);
+        rest = &rest[from + len..];
+    }
+    (path.to_vec(), links)
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn find_between<'a>(haystack: &'a [u8], open: &[u8], close: &[u8]) -> Option<&'a [u8]> {
+    let start = find(haystack, open)? + open.len();
+    let len = find(&haystack[start..], close)?;
+    Some(&haystack[start..start + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_parse_back() {
+        let ds = generate(
+            &HtmlConfig {
+                target_bytes: 100_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(ds.len() > 10);
+        for (i, rec) in ds.records().enumerate() {
+            let (path, links) = parse_page(rec);
+            assert_eq!(path, format!("docs/doc{i:08}.html").as_bytes());
+            assert!(!links.is_empty());
+            for l in links {
+                assert!(l.starts_with(b"http://h"));
+            }
+        }
+    }
+
+    #[test]
+    fn link_lengths_vary_widely() {
+        let lens: Vec<usize> = (0..100).map(|r| link_url(r).len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(min < 20, "shortest {min}");
+        assert!(max > 70, "longest {max}");
+    }
+
+    #[test]
+    fn links_unique_per_rank() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..5_000 {
+            assert!(seen.insert(link_url(r)));
+        }
+    }
+
+    #[test]
+    fn popular_links_repeat_across_pages() {
+        let ds = generate(
+            &HtmlConfig {
+                target_bytes: 150_000,
+                n_links: Some(200),
+                ..Default::default()
+            },
+            3,
+        );
+        let mut counts = std::collections::HashMap::new();
+        for rec in ds.records() {
+            for l in parse_page(rec).1 {
+                *counts.entry(l.to_vec()).or_insert(0u32) += 1;
+            }
+        }
+        assert!(counts.len() <= 200);
+        assert!(counts.values().any(|&c| c > 10));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sepo-datagen — synthetic datasets for the seven evaluation apps
+//!
+//! The paper evaluates on production-style corpora (web logs, HTML crawls,
+//! DNA reads, Netflix ratings, patent citations, geotagged Wikipedia
+//! articles) that are not redistributable. These generators produce seeded
+//! synthetic equivalents with matched *hash-table-relevant* structure — the
+//! number, size, and uniqueness distribution of keys — which is what drives
+//! every behaviour the paper measures (duplicate-key combining, bucket
+//! contention, variable-length allocation, table growth past device
+//! memory).
+//!
+//! All generators are deterministic given a seed (own xoshiro256**
+//! [`rng::Rng`], own [`zipf::Zipf`] sampler) and emit a [`dataset::Dataset`]:
+//! a contiguous byte blob with explicit record boundaries, ready for the
+//! SEPO driver's task decomposition. [`sizes::App`] carries the Table I
+//! size ladder and per-app dispatch.
+
+pub mod dataset;
+pub mod dna;
+pub mod geo;
+pub mod html;
+pub mod patents;
+pub mod ratings;
+pub mod rng;
+pub mod sizes;
+pub mod text;
+pub mod weblog;
+pub mod words;
+pub mod zipf;
+
+pub use dataset::Dataset;
+pub use rng::Rng;
+pub use sizes::App;
+pub use zipf::Zipf;

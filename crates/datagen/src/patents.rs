@@ -1,0 +1,142 @@
+//! Patent Citation input: citation edges.
+//!
+//! The MapReduce application "produces a reverse patent citation directory"
+//! (§VI-A): for each record `<citing cites cited>` it inserts
+//! `<cited, citing>` under MAP_GROUP (multi-valued), grouping all citing
+//! patents per cited patent. Citation in-degree follows a power law —
+//! famous patents are cited by thousands — which the generator models with
+//! a Zipf draw over the cited universe.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Configuration for the citation generator.
+#[derive(Debug, Clone)]
+pub struct PatentsConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Citable patent universe; `None` derives from volume.
+    pub n_patents: Option<usize>,
+    /// Zipf exponent of citation in-degree.
+    pub zipf_exponent: f64,
+}
+
+impl Default for PatentsConfig {
+    fn default() -> Self {
+        PatentsConfig {
+            target_bytes: 1 << 20,
+            n_patents: None,
+            zipf_exponent: 0.75,
+        }
+    }
+}
+
+const APPROX_LINE: u64 = 58;
+
+/// Generate a citation dataset: lines of
+/// `<citing> <cited> <year> <class> <country>`.
+pub fn generate(cfg: &PatentsConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let n_edges = (cfg.target_bytes / APPROX_LINE).max(1);
+    let n_patents = cfg.n_patents.unwrap_or((n_edges / 4).max(2) as usize);
+    let zipf = Zipf::new(n_patents, cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut line = String::new();
+    while ds.size_bytes() < cfg.target_bytes {
+        // Citing patents are "newer": drawn uniformly; cited ones are
+        // popularity-skewed. A patent cannot cite itself.
+        let citing = rng.below(n_patents as u64);
+        let mut cited = zipf.sample(&mut rng) as u64;
+        if cited == citing {
+            cited = (cited + 1) % n_patents as u64;
+        }
+        line.clear();
+        let year = 1960 + (citing % 60);
+        let class = cited % 500;
+        let cc = ["us", "jp", "de", "kr", "cn", "fr"][(citing % 6) as usize];
+        line.push_str(&format!(
+            "{citing:08} {cited:08} {year} c{class:03} {cc} g{:02} t{:04} f{:03}\n",
+            citing % 40,
+            cited % 9000,
+            (citing ^ cited) % 600,
+        ));
+        ds.push_record(line.as_bytes());
+    }
+    ds
+}
+
+/// Parse a citation record into `(citing, cited)` — the first two fields;
+/// trailing metadata (year, class, country) is ignored.
+pub fn parse_citation(record: &[u8]) -> Option<(&[u8], &[u8])> {
+    let sp = record.iter().position(|&b| b == b' ')?;
+    let citing = &record[..sp];
+    let rest = &record[sp + 1..];
+    let end = rest
+        .iter()
+        .position(|&b| b == b' ' || b == b'\n')
+        .unwrap_or(rest.len());
+    if citing.is_empty() || end == 0 {
+        return None;
+    }
+    Some((citing, &rest[..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn edges_parse_back() {
+        let ds = generate(
+            &PatentsConfig {
+                target_bytes: 40_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(ds.len() > 700); // ~45-byte records over 40 KB
+        for rec in ds.records() {
+            let (citing, cited) = parse_citation(rec).unwrap();
+            assert_eq!(citing.len(), 8);
+            assert_eq!(cited.len(), 8);
+            assert_ne!(citing, cited, "self-citation");
+        }
+    }
+
+    #[test]
+    fn in_degree_is_power_law_ish() {
+        let ds = generate(
+            &PatentsConfig {
+                target_bytes: 100_000,
+                n_patents: Some(1_000),
+                zipf_exponent: 1.0,
+            },
+            2,
+        );
+        let mut indeg: HashMap<Vec<u8>, u32> = HashMap::new();
+        for rec in ds.records() {
+            let (_, cited) = parse_citation(rec).unwrap();
+            *indeg.entry(cited.to_vec()).or_default() += 1;
+        }
+        let max = *indeg.values().max().unwrap();
+        let mean = indeg.values().sum::<u32>() as f64 / indeg.len() as f64;
+        assert!(max as f64 > 10.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PatentsConfig {
+            target_bytes: 5_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, 4).bytes, generate(&cfg, 4).bytes);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_citation(b"nospace").is_none());
+        assert!(parse_citation(b" x").is_none());
+    }
+}

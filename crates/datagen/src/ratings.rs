@@ -1,0 +1,177 @@
+//! Netflix input: per-movie rating records.
+//!
+//! The application "calculates a similarity score between each pair of
+//! users based on their movie preferences" \[3\]: for every movie, every pair
+//! of users who both rated it contributes `<userA&userB, score>` to the
+//! hash table, combined by addition across movies (§VI-A). Records are one
+//! movie per line with its raters, so one task emits `k·(k-1)/2` pairs —
+//! the multi-pair-per-task case the SEPO driver's progress counter exists
+//! for.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Configuration for the ratings generator.
+#[derive(Debug, Clone)]
+pub struct RatingsConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// User universe size; `None` derives from volume.
+    pub n_users: Option<usize>,
+    /// Raters per movie record (mean; actual is uniform in `[k/2, 3k/2)`).
+    pub raters_per_movie: usize,
+    /// Zipf exponent of user activity.
+    pub zipf_exponent: f64,
+}
+
+impl Default for RatingsConfig {
+    fn default() -> Self {
+        RatingsConfig {
+            target_bytes: 1 << 20,
+            n_users: None,
+            raters_per_movie: 10,
+            zipf_exponent: 0.6,
+        }
+    }
+}
+
+/// Generate a ratings dataset: lines of `m<movie> u<user>:<rating> ...`.
+pub fn generate(cfg: &RatingsConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let k = cfg.raters_per_movie.max(2);
+    let approx_line = 8 + k as u64 * 12;
+    let n_movies = (cfg.target_bytes / approx_line).max(1);
+    let n_users = cfg
+        .n_users
+        .unwrap_or(((n_movies as usize * k) / 20).max(16));
+    let zipf = Zipf::new(n_users, cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut line = String::new();
+    let mut movie = 0u64;
+    let mut raters: Vec<usize> = Vec::new();
+    while ds.size_bytes() < cfg.target_bytes {
+        let n = (k / 2 + rng.below(k as u64) as usize).max(2);
+        raters.clear();
+        while raters.len() < n {
+            let u = zipf.sample(&mut rng);
+            if !raters.contains(&u) {
+                raters.push(u);
+            }
+        }
+        line.clear();
+        line.push_str(&format!("m{movie:07}"));
+        for &u in &raters {
+            line.push_str(&format!(" u{u:07}:{}", 1 + rng.below(5)));
+        }
+        line.push('\n');
+        ds.push_record(line.as_bytes());
+        movie += 1;
+    }
+    ds
+}
+
+/// Parse a movie record into `(movie_id, [(user, rating)])`.
+pub fn parse_movie(record: &[u8]) -> Option<(u64, Vec<(u64, u8)>)> {
+    let s = std::str::from_utf8(record).ok()?;
+    let mut fields = s.split_whitespace();
+    let movie = fields.next()?.strip_prefix('m')?.parse().ok()?;
+    let mut raters = Vec::new();
+    for f in fields {
+        let (u, r) = f.split_once(':')?;
+        raters.push((u.strip_prefix('u')?.parse().ok()?, r.parse().ok()?));
+    }
+    Some((movie, raters))
+}
+
+/// The pair key for users `a` and `b` — order-normalized so `<a,b>` and
+/// `<b,a>` combine.
+pub fn pair_key(a: u64, b: u64) -> [u8; 16] {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&lo.to_le_bytes());
+    key[8..].copy_from_slice(&hi.to_le_bytes());
+    key
+}
+
+/// The similarity contribution of two ratings of the same movie: higher
+/// when the ratings agree (a simple co-preference score).
+pub fn similarity(ra: u8, rb: u8) -> u64 {
+    let diff = ra.abs_diff(rb) as u64;
+    4u64.saturating_sub(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_parse_back() {
+        let ds = generate(
+            &RatingsConfig {
+                target_bytes: 50_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(ds.len() > 100);
+        for (i, rec) in ds.records().enumerate() {
+            let (movie, raters) = parse_movie(rec).expect("parseable");
+            assert_eq!(movie, i as u64);
+            assert!(raters.len() >= 2);
+            assert!(raters.iter().all(|&(_, r)| (1..=5).contains(&r)));
+            // Raters unique within a movie.
+            let mut us: Vec<u64> = raters.iter().map(|&(u, _)| u).collect();
+            us.sort_unstable();
+            us.dedup();
+            assert_eq!(us.len(), raters.len());
+        }
+    }
+
+    #[test]
+    fn pair_key_is_order_normalized() {
+        assert_eq!(pair_key(3, 9), pair_key(9, 3));
+        assert_ne!(pair_key(3, 9), pair_key(3, 10));
+    }
+
+    #[test]
+    fn similarity_rewards_agreement() {
+        assert_eq!(similarity(5, 5), 4);
+        assert_eq!(similarity(1, 5), 0);
+        assert!(similarity(4, 5) > similarity(2, 5));
+        assert_eq!(similarity(2, 4), similarity(4, 2));
+    }
+
+    #[test]
+    fn active_users_co_occur_across_movies() {
+        // Zipf user activity must produce repeated pairs — the combining
+        // workload.
+        let ds = generate(
+            &RatingsConfig {
+                target_bytes: 120_000,
+                n_users: Some(200),
+                zipf_exponent: 0.9,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut pair_counts = std::collections::HashMap::new();
+        for rec in ds.records() {
+            let (_, raters) = parse_movie(rec).unwrap();
+            for i in 0..raters.len() {
+                for j in i + 1..raters.len() {
+                    *pair_counts
+                        .entry(pair_key(raters[i].0, raters[j].0))
+                        .or_insert(0u32) += 1;
+                }
+            }
+        }
+        assert!(pair_counts.values().any(|&c| c > 3), "no repeated pairs");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_movie(b"not a movie line").is_none());
+        assert!(parse_movie(b"m1 u2").is_none()); // missing rating
+    }
+}

@@ -1,0 +1,193 @@
+//! The Table I dataset ladder.
+//!
+//! The paper evaluates seven applications, each on four input sizes
+//! (Table I). Paper-scale sizes are in gigabytes; the harness divides them
+//! by a global scale factor (matching `gpu_sim::SystemSpec::scaled`) so
+//! the iteration behaviour — hash table several times larger than device
+//! memory at the top sizes — is preserved while runs stay fast.
+
+use crate::dataset::Dataset;
+use crate::{dna, geo, html, patents, ratings, text, weblog};
+
+/// The seven evaluation applications, in the paper's Table I order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    InvertedIndex,
+    PageViewCount,
+    DnaAssembly,
+    Netflix,
+    WordCount,
+    PatentCitation,
+    GeoLocation,
+}
+
+impl App {
+    /// All applications, Table I order.
+    pub const ALL: [App; 7] = [
+        App::InvertedIndex,
+        App::PageViewCount,
+        App::DnaAssembly,
+        App::Netflix,
+        App::WordCount,
+        App::PatentCitation,
+        App::GeoLocation,
+    ];
+
+    /// The three MapReduce applications (evaluated against Phoenix++ and
+    /// MapCG).
+    pub const MAPREDUCE: [App; 3] = [App::WordCount, App::PatentCitation, App::GeoLocation];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::InvertedIndex => "Inverted Index",
+            App::PageViewCount => "Page View Count",
+            App::DnaAssembly => "DNA Assembly",
+            App::Netflix => "Netflix",
+            App::WordCount => "Word Count (MapReduce)",
+            App::PatentCitation => "Patent Citation (MapReduce)",
+            App::GeoLocation => "Geo Location (MapReduce)",
+        }
+    }
+
+    /// Table I input sizes at paper scale, in megabytes, datasets #1–#4.
+    pub fn table1_mb(&self) -> [u64; 4] {
+        match self {
+            App::InvertedIndex => [2_000, 3_000, 4_000, 5_000],
+            App::PageViewCount => [600, 2_200, 3_800, 5_800],
+            App::DnaAssembly => [2_000, 4_000, 6_000, 8_000],
+            App::Netflix => [1_600, 3_200, 4_800, 6_400],
+            App::WordCount => [200, 2_000, 3_000, 4_000],
+            App::PatentCitation => [200, 2_000, 3_400, 4_800],
+            App::GeoLocation => [200, 1_800, 3_200, 5_000],
+        }
+    }
+
+    /// Dataset size in bytes for dataset index `idx` (0-based) divided by
+    /// `scale`.
+    pub fn dataset_bytes(&self, idx: usize, scale: u64) -> u64 {
+        assert!(idx < 4, "Table I has four datasets");
+        self.table1_mb()[idx] * 1_000_000 / scale.max(1)
+    }
+
+    /// Generate dataset `idx` at 1/`scale` of paper size, deterministically
+    /// seeded per (app, idx).
+    pub fn generate(&self, idx: usize, scale: u64) -> Dataset {
+        let bytes = self.dataset_bytes(idx, scale);
+        let seed = 0xC0FFEE ^ ((*self as u64) << 8) ^ idx as u64;
+        match self {
+            App::InvertedIndex => html::generate(
+                &html::HtmlConfig {
+                    target_bytes: bytes,
+                    ..Default::default()
+                },
+                seed,
+            ),
+            App::PageViewCount => weblog::generate(
+                &weblog::WeblogConfig {
+                    target_bytes: bytes,
+                    ..Default::default()
+                },
+                seed,
+            ),
+            // Coverage 64: distinct k-mers ≈ input/64, so the k-mer table
+            // grows to a few multiples of the scaled device heap at the top
+            // dataset sizes — the paper's multi-iteration regime.
+            App::DnaAssembly => dna::generate(
+                &dna::DnaConfig {
+                    target_bytes: bytes,
+                    coverage: 64.0,
+                    error_rate: 0.0,
+                    ..Default::default()
+                },
+                seed,
+            ),
+            // 8 raters per movie (28 pairs/record) over a compact, skewed
+            // user universe so user pairs repeat — the combining workload.
+            App::Netflix => ratings::generate(
+                &ratings::RatingsConfig {
+                    target_bytes: bytes,
+                    raters_per_movie: 8,
+                    n_users: Some(((bytes / 20_000) as usize).max(64)),
+                    zipf_exponent: 1.0,
+                },
+                seed,
+            ),
+            // The vocabulary scales with the (scaled) volume, keeping the
+            // paper's property that Word Count's table is small relative to
+            // device memory while staying duplicate-heavy.
+            App::WordCount => text::generate(
+                &text::TextConfig {
+                    target_bytes: bytes,
+                    vocab_size: ((bytes / 500) as usize).clamp(500, 40_000),
+                    ..Default::default()
+                },
+                seed,
+            ),
+            App::PatentCitation => patents::generate(
+                &patents::PatentsConfig {
+                    target_bytes: bytes,
+                    ..Default::default()
+                },
+                seed,
+            ),
+            App::GeoLocation => geo::generate(
+                &geo::GeoConfig {
+                    target_bytes: bytes,
+                    ..Default::default()
+                },
+                seed,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(App::PageViewCount.table1_mb(), [600, 2_200, 3_800, 5_800]);
+        assert_eq!(App::DnaAssembly.table1_mb(), [2_000, 4_000, 6_000, 8_000]);
+        assert_eq!(App::WordCount.table1_mb()[0], 200);
+    }
+
+    #[test]
+    fn sizes_scale_down() {
+        let full = App::Netflix.dataset_bytes(3, 1);
+        let scaled = App::Netflix.dataset_bytes(3, 256);
+        assert_eq!(full, 6_400_000_000);
+        assert_eq!(scaled, full / 256);
+    }
+
+    #[test]
+    fn generation_hits_scaled_sizes() {
+        // Heavy-ish test at a big scale divisor to stay fast.
+        for app in App::ALL {
+            let ds = app.generate(0, 4096);
+            let want = app.dataset_bytes(0, 4096);
+            assert!(
+                ds.size_bytes() >= want && ds.size_bytes() < want + want / 5 + 4_096,
+                "{}: got {} want ~{}",
+                app.name(),
+                ds.size_bytes(),
+                want
+            );
+            assert!(!ds.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = App::WordCount.generate(1, 8192);
+        let b = App::WordCount.generate(1, 8192);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "four datasets")]
+    fn dataset_index_bounds() {
+        let _ = App::WordCount.dataset_bytes(4, 1);
+    }
+}

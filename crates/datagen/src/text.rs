@@ -1,0 +1,144 @@
+//! Word Count input: plain-text documents.
+//!
+//! "The input dataset of Word Count typically consists of text documents
+//! which contain a limited number of distinct words no matter how large the
+//! document is" (§VI-B) — the property that makes Word Count combine-heavy
+//! and contention-bound on the GPU. The generator fixes the vocabulary size
+//! independent of the target volume and draws words Zipf(1.05), matching
+//! natural-language skew. Records are lines of roughly `line_words` words.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::words;
+use crate::zipf::Zipf;
+
+/// Configuration for the text generator.
+#[derive(Debug, Clone)]
+pub struct TextConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Distinct words available (fixed regardless of volume).
+    pub vocab_size: usize,
+    /// Zipf exponent of word frequency.
+    pub zipf_exponent: f64,
+    /// Words per line (record).
+    pub line_words: usize,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig {
+            target_bytes: 1 << 20,
+            vocab_size: 40_000,
+            zipf_exponent: 1.05,
+            line_words: 12,
+        }
+    }
+}
+
+/// Generate a text dataset.
+pub fn generate(cfg: &TextConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let vocab = words::vocabulary(cfg.vocab_size.max(1));
+    let zipf = Zipf::new(vocab.len(), cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut line = String::new();
+    while ds.size_bytes() < cfg.target_bytes {
+        line.clear();
+        for w in 0..cfg.line_words.max(1) {
+            if w > 0 {
+                line.push(' ');
+            }
+            line.push_str(&vocab[zipf.sample(&mut rng)]);
+        }
+        line.push('\n');
+        ds.push_record(line.as_bytes());
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hits_target_size_approximately() {
+        let cfg = TextConfig {
+            target_bytes: 100_000,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 1);
+        assert!(ds.size_bytes() >= 100_000);
+        assert!(ds.size_bytes() < 110_000, "{}", ds.size_bytes());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TextConfig {
+            target_bytes: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, 5).bytes, generate(&cfg, 5).bytes);
+        assert_ne!(generate(&cfg, 5).bytes, generate(&cfg, 6).bytes);
+    }
+
+    #[test]
+    fn records_are_lines_of_words() {
+        let cfg = TextConfig {
+            target_bytes: 5_000,
+            line_words: 7,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 2);
+        for rec in ds.records() {
+            let s = std::str::from_utf8(rec).unwrap();
+            assert!(s.ends_with('\n'));
+            assert_eq!(s.trim_end().split(' ').count(), 7);
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let cfg = TextConfig {
+            target_bytes: 200_000,
+            vocab_size: 2_000,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 3);
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for rec in ds.records() {
+            for w in std::str::from_utf8(rec).unwrap().split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let total: u32 = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        // The hottest word ('the') should take a large share — the Word
+        // Count contention driver.
+        assert!(
+            max as f64 / total as f64 > 0.08,
+            "max share {}",
+            max as f64 / total as f64
+        );
+        // Far fewer distinct words than tokens.
+        assert!(counts.len() < total as usize / 10);
+    }
+
+    #[test]
+    fn vocab_bounds_distinct_words() {
+        let cfg = TextConfig {
+            target_bytes: 50_000,
+            vocab_size: 100,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 4);
+        let mut distinct = std::collections::HashSet::new();
+        for rec in ds.records() {
+            for w in std::str::from_utf8(rec).unwrap().split_whitespace() {
+                distinct.insert(w.to_string());
+            }
+        }
+        assert!(distinct.len() <= 100);
+    }
+}

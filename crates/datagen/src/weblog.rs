@@ -1,0 +1,146 @@
+//! Page View Count input: web-server access logs.
+//!
+//! One request per line; the PVC application extracts the URL and inserts
+//! `<url, 1>` (§III-B). URL popularity is Zipf(0.9) over a URL universe
+//! sized so the final hash table holds a few records per distinct URL —
+//! PVC's table grows to a large fraction of its input (Table III's trace
+//! reaches 1.2 GB), which is what makes it the paper's stress case for
+//! larger-than-memory operation.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Configuration for the web-log generator.
+#[derive(Debug, Clone)]
+pub struct WeblogConfig {
+    /// Approximate total size in bytes.
+    pub target_bytes: u64,
+    /// Distinct URLs; `None` derives one distinct URL per ~3 requests.
+    pub n_urls: Option<usize>,
+    /// Zipf exponent of URL popularity.
+    pub zipf_exponent: f64,
+}
+
+impl Default for WeblogConfig {
+    fn default() -> Self {
+        WeblogConfig {
+            target_bytes: 1 << 20,
+            n_urls: None,
+            zipf_exponent: 0.9,
+        }
+    }
+}
+
+/// Average generated line length, used to derive the URL universe size.
+const APPROX_LINE: u64 = 95;
+
+/// Render the URL with rank `r` (unique per rank, realistic shape/length).
+pub fn url(rank: usize) -> String {
+    let site = rank % 97;
+    let section = (rank / 97) % 23;
+    format!("http://site{site:02}.example.com/s{section:02}/page-{rank:08x}.html")
+}
+
+/// Generate a web-log dataset.
+pub fn generate(cfg: &WeblogConfig, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let n_requests = (cfg.target_bytes / APPROX_LINE).max(1);
+    let n_urls = cfg
+        .n_urls
+        .unwrap_or_else(|| (n_requests / 3).max(1) as usize);
+    let zipf = Zipf::new(n_urls, cfg.zipf_exponent);
+    let mut ds = Dataset::new();
+    let mut line = String::new();
+    while ds.size_bytes() < cfg.target_bytes {
+        let rank = zipf.sample(&mut rng);
+        let ip = rng.below(256 * 256);
+        let status = if rng.below(50) == 0 { 404 } else { 200 };
+        let size = rng.range(200, 40_000);
+        line.clear();
+        line.push_str(&format!(
+            "10.0.{}.{} GET {} {} {}\n",
+            ip / 256,
+            ip % 256,
+            url(rank),
+            status,
+            size
+        ));
+        ds.push_record(line.as_bytes());
+    }
+    ds
+}
+
+/// Extract the URL field from a log record (the PVC parse step).
+pub fn parse_url(record: &[u8]) -> Option<&[u8]> {
+    let s = record;
+    let get = s.windows(4).position(|w| w == b"GET ")? + 4;
+    let rest = &s[get..];
+    let end = rest.iter().position(|&b| b == b' ')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generates_parseable_lines() {
+        let ds = generate(
+            &WeblogConfig {
+                target_bytes: 50_000,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(ds.len() > 400);
+        for rec in ds.records() {
+            let url = parse_url(rec).expect("every line has a URL");
+            assert!(url.starts_with(b"http://site"));
+        }
+    }
+
+    #[test]
+    fn url_universe_is_respected_and_skewed() {
+        let ds = generate(
+            &WeblogConfig {
+                target_bytes: 200_000,
+                n_urls: Some(500),
+                zipf_exponent: 1.0,
+            },
+            2,
+        );
+        let mut counts: HashMap<Vec<u8>, u32> = HashMap::new();
+        for rec in ds.records() {
+            *counts.entry(parse_url(rec).unwrap().to_vec()).or_default() += 1;
+        }
+        assert!(counts.len() <= 500);
+        let max = *counts.values().max().unwrap();
+        let total: u32 = counts.values().sum();
+        assert!(max as f64 / total as f64 > 0.05);
+    }
+
+    #[test]
+    fn urls_are_unique_per_rank() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..10_000 {
+            assert!(seen.insert(url(r)), "duplicate url for rank {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WeblogConfig {
+            target_bytes: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, 9).bytes, generate(&cfg, 9).bytes);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_url(b"no verb here").is_none());
+        assert!(parse_url(b"GET http://x").is_none()); // no trailing space
+    }
+}

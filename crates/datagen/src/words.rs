@@ -1,0 +1,76 @@
+//! Pseudo-word vocabulary.
+//!
+//! Generates unique, pronounceable-ish words where low ranks (the frequent
+//! words under the Zipf draws) get short strings — mirroring natural
+//! language, where frequent words are short. Words are syllable encodings
+//! of the rank, so they are unique by construction and need no
+//! deduplication.
+
+const SYLLABLES: [&str; 64] = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "fa", "fe", "fi", "fo", "fu", "ga",
+    "ge", "gi", "go", "gu", "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me",
+    "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri",
+    "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "tu", "zu", "va", "ve", "vi", "vo",
+];
+
+/// The 16 most frequent ranks map to real English stop words, matching the
+/// paper's observation that words like "that" dominate Word Count inputs.
+const STOP_WORDS: [&str; 16] = [
+    "the", "of", "and", "to", "a", "in", "that", "is", "was", "he", "for", "it", "with", "as",
+    "his", "on",
+];
+
+/// The word for `rank`. Unique across ranks.
+pub fn word(rank: usize) -> String {
+    if rank < STOP_WORDS.len() {
+        return STOP_WORDS[rank].to_string();
+    }
+    let mut n = rank - STOP_WORDS.len();
+    let mut out = String::new();
+    loop {
+        out.push_str(SYLLABLES[n % 64]);
+        n /= 64;
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Materialize the first `n` words (generators cache this).
+pub fn vocabulary(n: usize) -> Vec<String> {
+    (0..n).map(word).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique() {
+        let v = vocabulary(20_000);
+        let set: HashSet<&String> = v.iter().collect();
+        assert_eq!(set.len(), 20_000);
+    }
+
+    #[test]
+    fn frequent_ranks_are_stop_words() {
+        assert_eq!(word(0), "the");
+        assert_eq!(word(6), "that");
+    }
+
+    #[test]
+    fn words_grow_slowly_with_rank() {
+        assert!(word(50).len() <= 4);
+        assert!(word(5_000).len() <= 6);
+        assert!(word(300_000).len() <= 8);
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        for rank in [0usize, 17, 999, 123_456] {
+            assert!(word(rank).bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+}

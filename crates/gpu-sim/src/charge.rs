@@ -1,0 +1,81 @@
+//! Cost-charging abstraction.
+//!
+//! The hash table and allocator run identically inside simulated-GPU
+//! kernels and inside CPU baselines; what differs is where their event
+//! charges go. [`Charge`] abstracts the sink: a kernel lane batches charges
+//! warp-locally ([`crate::executor::LaneCtx`] implements it), while
+//! [`MetricsCharge`] forwards straight to a [`Metrics`] sink for host-side
+//! (baseline) execution.
+
+use crate::metrics::Metrics;
+
+/// Sink for simulated-cost events emitted by shared data structures.
+pub trait Charge {
+    /// Charge `units` of scalar compute work.
+    fn compute(&mut self, units: u64);
+    /// Charge `bytes` of irregular memory traffic.
+    fn device_bytes(&mut self, bytes: u64);
+    /// Record `hops` hash-chain link traversals.
+    fn chain_hops(&mut self, hops: u64);
+}
+
+/// Direct-to-metrics sink used outside kernels (CPU baselines, tests).
+#[derive(Debug)]
+pub struct MetricsCharge<'a>(pub &'a Metrics);
+
+impl Charge for MetricsCharge<'_> {
+    #[inline]
+    fn compute(&mut self, units: u64) {
+        self.0.add_compute_units(units);
+    }
+
+    #[inline]
+    fn device_bytes(&mut self, bytes: u64) {
+        self.0.add_device_bytes(bytes);
+    }
+
+    #[inline]
+    fn chain_hops(&mut self, hops: u64) {
+        self.0.add_chain_hops(hops);
+        self.0.add_device_bytes(hops * 16); // a hop reads one dual link
+    }
+}
+
+/// Sink that discards all charges (pure-correctness tests).
+#[derive(Debug, Default)]
+pub struct NoCharge;
+
+impl Charge for NoCharge {
+    #[inline]
+    fn compute(&mut self, _: u64) {}
+    #[inline]
+    fn device_bytes(&mut self, _: u64) {}
+    #[inline]
+    fn chain_hops(&mut self, _: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_charge_forwards() {
+        let m = Metrics::new();
+        let mut c = MetricsCharge(&m);
+        c.compute(10);
+        c.device_bytes(64);
+        c.chain_hops(3);
+        let s = m.snapshot();
+        assert_eq!(s.compute_units, 10);
+        assert_eq!(s.chain_hops, 3);
+        assert_eq!(s.device_bytes, 64 + 48);
+    }
+
+    #[test]
+    fn no_charge_discards() {
+        let mut c = NoCharge;
+        c.compute(u64::MAX);
+        c.device_bytes(u64::MAX);
+        c.chain_hops(u64::MAX);
+    }
+}

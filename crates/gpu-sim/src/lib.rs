@@ -1,0 +1,52 @@
+//! # gpu-sim — simulated GPU substrate for the SEPO reproduction
+//!
+//! The SEPO paper's hash table runs as CUDA kernels on an Nvidia GTX 780ti.
+//! This crate substitutes that hardware with a *simulated* device that the
+//! rest of the workspace programs against:
+//!
+//! * [`executor::Executor`] — a SIMT-style kernel launcher. Kernels are Rust
+//!   closures run once per task, grouped into warps of 32; in parallel mode
+//!   warps execute concurrently on host threads, so shared structures see
+//!   real atomics and real races. Warp divergence is tracked per warp.
+//! * [`memory::DeviceMemory`] — capacity accounting for the 3 GB device,
+//!   including the "query free space, then grab all of it for the heap"
+//!   idiom the paper's allocator uses.
+//! * [`pcie::PcieBus`] — transfer cost model distinguishing bulk DMA from
+//!   small remote transactions (the economics behind Figures 7 and
+//!   Table III).
+//! * [`cost`] — converts counted events ([`metrics::Metrics`]) into
+//!   simulated time for either engine; [`clock::SimTime`] keeps simulated
+//!   durations apart from wall-clock ones.
+//! * [`pipeline`] — BigKernel-style double-buffered transfer/compute
+//!   overlap (the analytic makespan model); [`staging`] — the buffer
+//!   mechanism itself.
+//! * [`paging`] — the LRU demand-paging replay used for Table III.
+//!
+//! Everything that *matters to the paper's claims* — which inserts get
+//! postponed, how many SEPO iterations a dataset needs, how many bytes move
+//! across the bus — is produced by real execution; only durations are
+//! modelled, using rates calibrated to the paper's testbed ([`spec`]).
+
+pub mod charge;
+pub mod clock;
+pub mod cost;
+pub mod executor;
+pub mod memory;
+pub mod metrics;
+pub mod paging;
+pub mod pcie;
+pub mod pipeline;
+pub mod spec;
+pub mod staging;
+
+pub use charge::{Charge, MetricsCharge, NoCharge};
+pub use clock::{SimClock, SimTime};
+pub use cost::{CpuCostModel, GpuCostModel};
+pub use executor::{ExecMode, Executor, LaneCtx, LaunchStats};
+pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
+pub use metrics::{ContentionHistogram, Metrics, Snapshot};
+pub use paging::{AccessTrace, LruSimulator, PagingOutcome};
+pub use pcie::PcieBus;
+pub use pipeline::{pipelined_total, serial_total};
+pub use spec::{DeviceSpec, HostSpec, PcieSpec, SystemSpec, WARP_SIZE};
+pub use staging::{stream_chunks, StagingBuffers};

@@ -1,0 +1,97 @@
+//! BigKernel-style transfer/compute pipelining model.
+//!
+//! The paper streams input to the device with BigKernel \[10\]: the input is
+//! cut into chunks, and while the GPU computes on chunk *i*, the DMA engine
+//! uploads chunk *i+1* into a second staging buffer (double buffering).
+//! With per-chunk upload times `t_i` and kernel times `c_i`, the makespan is
+//!
+//! ```text
+//! T = t_1 + Σ_{i=2..n} max(t_i, c_{i-1}) + c_n
+//! ```
+//!
+//! i.e. only the first upload and the last kernel are exposed; every other
+//! step hides the cheaper of (upload, previous kernel) behind the dearer.
+
+use crate::clock::SimTime;
+
+/// Makespan of a double-buffered pipeline with per-chunk `transfers` (host →
+/// device upload times) and `computes` (kernel times). The two slices must
+/// have equal length; an empty pipeline takes zero time.
+pub fn pipelined_total(transfers: &[SimTime], computes: &[SimTime]) -> SimTime {
+    assert_eq!(
+        transfers.len(),
+        computes.len(),
+        "pipeline stages must pair one transfer with one compute"
+    );
+    let n = transfers.len();
+    if n == 0 {
+        return SimTime::ZERO;
+    }
+    let mut total = transfers[0];
+    for i in 1..n {
+        total += transfers[i].max(computes[i - 1]);
+    }
+    total + computes[n - 1]
+}
+
+/// Makespan of the same chunk sequence *without* pipelining (transfer, then
+/// compute, strictly alternating). Used by ablations to quantify what
+/// BigKernel-style overlap buys.
+pub fn serial_total(transfers: &[SimTime], computes: &[SimTime]) -> SimTime {
+    assert_eq!(transfers.len(), computes.len());
+    transfers.iter().copied().sum::<SimTime>() + computes.iter().copied().sum::<SimTime>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_pipeline_is_zero() {
+        assert_eq!(pipelined_total(&[], &[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_chunk_is_transfer_plus_compute() {
+        assert_eq!(pipelined_total(&[t(10)], &[t(30)]), t(40));
+    }
+
+    #[test]
+    fn compute_bound_pipeline_hides_transfers() {
+        // 4 chunks, transfer 10ms, compute 30ms:
+        // T = 10 + 3*max(10,30) + 30 = 130ms
+        let tr = vec![t(10); 4];
+        let co = vec![t(30); 4];
+        assert_eq!(pipelined_total(&tr, &co), t(130));
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_hides_compute() {
+        // T = 30 + 3*max(30,10) + 10 = 130ms
+        let tr = vec![t(30); 4];
+        let co = vec![t(10); 4];
+        assert_eq!(pipelined_total(&tr, &co), t(130));
+    }
+
+    #[test]
+    fn pipelining_never_beats_critical_path_nor_loses_to_serial() {
+        let tr = vec![t(5), t(20), t(7), t(11)];
+        let co = vec![t(13), t(2), t(25), t(9)];
+        let p = pipelined_total(&tr, &co);
+        let s = serial_total(&tr, &co);
+        let transfers: SimTime = tr.iter().copied().sum();
+        let computes: SimTime = co.iter().copied().sum();
+        assert!(p <= s, "pipelined {p} must not exceed serial {s}");
+        assert!(p >= transfers.max(computes), "{p} below critical path");
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline stages")]
+    fn mismatched_lengths_panic() {
+        pipelined_total(&[t(1)], &[]);
+    }
+}

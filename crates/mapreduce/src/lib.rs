@@ -1,0 +1,24 @@
+//! # sepo-mapreduce — a GPU MapReduce runtime on the SEPO hash table
+//!
+//! Reproduction of §V of the SEPO paper: a simple MapReduce runtime that
+//! uses BigKernel-style input streaming, the SEPO hash table as its KV
+//! store, and a scheduler for the map and reduce phases. Because the KV
+//! store can exceed device memory, this is "the first GPU-based MapReduce
+//! runtime capable of processing data larger than what GPU memory can
+//! hold".
+//!
+//! * [`partitioner`] — the application-provided *input data partitioner*:
+//!   line, chunk, and separator partitioners over raw input blobs.
+//! * [`runtime::Mode`] — `MAP_REDUCE` (embedded reduce via a combining
+//!   callback) or `MAP_GROUP` (multi-valued grouping without reduction).
+//! * [`runtime::Mapper`] + [`emitter::Emitter`] — the map-side API; the
+//!   emitter makes re-execution after SEPO postponement idempotent by
+//!   numbering pairs and resuming at the saved progress.
+
+pub mod emitter;
+pub mod partitioner;
+pub mod runtime;
+
+pub use emitter::Emitter;
+pub use partitioner::Partition;
+pub use runtime::{run_job, JobConfig, JobOutput, Mapper, Mode};

@@ -1,0 +1,174 @@
+//! Input data partitioning.
+//!
+//! "The application programmer is asked to provide an *input data
+//! partitioner* function which partitions the input data into smaller
+//! chunks, ready to be processed by the map functions" (§V). The
+//! partitioner runs on the CPU; each chunk becomes one map task.
+
+/// Record boundaries over a raw input blob: record `i` is
+/// `bytes[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    pub offsets: Vec<usize>,
+    total: usize,
+}
+
+impl Partition {
+    /// Build from explicit record offsets over a blob of `total` bytes
+    /// (e.g. boundaries a generator already knows).
+    pub fn from_offsets(offsets: Vec<usize>, total: usize) -> Self {
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(offsets.last().is_none_or(|&o| o <= total));
+        Partition { offsets, total }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Record `i` of `bytes`.
+    pub fn record<'a>(&self, bytes: &'a [u8], i: usize) -> &'a [u8] {
+        let start = self.offsets[i];
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.total);
+        &bytes[start..end]
+    }
+
+    /// Size of record `i`.
+    pub fn record_bytes(&self, i: usize) -> u64 {
+        let start = self.offsets[i];
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.total);
+        (end - start) as u64
+    }
+}
+
+/// Partition at newline boundaries: one record per line (including its
+/// terminator). The standard partitioner for log-structured inputs.
+pub fn by_lines(bytes: &[u8]) -> Partition {
+    let mut offsets = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            offsets.push(start);
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        offsets.push(start); // trailing record without newline
+    }
+    Partition {
+        offsets,
+        total: bytes.len(),
+    }
+}
+
+/// Partition into fixed-size chunks aligned down to the previous newline,
+/// so records are never split (chunk-oriented map functions, e.g. Word
+/// Count over multi-line spans).
+pub fn by_chunks(bytes: &[u8], chunk_size: usize) -> Partition {
+    let chunk_size = chunk_size.max(1);
+    let mut offsets = Vec::new();
+    let mut start = 0usize;
+    while start < bytes.len() {
+        offsets.push(start);
+        let mut end = (start + chunk_size).min(bytes.len());
+        if end < bytes.len() {
+            // Extend to the end of the current line.
+            while end < bytes.len() && bytes[end - 1] != b'\n' {
+                end += 1;
+            }
+        }
+        start = end;
+    }
+    Partition {
+        offsets,
+        total: bytes.len(),
+    }
+}
+
+/// Partition at explicit separators (e.g. one HTML document per record,
+/// separated by a sentinel). The separator is kept with the preceding
+/// record.
+pub fn by_separator(bytes: &[u8], sep: &[u8]) -> Partition {
+    assert!(!sep.is_empty());
+    let mut offsets = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i + sep.len() <= bytes.len() {
+        if &bytes[i..i + sep.len()] == sep {
+            offsets.push(start);
+            start = i + sep.len();
+            i = start;
+        } else {
+            i += 1;
+        }
+    }
+    if start < bytes.len() {
+        offsets.push(start);
+    }
+    Partition {
+        offsets,
+        total: bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_correctly() {
+        let data = b"one\ntwo\nthree\n";
+        let p = by_lines(data);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.record(data, 0), b"one\n");
+        assert_eq!(p.record(data, 1), b"two\n");
+        assert_eq!(p.record(data, 2), b"three\n");
+        assert_eq!(p.record_bytes(2), 6);
+    }
+
+    #[test]
+    fn trailing_unterminated_line_is_a_record() {
+        let data = b"a\nb";
+        let p = by_lines(data);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.record(data, 1), b"b");
+    }
+
+    #[test]
+    fn empty_input_has_no_records() {
+        assert!(by_lines(b"").is_empty());
+        assert!(by_chunks(b"", 16).is_empty());
+    }
+
+    #[test]
+    fn chunks_respect_line_boundaries() {
+        let data = b"aaaa\nbbbb\ncccc\ndddd\n";
+        let p = by_chunks(data, 6);
+        assert!(p.len() >= 2);
+        // Every chunk but possibly the last ends on a newline; chunks cover
+        // the input exactly.
+        let mut reassembled = Vec::new();
+        for i in 0..p.len() {
+            let rec = p.record(data, i);
+            if i + 1 < p.len() {
+                assert_eq!(*rec.last().unwrap(), b'\n');
+            }
+            reassembled.extend_from_slice(rec);
+        }
+        assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn separator_partitioning() {
+        let data = b"doc1<!>doc2<!>doc3";
+        let p = by_separator(data, b"<!>");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.record(data, 0), b"doc1<!>");
+        assert_eq!(p.record(data, 2), b"doc3");
+    }
+}

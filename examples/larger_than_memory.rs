@@ -1,0 +1,82 @@
+//! Graceful degradation — the headline claim, measured.
+//!
+//! Runs the same Page View Count workload against a ladder of shrinking
+//! device heaps and reports iterations, evicted volume, and the simulated
+//! end-to-end time. The table grows to several times the heap, yet the
+//! time curve bends gently ("SEPO allows the hash table to grow up to more
+//! than four times larger than the size of available GPU memory before GPU
+//! acceleration is no longer effective", §I) — contrast with the
+//! demand-paging and pinned-memory cliffs in `table3`/`figure7`.
+//!
+//! Run: `cargo run --release --example larger_than_memory`
+
+use sepo::gpu_sim::executor::{ExecMode, Executor};
+use sepo::gpu_sim::metrics::Metrics;
+use sepo::gpu_sim::spec::SystemSpec;
+use sepo::sepo_apps::{pvc, AppConfig};
+use sepo::sepo_datagen::weblog::{generate, WeblogConfig};
+use std::sync::Arc;
+
+fn main() {
+    let ds = generate(
+        &WeblogConfig {
+            target_bytes: 6 << 20,
+            ..Default::default()
+        },
+        1234,
+    );
+
+    // First pass with ample memory to learn the table's real size.
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(ExecMode::Parallel { workers: 0 }, Arc::clone(&metrics));
+    let probe = pvc::run(&ds, &AppConfig::new(64 << 20), &exec);
+    let (_, table_bytes) = probe.table.host_footprint();
+    println!(
+        "input {} bytes -> hash table {} bytes\n",
+        ds.size_bytes(),
+        table_bytes
+    );
+    println!(
+        "{:>12} {:>12} {:>6} {:>14} {:>12} {:>10}",
+        "heap", "table/heap", "iters", "evicted", "sim time", "vs 1-pass"
+    );
+
+    let spec = SystemSpec::paper();
+    let mut one_pass_time = None;
+    for divisor in [1u64, 2, 3, 4, 6, 8] {
+        let heap = (table_bytes / divisor).max(64 * 1024);
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::Parallel { workers: 0 }, Arc::clone(&metrics));
+        let run = pvc::run(&ds, &AppConfig::new(heap), &exec);
+
+        // Simulated end-to-end time (same assembly as the bench harness).
+        let gpu = sepo::gpu_sim::GpuCostModel::new(spec.device.clone());
+        let bus = sepo::gpu_sim::PcieBus::new(spec.pcie.clone(), Arc::new(Metrics::new()));
+        let hist = run.table.full_contention_histogram();
+        let mut total = sepo::gpu_sim::SimTime::ZERO;
+        for it in &run.outcome.iterations {
+            let empty = sepo::gpu_sim::ContentionHistogram::from_counts(std::iter::empty::<u64>());
+            total += gpu.kernel_time(&it.kernel, &empty)
+                + bus.bulk_transfer_time(it.input_bytes)
+                + bus.bulk_transfer_time(it.evict.evicted_bytes);
+        }
+        total += gpu.contention_time(&hist);
+        let slowdown = one_pass_time
+            .map(|t0: sepo::gpu_sim::SimTime| total.ratio(t0))
+            .unwrap_or(1.0);
+        if one_pass_time.is_none() {
+            one_pass_time = Some(total);
+        }
+        println!(
+            "{:>12} {:>11.1}x {:>6} {:>14} {:>12} {:>9.2}x",
+            heap,
+            table_bytes as f64 / heap as f64,
+            run.iterations(),
+            run.outcome.total_evicted_bytes(),
+            total.to_string(),
+            slowdown
+        );
+    }
+    println!("\nnote: 8x oversubscription costs only a small multiple of the");
+    println!("single-pass time — that is SEPO's graceful degradation.");
+}

@@ -1,0 +1,74 @@
+//! Robustness fuzzing: page walkers and host-heap readers must never
+//! panic, loop forever, or read out of bounds on arbitrary byte images —
+//! the result-enumeration path consumes raw page snapshots, so a corrupted
+//! or truncated image must degrade to "fewer entries", never to UB or a
+//! crash.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepo_alloc::{HostHeap, HostLink, PageKind};
+use sepo_core::entry::{parse_at, EntryKind, PageWalker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Walking arbitrary bytes terminates and yields in-bounds views.
+    #[test]
+    fn page_walker_never_panics_on_garbage(
+        bytes in vec(any::<u8>(), 0..2048),
+        kind_sel in 0usize..4,
+    ) {
+        let kind = [
+            EntryKind::Combining,
+            EntryKind::Basic,
+            EntryKind::Key,
+            EntryKind::Value,
+        ][kind_sel];
+        // Bounded by construction: each yielded entry advances the cursor,
+        // but cap iterations anyway so a looping bug fails fast.
+        let mut n = 0;
+        for (off, _entry) in PageWalker::new(&bytes, kind) {
+            prop_assert!(off < bytes.len());
+            n += 1;
+            prop_assert!(n <= bytes.len() + 1, "walker failed to advance");
+        }
+    }
+
+    /// parse_at either returns a strictly advancing offset or None.
+    #[test]
+    fn parse_at_always_advances(
+        bytes in vec(any::<u8>(), 0..512),
+        off in 0usize..600,
+        kind_sel in 0usize..4,
+    ) {
+        let kind = [
+            EntryKind::Combining,
+            EntryKind::Basic,
+            EntryKind::Key,
+            EntryKind::Value,
+        ][kind_sel];
+        if let Some((_, next)) = parse_at(&bytes, off, kind) {
+            prop_assert!(next > off, "parse_at must make progress");
+        }
+    }
+
+    /// Host-heap reads on arbitrary links never panic and respect bounds.
+    #[test]
+    fn host_heap_reads_are_bounded(
+        data in vec(any::<u8>(), 0..256),
+        page_id in 0u64..4,
+        link_page in 0u64..6,
+        offset in 0u32..512,
+        len in 0usize..512,
+    ) {
+        let hh = HostHeap::new();
+        hh.store(page_id, PageKind::Mixed, data.clone());
+        let link = HostLink::new(link_page, offset);
+        if let Some(read) = hh.read(link, len) {
+            prop_assert_eq!(read.len(), len);
+            prop_assert!(link_page == page_id);
+            prop_assert!(offset as usize + len <= data.len());
+        }
+        let _ = hh.read_u64(link, 0);
+    }
+}
