@@ -42,19 +42,19 @@ pub fn run_phoenix(app: App, dataset: &Dataset) -> PhoenixRun {
         app.name()
     );
     let metrics = Arc::new(Metrics::new());
-    // Map phase: each thread combines into a private container. Work is
-    // executed for real on scoped threads; events are charged with the same
-    // per-byte constants as the GPU kernels so the engines are compared on
-    // identical work.
+    // Map phase: each worker combines into a private container. Work is
+    // executed for real on the shared worker pool; events are charged with
+    // the same per-byte constants as the GPU kernels so the engines are
+    // compared on identical work.
     let shards = std::sync::Mutex::new(match app {
         App::WordCount => Shards::Reduce(Vec::new()),
         _ => Shards::Group(Vec::new()),
     });
-    crossbeam::scope(|s| {
+    gpu_sim::pool::scope(|s| {
         for t in 0..THREADS {
             let metrics = Arc::clone(&metrics);
             let shards = &shards;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut charge = MetricsCharge(&metrics);
                 match app {
                     App::WordCount => {
@@ -100,8 +100,7 @@ pub fn run_phoenix(app: App, dataset: &Dataset) -> PhoenixRun {
                 }
             });
         }
-    })
-    .expect("phoenix worker panicked");
+    });
 
     // Merge phase (sequential in Phoenix++'s final step; charged as host
     // memory traffic over the shard contents).

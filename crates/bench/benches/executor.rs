@@ -1,0 +1,76 @@
+//! Launch-overhead and warp-claim micro-benchmarks for the simulated GPU
+//! executor.
+//!
+//! Two questions, both on the hottest path in the repo (a SEPO run issues
+//! one launch per driver chunk per iteration):
+//!
+//! 1. What does an empty-kernel launch cost across task counts, now that
+//!    launches are handed to the persistent worker pool instead of
+//!    spawning threads?
+//! 2. What does chunked warp claiming buy over the old one-warp-per-
+//!    `fetch_add` claim when participants contend on the cursor?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use gpu_sim::pool::{Work, WorkerPool};
+use gpu_sim::spec::WARP_SIZE;
+use std::hint::black_box;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Empty-kernel launch overhead: 1 task to 100k tasks, both pool-facing
+/// modes. At 1 task this is almost purely per-launch fixed cost.
+fn bench_launch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launch_overhead");
+    for n_tasks in [1usize, 100, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n_tasks as u64));
+        for (mode, label) in [
+            (ExecMode::ParallelDeterministic, "parallel_deterministic"),
+            (ExecMode::Parallel { workers: 0 }, "parallel"),
+        ] {
+            let exec = Executor::new(mode, Arc::new(Metrics::new()));
+            group.bench_function(BenchmarkId::new(label, n_tasks), |b| {
+                b.iter(|| {
+                    exec.launch(black_box(n_tasks), |ctx| {
+                        black_box(ctx.task());
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A job whose per-warp work is trivial, so the claim protocol dominates.
+struct ClaimOnly;
+
+impl Work for ClaimOnly {
+    fn run_units(&self, units: Range<usize>, _slot: usize) {
+        for u in units {
+            black_box(u);
+        }
+    }
+}
+
+/// Warp-claim contention: the same unit count claimed one warp per
+/// `fetch_add` (the executor's old protocol) vs in adaptive chunks
+/// (`n_warps / (participants * 8)`), on the shared pool.
+fn bench_warp_claim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_claim");
+    let pool = WorkerPool::global();
+    let slots = pool.max_participants();
+    let n_warps = 100_000 / WARP_SIZE;
+    group.throughput(Throughput::Elements(n_warps as u64));
+    group.bench_function("one_warp_per_fetch_add", |b| {
+        b.iter(|| pool.run(n_warps, 1, slots, &ClaimOnly).unwrap())
+    });
+    group.bench_function("adaptive_chunks", |b| {
+        let chunk = (n_warps / (slots * 8)).max(1);
+        b.iter(|| pool.run(n_warps, chunk, slots, &ClaimOnly).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_launch_overhead, bench_warp_claim);
+criterion_main!(benches);

@@ -52,7 +52,7 @@ fn main() {
         let cfg = base.clone().with_buckets_per_group(bpg);
         let groups = cfg.n_groups();
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = pvc::run(&ds, &AppConfig::new(heap).with_table(cfg), &exec);
         let stats = run.table.heap().stats();
         let hist = run.table.full_contention_histogram();

@@ -40,7 +40,7 @@ fn main() {
     let mut json = Vec::new();
     for chunk_tasks in [1usize << 10, 1 << 12, 1 << 14, 1 << 16] {
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let mut cfg = AppConfig::new(heap);
         cfg.driver.chunk_tasks = chunk_tasks;
         let run = pvc::run(&ds, &cfg, &exec);

@@ -28,7 +28,7 @@ fn run_basic(
     threshold: f64,
 ) -> (sepo_core::SepoOutcome, SepoTable, Arc<Metrics>) {
     let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
     let cfg = TableConfig::tuned(Organization::Basic, heap).with_halt_threshold(threshold);
     let table = SepoTable::new(cfg, heap, Arc::clone(&metrics));
     let outcome = {

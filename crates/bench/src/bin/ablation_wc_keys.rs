@@ -47,7 +47,7 @@ fn main() {
             777,
         );
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = wordcount::run(&ds, &AppConfig::new(heap), &exec);
         let hist = run.table.full_contention_histogram();
         let gpu = gpu_total_time(&run.outcome, &hist, &spec);

@@ -11,14 +11,56 @@
 //! Word Count held back by duplicate-key contention; speedups degrade
 //! gracefully (not collapse) as larger datasets force more SEPO iterations.
 
+use gpu_sim::clock::SimTime;
 use gpu_sim::executor::{ExecMode, Executor};
 use gpu_sim::metrics::Metrics;
 use sepo_apps::{run_app, AppConfig};
 use sepo_baselines::{run_cpu_app, run_phoenix};
 use sepo_bench::report::{fmt_bytes, fmt_speedup, BarChart};
-use sepo_bench::{cpu_total_time, device_heap, gpu_total_time, scale, system, Table};
+use sepo_bench::{cpu_total_time, device_heap, gpu_total_time, scale, system, GpuTiming, Table};
 use sepo_datagen::App;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// One fully-computed (application × dataset) cell, ready to render.
+struct Cell {
+    app: App,
+    idx: usize,
+    input_bytes: u64,
+    gpu: GpuTiming,
+    cpu: SimTime,
+    speedup: f64,
+}
+
+fn compute_cell(app: App, idx: usize, scale: u64, heap: u64) -> Cell {
+    let spec = system();
+    let ds = app.generate(idx, scale);
+    // GPU/SEPO side. Each cell owns its table and metrics and runs its
+    // warps in deterministic order, so numbers are independent of how many
+    // cells execute concurrently around it.
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
+    let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
+    let hist = run.table.full_contention_histogram();
+    let gpu = gpu_total_time(&run.outcome, &hist, &spec);
+    // CPU side: Phoenix++ for the MapReduce apps, the shared-table
+    // CPU implementation for the stand-alone apps.
+    let cpu = if App::MAPREDUCE.contains(&app) {
+        let p = run_phoenix(app, &ds);
+        cpu_total_time(&p.snapshot, &p.contention, &spec)
+    } else {
+        let b = run_cpu_app(app, &ds);
+        cpu_total_time(&b.snapshot, &b.contention, &spec)
+    };
+    let speedup = cpu.ratio(gpu.total);
+    Cell {
+        app,
+        idx,
+        input_bytes: ds.size_bytes(),
+        gpu,
+        cpu,
+        speedup,
+    }
+}
 
 fn main() {
     let spec = system();
@@ -41,31 +83,38 @@ fn main() {
     let mut chart = BarChart::new("Figure 6 (rendered): speedup bars, iteration counts on top")
         .with_reference(1.0);
 
+    // All (application × dataset) cells are independent: fan them out on
+    // the shared worker pool and render in order afterwards. Determinism
+    // per cell is by construction (see `ExecMode::ParallelDeterministic`).
+    let n_cells = App::ALL.len() * 4;
+    let cells: Mutex<Vec<Option<Cell>>> = Mutex::new((0..n_cells).map(|_| None).collect());
+    gpu_sim::pool::scope(|s| {
+        for (a, app) in App::ALL.into_iter().enumerate() {
+            for idx in 0..4 {
+                let cells = &cells;
+                s.spawn(move || {
+                    let cell = compute_cell(app, idx, scale, heap);
+                    cells.lock().unwrap()[a * 4 + idx] = Some(cell);
+                });
+            }
+        }
+    });
+
+    let cells: Vec<Cell> = cells
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|c| c.expect("every figure-6 cell computed"))
+        .collect();
     for app in App::ALL {
         let mut bars = Vec::new();
-        for idx in 0..4 {
-            let ds = app.generate(idx, scale);
-            // GPU/SEPO side.
-            let metrics = Arc::new(Metrics::new());
-            let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
-            let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
-            let hist = run.table.full_contention_histogram();
-            let gpu = gpu_total_time(&run.outcome, &hist, &spec);
-            // CPU side: Phoenix++ for the MapReduce apps, the shared-table
-            // CPU implementation for the stand-alone apps.
-            let cpu = if App::MAPREDUCE.contains(&app) {
-                let p = run_phoenix(app, &ds);
-                cpu_total_time(&p.snapshot, &p.contention, &spec)
-            } else {
-                let b = run_cpu_app(app, &ds);
-                cpu_total_time(&b.snapshot, &b.contention, &spec)
-            };
-            let speedup = cpu.ratio(gpu.total);
+        for cell in cells.iter().filter(|c| c.app == app) {
+            let (idx, gpu, cpu, speedup) = (cell.idx, &cell.gpu, cell.cpu, cell.speedup);
             speedups.push(speedup);
             table.row(vec![
                 app.name().to_string(),
                 format!("#{}", idx + 1),
-                fmt_bytes(ds.size_bytes()),
+                fmt_bytes(cell.input_bytes),
                 gpu.iterations.to_string(),
                 gpu.total.to_string(),
                 cpu.to_string(),
@@ -79,7 +128,7 @@ fn main() {
             json.push(serde_json::json!({
                 "app": app.name(),
                 "dataset": idx + 1,
-                "input_bytes": ds.size_bytes(),
+                "input_bytes": cell.input_bytes,
                 "iterations": gpu.iterations,
                 "gpu_seconds": gpu.total.as_secs_f64(),
                 "gpu_kernel_seconds": gpu.kernel.as_secs_f64(),

@@ -42,7 +42,7 @@ fn main() {
         let ds = app.generate(3, scale);
         // SEPO run.
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
         let sepo_t = gpu_total_time(&run.outcome, &run.table.full_contention_histogram(), &spec);
         // Pinned-heap run.

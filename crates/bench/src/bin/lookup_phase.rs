@@ -25,7 +25,7 @@ fn main() {
     // Build the table once from PVC dataset #2.
     let ds = App::PageViewCount.generate(1, scale);
     let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
     let build = pvc::run(&ds, &AppConfig::new(64 << 20), &exec);
     let (_, table_bytes) = build.table.host_footprint();
 
@@ -58,7 +58,7 @@ fn main() {
         // Rebuild the table with this heap so the lookup phase stages
         // through it (contents identical; the build side may iterate).
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = pvc::run(&ds, &AppConfig::new(heap), &exec);
         let out = run.table.lookup_phase(&exec, &queries);
         // Price the phase: per round, paged-in transfer overlapped with the

@@ -33,7 +33,7 @@ fn main() {
     // --- SEPO side: combine on the fly, ship once. -----------------------
     let heap = device_heap(&spec);
     let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
     let run = pvc::run(&ds, &AppConfig::new(heap), &exec);
     let sepo_time = gpu_total_time(&run.outcome, &run.table.full_contention_histogram(), &spec);
     let (_, sepo_bytes) = run.table.host_footprint();

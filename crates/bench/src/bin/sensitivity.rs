@@ -93,7 +93,7 @@ fn main() {
     for (app, idx) in cases {
         let ds = app.generate(idx, scale);
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
         let hist = run.table.full_contention_histogram();
         let cpu = run_cpu_app(app, &ds);

@@ -48,7 +48,7 @@ fn main() {
         let ds = app.generate(0, scale);
         // Our runtime.
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
         assert_eq!(
             run.iterations(),
@@ -78,7 +78,7 @@ fn main() {
         );
         // MapCG.
         let mc_metrics = Arc::new(Metrics::new());
-        let mc_exec = Executor::new(ExecMode::Deterministic, Arc::clone(&mc_metrics));
+        let mc_exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&mc_metrics));
         let (mapcg_cell, speedup_cell, mapcg_secs, speedup) =
             match run_mapcg(app, &ds, heap, &mc_exec) {
                 Ok(mc) => {

@@ -57,7 +57,7 @@ fn main() {
     for row in &rows {
         // SEPO run with the same amount of device memory for its heap.
         let metrics = Arc::new(Metrics::new());
-        let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
         let run = pvc::run(&ds, &AppConfig::new(row.assumed_memory), &exec);
         let sepo = gpu_total_time(&run.outcome, &run.table.full_contention_histogram(), &spec);
         table.row(vec![

@@ -4,12 +4,12 @@
 //! paper's layout and writes the same data as JSON under `results/` so
 //! EXPERIMENTS.md can reference machine-readable numbers.
 
-use serde::Serialize;
+use serde_json::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A simple fixed-width text table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -104,7 +104,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 /// One bar: (label, value, annotation).
 pub type Bar = (String, f64, String);
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BarChart {
     pub title: String,
     /// (group label, bars).

@@ -6,7 +6,8 @@
 //!   --dataset <1..4>                     Table I dataset index (default 1)
 //!   --scale <N>                          capacity/dataset divisor (default 256)
 //!   --heap <bytes>                       device heap override
-//!   --parallel                           parallel executor (default deterministic)
+//!   --parallel                           racing parallel executor (default:
+//!                                        parallel-deterministic)
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -97,7 +98,7 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
     let mode = if f.parallel {
         ExecMode::Parallel { workers: 0 }
     } else {
-        ExecMode::Deterministic
+        ExecMode::ParallelDeterministic
     };
     let metrics = Arc::new(Metrics::new());
     let exec = Executor::new(mode, Arc::clone(&metrics));
@@ -216,7 +217,7 @@ fn cmd_lookup(f: Flags) -> ExitCode {
     let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
     let ds = App::PageViewCount.generate(1, f.scale);
     let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::Deterministic, Arc::clone(&metrics));
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
     let run = sepo_apps::pvc::run(&ds, &AppConfig::new(heap), &exec);
     let (_, table_bytes) = run.table.host_footprint();
     println!(

@@ -5,37 +5,58 @@
 //! warps of [`WARP_SIZE`] consecutive lanes, the scheduling unit of the
 //! simulated GPU:
 //!
-//! * In [`ExecMode::Parallel`], warps are executed concurrently by a pool of
-//!   host worker threads. The data structures the kernel touches (hash
-//!   table, allocator, bitmaps) therefore experience *real* concurrency —
-//!   real atomics, real races over page space — which is what makes the
-//!   postponement behaviour genuine rather than scripted.
+//! * In [`ExecMode::Parallel`], warps are executed concurrently by the
+//!   process-wide persistent [`pool`](crate::pool) (no threads are spawned
+//!   per launch; warps are claimed in adaptive chunks). The data structures
+//!   the kernel touches (hash table, allocator, bitmaps) therefore
+//!   experience *real* concurrency — real atomics, real races over page
+//!   space — which is what makes the postponement behaviour genuine rather
+//!   than scripted.
 //! * In [`ExecMode::Deterministic`], warps run in ascending order on the
-//!   calling thread. The evaluation harness uses this mode so that reported
-//!   iteration counts and transfer volumes are exactly reproducible.
+//!   calling thread, so reported iteration counts and transfer volumes are
+//!   exactly reproducible.
+//! * [`ExecMode::ParallelDeterministic`] executes each launch exactly like
+//!   `Deterministic` — warps in ascending order, on the calling thread, so
+//!   per-launch event counts are byte-identical *by construction* — and
+//!   signals that the surrounding harness may run independent simulations
+//!   (separate tables, separate [`Metrics`]) concurrently on the pool via
+//!   [`pool::scope`](crate::pool::scope). True warp-racing cannot keep
+//!   counts like `chain_hops` bit-stable (they depend on chain insertion
+//!   order), so parallelism is hoisted to the between-simulations level
+//!   where there is no shared mutable state to race on.
 //!
-//! Lanes report events through [`LaneCtx`]; per-warp tallies are flushed to
-//! the shared [`Metrics`] once per warp to keep host-side atomic traffic
-//! negligible. Warp divergence is modelled by lanes declaring a *branch
-//! class* (e.g. which arm of a parser's switch they took): a warp whose
-//! lanes declare `k` distinct classes serializes `k` passes, recorded as
-//! `k - 1` divergence events.
+//! Lanes report events through [`LaneCtx`]; per-warp tallies accumulate
+//! into a per-participant *shard* and each shard is flushed to the shared
+//! [`Metrics`] **once per launch**, so the shared counters see a handful of
+//! atomic adds per launch instead of five per warp.
 
 use crate::metrics::Metrics;
+use crate::pool::{self, Work, WorkerPool};
 use crate::spec::WARP_SIZE;
+use std::any::Any;
+use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How kernel launches are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Execute warps concurrently on `workers` host threads (0 = one per
-    /// available CPU).
+    /// Execute warps concurrently on the shared worker pool (`workers`
+    /// caps this launch's participants; 0 = every pool worker plus the
+    /// submitting thread). Results are exact, but event *schedules* (and
+    /// schedule-dependent counts such as chain hops) vary run to run.
     Parallel { workers: usize },
-    /// Execute warps sequentially in ascending warp order (bit-reproducible
-    /// results; used by the evaluation harness).
+    /// Execute warps sequentially in ascending warp order on the calling
+    /// thread (bit-reproducible results).
     Deterministic,
+    /// Per-launch execution identical to [`ExecMode::Deterministic`];
+    /// declares that the harness parallelizes across independent
+    /// simulations instead of within a launch. This is the evaluation
+    /// harness's default: paper numbers stay exactly reproducible while
+    /// wall-clock time drops with available cores.
+    ParallelDeterministic,
 }
 
 impl Default for ExecMode {
@@ -44,7 +65,8 @@ impl Default for ExecMode {
     }
 }
 
-/// Per-warp event tally, flushed to [`Metrics`] when the warp retires.
+/// Per-warp event tally, folded into a participant shard when the warp
+/// retires.
 #[derive(Debug, Default)]
 struct WarpLocal {
     compute_units: u64,
@@ -123,6 +145,111 @@ pub struct LaunchStats {
     pub divergence_events: u64,
 }
 
+/// A kernel panicked during a launch. The launch still drained (every
+/// remaining warp ran) and the pool is unaffected; this carries the first
+/// panic payload.
+pub struct LaunchError {
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl LaunchError {
+    /// Best-effort view of the panic message.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "kernel panicked with a non-string payload"
+        }
+    }
+
+    /// The original panic payload, for re-raising.
+    pub fn into_panic(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl fmt::Debug for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaunchError({:?})", self.message())
+    }
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel panicked: {}", self.message())
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Per-participant event accumulator: one per pool slot, written without
+/// synchronization, flushed to [`Metrics`] once per launch.
+#[derive(Debug, Default, Clone, Copy)]
+struct Shard {
+    compute_units: u64,
+    stream_bytes: u64,
+    device_bytes: u64,
+    chain_hops: u64,
+    divergence_events: u64,
+}
+
+impl Shard {
+    fn absorb(&mut self, other: &Shard) {
+        self.compute_units += other.compute_units;
+        self.stream_bytes += other.stream_bytes;
+        self.device_bytes += other.device_bytes;
+        self.chain_hops += other.chain_hops;
+        self.divergence_events += other.divergence_events;
+    }
+}
+
+/// Pool job for one launch: warps are the units; each participant owns the
+/// shard indexed by its slot.
+struct KernelJob<'k, K> {
+    kernel: &'k K,
+    n_tasks: usize,
+    shards: Vec<UnsafeCell<Shard>>,
+}
+
+// Soundness: the pool hands each participant a distinct slot, and a shard
+// is only touched through its owner's slot index, so `UnsafeCell` access
+// is exclusive. The pool's completion latch orders all shard writes before
+// the submitter reads them back.
+unsafe impl<K: Sync> Sync for KernelJob<'_, K> {}
+
+impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
+    fn run_units(&self, warps: Range<usize>, slot: usize) {
+        let shard = unsafe { &mut *self.shards[slot].get() };
+        for warp in warps {
+            run_warp(self.kernel, warp, self.n_tasks, shard);
+        }
+    }
+}
+
+/// Execute one warp's lanes serially, folding its tally into `shard`.
+fn run_warp<K>(kernel: &K, warp: usize, n_tasks: usize, shard: &mut Shard)
+where
+    K: Fn(&mut LaneCtx<'_>) + Sync,
+{
+    let mut local = WarpLocal::default();
+    let start = warp * WARP_SIZE;
+    let end = (start + WARP_SIZE).min(n_tasks);
+    for task in start..end {
+        let mut ctx = LaneCtx {
+            task,
+            warp: &mut local,
+        };
+        kernel(&mut ctx);
+    }
+    shard.compute_units += local.compute_units;
+    shard.stream_bytes += local.stream_bytes;
+    shard.device_bytes += local.device_bytes;
+    shard.chain_hops += local.chain_hops;
+    shard.divergence_events += (local.branch_classes.len() as u64).saturating_sub(1);
+}
+
 /// The kernel executor. Cheap to clone; clones share the metrics sink.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -146,6 +273,8 @@ impl Executor {
     }
 
     /// Launch `kernel` over `n_tasks` tasks. Blocks until all warps retire.
+    /// A kernel panic is re-raised on the calling thread (the launch drains
+    /// first; see [`Executor::try_launch`]).
     ///
     /// The kernel runs once per task and may freely share `Sync` state
     /// (hash table, allocator, bitmap) across lanes.
@@ -153,90 +282,75 @@ impl Executor {
     where
         K: Fn(&mut LaneCtx<'_>) + Sync,
     {
-        if n_tasks == 0 {
-            return LaunchStats {
-                tasks: 0,
-                warps: 0,
-                divergence_events: 0,
-            };
-        }
-        let n_warps = n_tasks.div_ceil(WARP_SIZE);
-        let divergence = match self.mode {
-            ExecMode::Deterministic => {
-                let mut div = 0u64;
-                for w in 0..n_warps {
-                    div += self.run_warp(w, n_tasks, &kernel);
-                }
-                div
-            }
-            ExecMode::Parallel { workers } => {
-                let workers = if workers == 0 {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4)
-                } else {
-                    workers
-                };
-                let workers = workers.min(n_warps).max(1);
-                let next = AtomicUsize::new(0);
-                let div_total = AtomicUsize::new(0);
-                crossbeam::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(|_| {
-                            let mut local_div = 0u64;
-                            loop {
-                                let w = next.fetch_add(1, Ordering::Relaxed);
-                                if w >= n_warps {
-                                    break;
-                                }
-                                local_div += self.run_warp(w, n_tasks, &kernel);
-                            }
-                            div_total.fetch_add(local_div as usize, Ordering::Relaxed);
-                        });
-                    }
-                })
-                .expect("kernel worker panicked");
-                div_total.load(Ordering::Relaxed) as u64
-            }
-        };
-        self.metrics.add_tasks(n_tasks as u64);
-        LaunchStats {
-            tasks: n_tasks as u64,
-            warps: n_warps as u64,
-            divergence_events: divergence,
-        }
+        self.try_launch(n_tasks, kernel)
+            .unwrap_or_else(|e| std::panic::resume_unwind(e.into_panic()))
     }
 
-    /// Execute one warp's lanes serially; flush its tally; return its
-    /// divergence events.
-    fn run_warp<K>(&self, warp: usize, n_tasks: usize, kernel: &K) -> u64
+    /// Like [`Executor::launch`], but a kernel panic is returned as a
+    /// [`LaunchError`] instead of unwinding. The launch always drains:
+    /// every warp not in the panicking chunk still executes, and the worker
+    /// pool remains fully usable.
+    pub fn try_launch<K>(&self, n_tasks: usize, kernel: K) -> Result<LaunchStats, LaunchError>
     where
         K: Fn(&mut LaneCtx<'_>) + Sync,
     {
-        let mut local = WarpLocal::default();
-        let start = warp * WARP_SIZE;
-        let end = (start + WARP_SIZE).min(n_tasks);
-        for task in start..end {
-            let mut ctx = LaneCtx {
-                task,
-                warp: &mut local,
-            };
-            kernel(&mut ctx);
+        if n_tasks == 0 {
+            return Ok(LaunchStats {
+                tasks: 0,
+                warps: 0,
+                divergence_events: 0,
+            });
         }
-        let div = (local.branch_classes.len() as u64).saturating_sub(1);
-        self.metrics.add_compute_units(local.compute_units);
-        self.metrics.add_stream_bytes(local.stream_bytes);
-        self.metrics.add_device_bytes(local.device_bytes);
-        self.metrics.add_chain_hops(local.chain_hops);
-        self.metrics.add_divergence_events(div);
-        div
+        let n_warps = n_tasks.div_ceil(WARP_SIZE);
+        let (max_slots, chunk) = match self.mode {
+            ExecMode::Deterministic | ExecMode::ParallelDeterministic => (1, n_warps),
+            ExecMode::Parallel { workers } => {
+                let pool = WorkerPool::global();
+                let cap = if workers == 0 {
+                    pool.max_participants()
+                } else {
+                    workers.clamp(1, pool.max_participants())
+                };
+                // Adaptive chunking: ~8 claims per participant amortizes
+                // the claim cursor without starving the tail of the launch.
+                (cap, (n_warps / (cap * 8)).max(1))
+            }
+        };
+        let job = KernelJob {
+            kernel: &kernel,
+            n_tasks,
+            shards: (0..max_slots)
+                .map(|_| UnsafeCell::new(Shard::default()))
+                .collect(),
+        };
+        let outcome = pool::WorkerPool::global().run(n_warps, chunk, max_slots, &job);
+
+        // Flush whatever completed warps recorded — also on panic, so a
+        // failed launch still accounts the work it did.
+        let mut total = Shard::default();
+        for cell in job.shards {
+            total.absorb(&cell.into_inner());
+        }
+        self.metrics.add_compute_units(total.compute_units);
+        self.metrics.add_stream_bytes(total.stream_bytes);
+        self.metrics.add_device_bytes(total.device_bytes);
+        self.metrics.add_chain_hops(total.chain_hops);
+        self.metrics.add_divergence_events(total.divergence_events);
+
+        outcome.map_err(|payload| LaunchError { payload })?;
+        self.metrics.add_tasks(n_tasks as u64);
+        Ok(LaunchStats {
+            tasks: n_tasks as u64,
+            warps: n_warps as u64,
+            divergence_events: total.divergence_events,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn exec(mode: ExecMode) -> (Executor, Arc<Metrics>) {
         let m = Arc::new(Metrics::new());
@@ -270,6 +384,17 @@ mod tests {
     #[test]
     fn deterministic_mode_runs_in_task_order() {
         let (e, _) = exec(ExecMode::Deterministic);
+        let order = parking_lot::Mutex::new(Vec::new());
+        e.launch(100, |ctx| {
+            order.lock().push(ctx.task());
+        });
+        let order = order.into_inner();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_deterministic_runs_in_task_order() {
+        let (e, _) = exec(ExecMode::ParallelDeterministic);
         let order = parking_lot::Mutex::new(Vec::new());
         e.launch(100, |ctx| {
             order.lock().push(ctx.task());
@@ -342,5 +467,74 @@ mod tests {
         assert_eq!(par.compute_units, det.compute_units);
         assert_eq!(par.divergence_events, det.divergence_events);
         assert_eq!(par.tasks, det.tasks);
+    }
+
+    #[test]
+    fn parallel_deterministic_snapshots_are_byte_identical() {
+        let run = |mode| {
+            let (e, m) = exec(mode);
+            for round in 0..5 {
+                e.launch(3_000 + round * 7, |ctx| {
+                    ctx.charge_compute((ctx.task() % 11) as u64);
+                    ctx.read_stream(24);
+                    ctx.touch_device((ctx.task() % 3) as u64 * 16);
+                    ctx.branch_class((ctx.task() % 2) as u32);
+                });
+            }
+            m.snapshot()
+        };
+        assert_eq!(
+            run(ExecMode::Deterministic),
+            run(ExecMode::ParallelDeterministic)
+        );
+    }
+
+    #[test]
+    fn try_launch_reports_kernel_panic_and_executor_survives() {
+        let (e, m) = exec(ExecMode::Parallel { workers: 4 });
+        let err = e
+            .try_launch(1_000, |ctx| {
+                if ctx.task() == 517 {
+                    panic!("lane 517 died");
+                }
+                ctx.charge_compute(1);
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "lane 517 died");
+        // `tasks` is only credited on success.
+        assert_eq!(m.snapshot().tasks, 0);
+        // The executor (and the shared pool behind it) keeps working.
+        let stats = e.launch(1_000, |ctx| ctx.charge_compute(1));
+        assert_eq!(stats.tasks, 1_000);
+        assert_eq!(m.snapshot().tasks, 1_000);
+    }
+
+    #[test]
+    fn launch_unwinds_with_original_payload() {
+        let (e, _) = exec(ExecMode::Deterministic);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.launch(10, |_| panic!("boom-{}", 42));
+        }))
+        .unwrap_err();
+        // The payload type depends on how rustc lowers the format string
+        // (`&'static str` when const-foldable, `String` otherwise) — accept
+        // either, but the text must be the kernel's own.
+        let text = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str));
+        assert_eq!(text, Some("boom-42"));
+    }
+
+    #[test]
+    fn divergence_is_tracked_in_u64_at_scale() {
+        // Many warps, each with one divergence event: totals flow through
+        // u64 shards end to end (no usize round-trip).
+        let (e, m) = exec(ExecMode::Parallel { workers: 0 });
+        let stats = e.launch(WARP_SIZE * 4_096, |ctx| {
+            ctx.branch_class((ctx.task() % 2) as u32)
+        });
+        assert_eq!(stats.divergence_events, 4_096);
+        assert_eq!(m.snapshot().divergence_events, 4_096);
     }
 }

@@ -36,17 +36,19 @@ pub mod metrics;
 pub mod paging;
 pub mod pcie;
 pub mod pipeline;
+pub mod pool;
 pub mod spec;
 pub mod staging;
 
 pub use charge::{Charge, MetricsCharge, NoCharge};
 pub use clock::{SimClock, SimTime};
 pub use cost::{CpuCostModel, GpuCostModel};
-pub use executor::{ExecMode, Executor, LaneCtx, LaunchStats};
+pub use executor::{ExecMode, Executor, LaneCtx, LaunchError, LaunchStats};
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};
 pub use paging::{AccessTrace, LruSimulator, PagingOutcome};
 pub use pcie::PcieBus;
 pub use pipeline::{pipelined_total, serial_total};
+pub use pool::WorkerPool;
 pub use spec::{DeviceSpec, HostSpec, PcieSpec, SystemSpec, WARP_SIZE};
 pub use staging::{stream_chunks, StagingBuffers};

@@ -1,0 +1,85 @@
+//! `ParallelDeterministic` must be indistinguishable from `Deterministic`
+//! in everything the repo reports.
+//!
+//! The bench harness defaults to `ParallelDeterministic` (independent cells
+//! run concurrently on the worker pool, each cell's warps inline and in
+//! order), so every figure and table rests on this equivalence. The run
+//! under test is a forced-eviction PVC run — a small heap pushes it through
+//! multiple SEPO iterations, exercising postponement, eviction, and the
+//! iteration driver, not just a single happy-path pass.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::{Metrics, Snapshot};
+use sepo_apps::{pvc, AppConfig};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+/// Everything a bench binary would report from one run, in comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct RunReport {
+    metrics: Snapshot,
+    iterations: u32,
+    /// Full per-iteration accounting (kernel snapshots, eviction reports),
+    /// compared via its derived Debug rendering: any drifting counter
+    /// anywhere in the structure shows up as a string mismatch.
+    outcome: String,
+    table_stats: String,
+    host_footprint: (usize, u64),
+}
+
+/// Multi-iteration PVC run: 8 KiB heap forces repeated postpone/evict
+/// cycles (same shape as the timing tests in `sepo-bench`).
+fn forced_eviction_run(mode: ExecMode) -> RunReport {
+    let ds = App::PageViewCount.generate(0, 8192);
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(mode, Arc::clone(&metrics));
+    let run = pvc::run(&ds, &AppConfig::new(8 * 1024), &exec);
+    assert!(
+        run.iterations() > 1,
+        "the regression run must force evictions (got {} iteration)",
+        run.iterations()
+    );
+    RunReport {
+        metrics: metrics.snapshot(),
+        iterations: run.iterations(),
+        outcome: format!("{:?}", run.outcome),
+        table_stats: format!("{:?}", run.table.table_stats()),
+        host_footprint: run.table.host_footprint(),
+    }
+}
+
+#[test]
+fn parallel_deterministic_matches_deterministic_across_executions() {
+    let reference = forced_eviction_run(ExecMode::Deterministic);
+    // Three repeated executions of each mode: catches both mode divergence
+    // and any run-to-run nondeterminism (e.g. pool state leaking between
+    // launches).
+    for round in 0..3 {
+        let det = forced_eviction_run(ExecMode::Deterministic);
+        let par = forced_eviction_run(ExecMode::ParallelDeterministic);
+        assert_eq!(det, reference, "Deterministic drifted on round {round}");
+        assert_eq!(
+            par, reference,
+            "ParallelDeterministic diverged on round {round}"
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_inside_concurrent_harness_cells() {
+    // The bench harness runs cells concurrently via the pool's scope; each
+    // cell must still reproduce the single-threaded numbers exactly.
+    let reference = forced_eviction_run(ExecMode::Deterministic);
+    let reports: Vec<_> = (0..4).map(|_| std::sync::Mutex::new(None)).collect();
+    gpu_sim::pool::scope(|s| {
+        for slot in &reports {
+            s.spawn(move || {
+                *slot.lock().unwrap() = Some(forced_eviction_run(ExecMode::ParallelDeterministic));
+            });
+        }
+    });
+    for (i, slot) in reports.iter().enumerate() {
+        let report = slot.lock().unwrap().take().expect("cell completed");
+        assert_eq!(report, reference, "concurrent cell {i} diverged");
+    }
+}

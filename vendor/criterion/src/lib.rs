@@ -1,0 +1,280 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses (see
+//! `vendor/` in the repository root for why external dependencies are
+//! vendored). Bench sources compile unchanged; measurement is a plain
+//! mean-of-samples timer printed per benchmark (no statistics, plots, or
+//! saved baselines). A sample runs the routine enough times to cover
+//! ~`MIN_SAMPLE_TIME`, so very short routines still get a stable per-call
+//! figure while long routines only pay `sample_size` calls.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Top-level harness handle, created by `criterion_group!`'s `config`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per routine call, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// `group/function/parameter` label for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup; the stub always runs one batch per
+/// measured call, which matches `PerIteration` and is a fair approximation
+/// of the others for reporting purposes.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.mean_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!(" ({:.3e} elem/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / per_iter.as_secs_f64() / (1u64 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:>12.3?}/iter{}",
+            self.name, id.label, per_iter, rate
+        );
+    }
+}
+
+/// Passed to the benchmark closure; `iter`/`iter_batched` record samples.
+pub struct Bencher {
+    /// (elapsed, routine calls) per sample.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up call, and a probe of how many calls fill MIN_SAMPLE_TIME.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed();
+        let per_sample = if once.is_zero() {
+            1024
+        } else {
+            (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), per_sample));
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed region; one routine call per sample
+        // (batched routines are long enough not to need amplification).
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+
+    fn mean_per_iter(&self) -> Duration {
+        let (total, iters) = self
+            .samples
+            .iter()
+            .fold((Duration::ZERO, 0u64), |(d, n), (sd, sn)| (d + *sd, n + sn));
+        if iters == 0 {
+            Duration::ZERO
+        } else {
+            total / iters.max(1) as u32
+        }
+    }
+}
+
+/// Declare a bench group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls >= 4, "warm-up plus three samples at minimum");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut group = c.benchmark_group("demo");
+        let mut setups = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", 8), &8u64, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 4]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 5, "one warm-up + sample_size setups");
+    }
+
+    #[test]
+    fn duration_math_is_sane() {
+        let b = Bencher {
+            samples: vec![
+                (Duration::from_micros(10), 10),
+                (Duration::from_micros(30), 10),
+            ],
+            sample_size: 2,
+        };
+        assert_eq!(b.mean_per_iter(), Duration::from_micros(2));
+    }
+}

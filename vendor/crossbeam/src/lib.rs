@@ -1,0 +1,113 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors minimal, API-compatible implementations of its
+//! external dependencies (see `vendor/` in the repository root). This crate
+//! provides `crossbeam::scope` / `crossbeam::thread::Scope`, implemented on
+//! top of `std::thread::scope` (stabilized in Rust 1.63, which makes the
+//! original pre-std crossbeam implementation unnecessary here).
+//!
+//! Semantics matched to crossbeam 0.8:
+//! * `scope` returns `Err` (not a panic) when a spawned thread panicked and
+//!   the panic was not consumed by `join`.
+//! * spawned closures receive a `&Scope` argument so they can spawn further
+//!   scoped threads.
+
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope for spawning borrowed threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: `derive` would put bounds on the lifetimes' types.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread; `join` consumes its panic, as in
+    /// crossbeam.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads may borrow from the
+    /// caller's stack; blocks until every spawned thread finished. Returns
+    /// `Err` with the first unconsumed child panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    )
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_consumes_panic() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        });
+        assert!(r.is_ok());
+    }
+}
