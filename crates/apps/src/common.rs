@@ -76,6 +76,13 @@ impl AppConfig {
         self.driver.chunk_tasks = n;
         self
     }
+
+    /// Run the cross-layer [`sepo_core::TableAudit`] at every iteration
+    /// boundary (the CLI's `--audit`).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.driver.audit = audit;
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -111,8 +118,9 @@ mod tests {
 
     #[test]
     fn app_config_builders() {
-        let c = AppConfig::new(1024).with_chunk_tasks(7);
+        let c = AppConfig::new(1024).with_chunk_tasks(7).with_audit(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
+        assert!(c.driver.audit);
     }
 }

@@ -100,8 +100,8 @@ pub fn run_mapcg(
     // One pass only: any postponement is MapCG's OOM failure. The driver
     // would otherwise iterate; cap it so a full heap aborts quickly.
     job.driver = DriverConfig {
-        chunk_tasks: job.driver.chunk_tasks,
         max_iterations: 1,
+        ..job.driver.clone()
     };
     let partition = partition_of(dataset);
     let before = executor.metrics().snapshot();

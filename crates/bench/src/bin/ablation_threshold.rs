@@ -34,7 +34,7 @@ fn run_basic(
     let outcome = {
         let driver = SepoDriver::new(&table, &exec).with_config(DriverConfig {
             chunk_tasks: 2048,
-            max_iterations: 10_000,
+            ..DriverConfig::default()
         });
         driver.run(
             ds.len(),

@@ -12,6 +12,10 @@ pub struct Flags {
     pub queries: usize,
     pub input: Option<String>,
     pub save: Option<String>,
+    /// Run the cross-layer invariant audit at every iteration boundary.
+    pub audit: bool,
+    /// Seed for deterministic fault injection (`None` = no faults).
+    pub faults: Option<u64>,
 }
 
 impl Default for Flags {
@@ -24,6 +28,8 @@ impl Default for Flags {
             queries: 20_000,
             input: None,
             save: None,
+            audit: false,
+            faults: None,
         }
     }
 }
@@ -41,6 +47,8 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--input" => f.input = Some(it.next()?.clone()),
             "--save" => f.save = Some(it.next()?.clone()),
             "--parallel" => f.parallel = true,
+            "--audit" => f.audit = true,
+            "--faults" => f.faults = Some(it.next()?.parse().ok()?),
             _ => return None,
         }
     }
@@ -95,6 +103,9 @@ mod tests {
             "--save",
             "t.sepo",
             "--parallel",
+            "--audit",
+            "--faults",
+            "42",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -104,6 +115,8 @@ mod tests {
         assert_eq!(f.input.as_deref(), Some("a.log"));
         assert_eq!(f.save.as_deref(), Some("t.sepo"));
         assert!(f.parallel);
+        assert!(f.audit);
+        assert_eq!(f.faults, Some(42));
     }
 
     #[test]
@@ -114,6 +127,8 @@ mod tests {
         assert!(parse_flags(&strs(&["--heap"])).is_none());
         assert!(parse_flags(&strs(&["--frobnicate"])).is_none());
         assert!(parse_flags(&strs(&["--heap", "not-a-number"])).is_none());
+        assert!(parse_flags(&strs(&["--faults"])).is_none());
+        assert!(parse_flags(&strs(&["--faults", "not-a-seed"])).is_none());
     }
 
     #[test]

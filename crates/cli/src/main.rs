@@ -8,6 +8,10 @@
 //!   --heap <bytes>                       device heap override
 //!   --parallel                           racing parallel executor (default:
 //!                                        parallel-deterministic)
+//!   --audit                              cross-layer invariant audit at every
+//!                                        iteration boundary
+//!   --faults <seed>                      deterministic fault injection at the
+//!                                        standard rates, seeded with <seed>
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -27,7 +31,8 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
-         [--heap BYTES] [--parallel] [--input FILE] [--save IMAGE]\n  \
+         [--heap BYTES] [--parallel] [--audit] [--faults SEED] [--input FILE] \
+         [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -101,8 +106,24 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         ExecMode::ParallelDeterministic
     };
     let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(mode, Arc::clone(&metrics));
-    let run = run_app(app, &ds, &AppConfig::new(heap), &exec);
+    let mut exec = Executor::new(mode, Arc::clone(&metrics));
+    if let Some(seed) = f.faults {
+        let plan = gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::standard(seed));
+        println!("fault injection: standard rates, seed {seed}");
+        exec = exec.with_faults(Arc::new(plan));
+    }
+    let cfg = AppConfig::new(heap).with_audit(f.audit);
+    let run = run_app(app, &ds, &cfg, &exec);
+    if let Some(plan) = exec.faults() {
+        println!(
+            "  injected faults: {} lane aborts over {} draws",
+            plan.injected(gpu_sim::FaultSite::Lane),
+            plan.draws(gpu_sim::FaultSite::Lane)
+        );
+    }
+    if f.audit {
+        println!("  audit: every iteration boundary checked");
+    }
     let hist = run.table.full_contention_histogram();
     let gpu = gpu_total_time(&run.outcome, &hist, &spec);
     let (pages, bytes) = run.table.host_footprint();

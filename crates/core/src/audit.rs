@@ -1,0 +1,366 @@
+//! Cross-layer invariant audit.
+//!
+//! The SEPO stack spreads one logical fact — "which bytes live where" —
+//! across four layers: the driver's done-bitmap, the table's bucket
+//! structure, the page heap's accounting, and the host heap of evicted
+//! images. Each layer is tested in isolation; [`TableAudit`] checks that
+//! they *agree with each other* at the only moments agreement is defined:
+//! iteration boundaries, where the driver guarantees quiescence.
+//!
+//! Checks performed between iterations:
+//!
+//! * **bitmap vs. driver** — the done-bitmap's set-bit count equals the
+//!   number of tasks the driver no longer considers pending (and never
+//!   exceeds the bitmap length; see [`crate::bitmap::Bitmap::count_set`]).
+//! * **heap page accounting** — free pages plus resident pages equal the
+//!   pool size; no resident page's bump head exceeds the page size; every
+//!   resident page carries a distinct host id.
+//! * **eviction byte conservation** — bytes evicted plus bytes kept equal
+//!   the bytes resident before the eviction, and exactly the kept bytes
+//!   remain resident afterwards.
+//! * **host-heap growth** — the CPU-side store gains exactly one page and
+//!   exactly `evicted_bytes` bytes per evicted page (host ids are unique
+//!   per acquisition, so nothing is silently replaced).
+//! * **device ledger** (when a [`DeviceMemory`] is attached) — the
+//!   capacity ledger's used total equals the sum of its live reservations.
+//!
+//! A violation is a *bug*, not an environmental condition, so the driver
+//! panics on one; [`TableAudit`] itself reports
+//! [`AuditViolation`] values so tests can assert on specific checks.
+
+use crate::bitmap::Bitmap;
+use crate::evict::EvictReport;
+use crate::table::SepoTable;
+use gpu_sim::DeviceMemory;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One failed invariant: which check, and the numbers that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Name of the failed check (stable, test-friendly).
+    pub check: &'static str,
+    /// Human-readable detail with the observed values.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant '{}' violated: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+macro_rules! ensure {
+    ($cond:expr, $check:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(AuditViolation {
+                check: $check,
+                detail: format!($($fmt)+),
+            });
+        }
+    };
+}
+
+/// Cross-layer invariant checker for one SEPO run.
+///
+/// Construct with [`TableAudit::begin`] before the first iteration (it
+/// baselines the host heap so pre-existing pages — e.g. a restored image —
+/// are not misattributed to this run's evictions), then call
+/// [`TableAudit::check_iteration`] after every iteration-boundary eviction
+/// and [`TableAudit::check_final`] after `finalize()`.
+#[derive(Debug)]
+pub struct TableAudit {
+    host_pages_baseline: usize,
+    host_bytes_baseline: u64,
+    cum_evicted_pages: usize,
+    cum_evicted_bytes: u64,
+    iterations_checked: u64,
+    device: Option<DeviceMemory>,
+}
+
+impl TableAudit {
+    /// Start auditing `table`, baselining its host heap.
+    pub fn begin(table: &SepoTable) -> Self {
+        TableAudit {
+            host_pages_baseline: table.host_heap().len(),
+            host_bytes_baseline: table.host_heap().total_bytes(),
+            cum_evicted_pages: 0,
+            cum_evicted_bytes: 0,
+            iterations_checked: 0,
+            device: None,
+        }
+    }
+
+    /// Also verify the reservation ledger of `device` at every check.
+    pub fn with_device(mut self, device: DeviceMemory) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Iteration boundaries successfully checked so far.
+    pub fn iterations_checked(&self) -> u64 {
+        self.iterations_checked
+    }
+
+    /// Structural checks valid at any quiescent point: heap page
+    /// accounting, host-id uniqueness, and (if attached) the device
+    /// capacity ledger.
+    pub fn check_structure(&self, table: &SepoTable) -> Result<(), AuditViolation> {
+        let heap = table.heap();
+        let resident = heap.resident_pages();
+        let free = heap.free_pages();
+        let total = heap.total_pages();
+        ensure!(
+            free + resident.len() == total,
+            "heap-page-accounting",
+            "free ({free}) + resident ({}) != total ({total})",
+            resident.len()
+        );
+        let page_size = heap.page_size();
+        let mut ids = HashSet::with_capacity(resident.len());
+        for &p in &resident {
+            let used = heap.page_used(p);
+            ensure!(
+                used <= page_size,
+                "page-bump-bound",
+                "page {p} reports {used} used bytes on a {page_size}-byte page"
+            );
+            let id = heap.host_id(p);
+            ensure!(
+                ids.insert(id),
+                "host-id-uniqueness",
+                "host id {id} stamped on two resident pages"
+            );
+        }
+        if let Some(device) = &self.device {
+            if let Err(detail) = device.verify_ledger() {
+                return Err(AuditViolation {
+                    check: "device-ledger",
+                    detail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full between-iterations check.
+    ///
+    /// * `done` / `pending_after` — the driver's bitmap and the pending set
+    ///   it derived from it;
+    /// * `used_before_evict` — `heap().stats().used_bytes` captured
+    ///   immediately before `end_iteration()`;
+    /// * `evict` — that eviction's report.
+    pub fn check_iteration(
+        &mut self,
+        table: &SepoTable,
+        done: &Bitmap,
+        pending_after: usize,
+        used_before_evict: u64,
+        evict: &EvictReport,
+    ) -> Result<(), AuditViolation> {
+        let set = done.count_set();
+        ensure!(
+            set <= done.len(),
+            "bitmap-bound",
+            "{set} bits set in a bitmap of {} bits",
+            done.len()
+        );
+        ensure!(
+            set + pending_after == done.len(),
+            "bitmap-vs-pending",
+            "{set} done bits + {pending_after} pending tasks != {} tasks",
+            done.len()
+        );
+        self.check_eviction(table, used_before_evict, evict)?;
+        self.iterations_checked += 1;
+        Ok(())
+    }
+
+    /// Check the run-ending `finalize()` eviction (no bitmap check: the
+    /// run may have stopped at the iteration cap with tasks pending).
+    pub fn check_final(
+        &mut self,
+        table: &SepoTable,
+        used_before_evict: u64,
+        evict: &EvictReport,
+    ) -> Result<(), AuditViolation> {
+        self.check_eviction(table, used_before_evict, evict)
+    }
+
+    fn check_eviction(
+        &mut self,
+        table: &SepoTable,
+        used_before_evict: u64,
+        evict: &EvictReport,
+    ) -> Result<(), AuditViolation> {
+        ensure!(
+            evict.evicted_bytes + evict.kept_bytes == used_before_evict,
+            "eviction-byte-conservation",
+            "evicted ({}) + kept ({}) != resident before eviction ({used_before_evict})",
+            evict.evicted_bytes,
+            evict.kept_bytes
+        );
+        let used_after = table.heap().stats().used_bytes;
+        ensure!(
+            used_after == evict.kept_bytes,
+            "post-eviction-residency",
+            "{used_after} bytes resident after eviction, but the report kept {}",
+            evict.kept_bytes
+        );
+        self.cum_evicted_pages += evict.evicted_pages;
+        self.cum_evicted_bytes += evict.evicted_bytes;
+        let host_pages = table.host_heap().len() - self.host_pages_baseline;
+        ensure!(
+            host_pages == self.cum_evicted_pages,
+            "host-heap-page-growth",
+            "host heap grew by {host_pages} pages but {} were evicted",
+            self.cum_evicted_pages
+        );
+        let host_bytes = table.host_heap().total_bytes() - self.host_bytes_baseline;
+        ensure!(
+            host_bytes == self.cum_evicted_bytes,
+            "host-heap-byte-growth",
+            "host heap grew by {host_bytes} bytes but {} were evicted",
+            self.cum_evicted_bytes
+        );
+        self.check_structure(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, Organization, TableConfig};
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn table(org: Organization, pages: usize) -> SepoTable {
+        let cfg = TableConfig::new(org)
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (pages * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn clean_iteration_passes_every_check() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut audit = TableAudit::begin(&t);
+        let mut c = NoCharge;
+        for i in 0..40 {
+            assert!(t
+                .insert_combining(format!("k{i}").as_bytes(), 1, &mut c)
+                .is_success());
+        }
+        let done = Bitmap::new(40);
+        for i in 0..40 {
+            done.set(i);
+        }
+        let used_before = t.heap().stats().used_bytes;
+        assert!(used_before > 0);
+        let evict = t.end_iteration();
+        audit
+            .check_iteration(&t, &done, 0, used_before, &evict)
+            .unwrap();
+        assert_eq!(audit.iterations_checked(), 1);
+        let used = t.heap().stats().used_bytes;
+        let fin = t.finalize();
+        audit.check_final(&t, used, &fin).unwrap();
+    }
+
+    #[test]
+    fn bitmap_pending_mismatch_is_reported() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut audit = TableAudit::begin(&t);
+        let done = Bitmap::new(10);
+        done.set(0);
+        // 1 done + 5 pending != 10 tasks.
+        let evict = EvictReport::default();
+        let v = audit.check_iteration(&t, &done, 5, 0, &evict).unwrap_err();
+        assert_eq!(v.check, "bitmap-vs-pending");
+        assert_eq!(audit.iterations_checked(), 0);
+    }
+
+    #[test]
+    fn conservation_mismatch_is_reported() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut audit = TableAudit::begin(&t);
+        let done = Bitmap::new(4);
+        for i in 0..4 {
+            done.set(i);
+        }
+        // Claim 100 bytes were resident, but report nothing moved or kept.
+        let evict = EvictReport::default();
+        let v = audit
+            .check_iteration(&t, &done, 0, 100, &evict)
+            .unwrap_err();
+        assert_eq!(v.check, "eviction-byte-conservation");
+        assert!(v.to_string().contains("eviction-byte-conservation"));
+    }
+
+    #[test]
+    fn host_growth_mismatch_is_reported() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut audit = TableAudit::begin(&t);
+        // Stuff a page into the host heap behind the audit's back.
+        t.host_heap()
+            .store(999, sepo_alloc::PageKind::Mixed, vec![0u8; 16]);
+        let done = Bitmap::new(0);
+        let v = audit
+            .check_iteration(&t, &done, 0, 0, &EvictReport::default())
+            .unwrap_err();
+        assert_eq!(v.check, "host-heap-page-growth");
+    }
+
+    #[test]
+    fn baseline_tolerates_preexisting_host_pages() {
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        // A restored image present *before* the audit begins is fine.
+        t.host_heap()
+            .store(7, sepo_alloc::PageKind::Mixed, vec![1u8; 8]);
+        let mut audit = TableAudit::begin(&t);
+        let done = Bitmap::new(0);
+        audit
+            .check_iteration(&t, &done, 0, 0, &EvictReport::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn attached_device_ledger_is_verified() {
+        let t = table(Organization::Combining(Combiner::Add), 4);
+        let dev = DeviceMemory::new(10_000);
+        let _r = dev.reserve("table heap", 4 * 1024).unwrap();
+        let audit = TableAudit::begin(&t).with_device(dev);
+        audit.check_structure(&t).unwrap();
+    }
+
+    #[test]
+    fn multivalued_kept_pages_satisfy_conservation() {
+        let t = table(Organization::MultiValued, 2);
+        let mut audit = TableAudit::begin(&t);
+        let mut c = NoCharge;
+        assert!(t.insert_multivalued(b"key", b"v0", &mut c).is_success());
+        for i in 0..60 {
+            let v = format!("value-{i:03}-padding-padding");
+            if !t
+                .insert_multivalued(b"key", v.as_bytes(), &mut c)
+                .is_success()
+            {
+                break;
+            }
+        }
+        let done = Bitmap::new(0);
+        let used_before = t.heap().stats().used_bytes;
+        let evict = t.end_iteration();
+        assert!(evict.kept_pages > 0, "pending key page must be kept");
+        audit
+            .check_iteration(&t, &done, 0, used_before, &evict)
+            .unwrap();
+        let used = t.heap().stats().used_bytes;
+        let fin = t.finalize();
+        audit.check_final(&t, used, &fin).unwrap();
+    }
+}

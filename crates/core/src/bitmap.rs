@@ -46,17 +46,22 @@ impl Bitmap {
     }
 
     /// Number of set bits.
+    ///
+    /// A count above `len` means a bit past the end was set — memory
+    /// corruption, not a condition to paper over. It trips the debug
+    /// assertion here and is surfaced by `TableAudit` in release builds
+    /// (the raw count is returned unclamped so the audit can see it).
     pub fn count_set(&self) -> usize {
-        let mut n: usize = self
+        let n: usize = self
             .words
             .iter()
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum();
-        // Bits past `len` can never be set (set() asserts), so no masking
-        // is needed, but be defensive in release builds:
-        if n > self.len {
-            n = self.len;
-        }
+        debug_assert!(
+            n <= self.len,
+            "bitmap corrupt: {n} bits set in a bitmap of {} bits",
+            self.len
+        );
         n
     }
 

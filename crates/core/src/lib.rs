@@ -43,6 +43,7 @@
 //! assert_eq!(table.collect_combining(), vec![(b"http://example.com".to_vec(), 2)]);
 //! ```
 
+pub mod audit;
 pub mod bitmap;
 pub mod config;
 pub mod entry;
@@ -56,12 +57,13 @@ pub mod sepo;
 pub mod stats;
 pub mod table;
 
+pub use audit::{AuditViolation, TableAudit};
 pub use bitmap::Bitmap;
 pub use config::{Combiner, Organization, TableConfig};
 pub use evict::EvictReport;
 pub use hostquery::HostIndex;
 pub use lookup::{LookupOutcome, LookupRound};
 pub use results::GroupedPair;
-pub use sepo::{DriverConfig, IterationStats, SepoDriver, SepoOutcome, TaskResult};
+pub use sepo::{DriverConfig, IterationStats, SepoDriver, SepoError, SepoOutcome, TaskResult};
 pub use stats::TableStats;
 pub use table::{InsertStatus, SepoTable};

@@ -17,12 +17,14 @@
 //!   in place; multi-valued must see the full pass to know which keys are
 //!   pending).
 
+use crate::audit::TableAudit;
 use crate::bitmap::Bitmap;
 use crate::config::Organization;
 use crate::evict::EvictReport;
 use crate::table::SepoTable;
 use gpu_sim::executor::{Executor, LaneCtx};
 use gpu_sim::metrics::Snapshot;
+use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of processing one task (input record) in a kernel.
@@ -102,6 +104,71 @@ impl SepoOutcome {
     }
 }
 
+/// Why a SEPO run could not complete. Returned by
+/// [`SepoDriver::try_run`]; [`SepoDriver::run`] converts
+/// [`SepoError::IterationCapExceeded`] back into its (incomplete)
+/// [`SepoOutcome`] and panics on the other variants.
+#[derive(Debug)]
+pub enum SepoError {
+    /// An iteration stored nothing and injected faults cannot explain it:
+    /// the configuration can never terminate (e.g. entries larger than a
+    /// heap page).
+    NoProgress {
+        /// 1-based iteration that made no progress.
+        iteration: u32,
+        /// Tasks still pending at that point.
+        pending: u64,
+    },
+    /// The run stopped at [`DriverConfig::max_iterations`] with tasks
+    /// still pending. Carries the accounting gathered so far — how the
+    /// MapCG baseline's out-of-memory failure surfaces.
+    IterationCapExceeded {
+        /// The incomplete run's accounting (`pending_tasks > 0`).
+        outcome: Box<SepoOutcome>,
+    },
+    /// More than [`DriverConfig::max_fault_retries`] consecutive
+    /// iterations made no progress while the fault plan was aborting
+    /// lanes: the injected fault rate is too high to ever finish.
+    FaultBudgetExhausted {
+        /// 1-based iteration at which the budget ran out.
+        iteration: u32,
+        /// Tasks still pending at that point.
+        pending: u64,
+        /// Consecutive zero-progress, fault-afflicted iterations seen.
+        stalled_iterations: u32,
+    },
+}
+
+impl fmt::Display for SepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SepoError::NoProgress { iteration, pending } => write!(
+                f,
+                "SEPO iteration {iteration} stored nothing ({pending} tasks \
+                 pending): the heap cannot hold a single new entry"
+            ),
+            SepoError::IterationCapExceeded { outcome } => write!(
+                f,
+                "SEPO stopped at the {}-iteration cap with {} tasks pending",
+                outcome.n_iterations(),
+                outcome.pending_tasks
+            ),
+            SepoError::FaultBudgetExhausted {
+                iteration,
+                pending,
+                stalled_iterations,
+            } => write!(
+                f,
+                "SEPO gave up at iteration {iteration} after \
+                 {stalled_iterations} consecutive fault-stalled iterations \
+                 ({pending} tasks pending)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SepoError {}
+
 /// Driver configuration.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
@@ -112,6 +179,17 @@ pub struct DriverConfig {
     /// baseline sets 1 to model a runtime with no larger-than-memory
     /// support.
     pub max_iterations: u32,
+    /// Consecutive zero-progress iterations tolerated while injected
+    /// faults are aborting lanes, before
+    /// [`SepoError::FaultBudgetExhausted`]. Iterations that make progress
+    /// reset the count; zero-progress iterations *without* fault activity
+    /// fail immediately as [`SepoError::NoProgress`].
+    pub max_fault_retries: u32,
+    /// Run the [`TableAudit`] cross-layer invariant checks at every
+    /// iteration boundary (and after `finalize()`), panicking on a
+    /// violation. Off by default; enabled by the CLI's `--audit` flag and
+    /// unconditionally in tests.
+    pub audit: bool,
 }
 
 impl Default for DriverConfig {
@@ -119,6 +197,8 @@ impl Default for DriverConfig {
         DriverConfig {
             chunk_tasks: 8 * 1024,
             max_iterations: 10_000,
+            max_fault_retries: 8,
+            audit: false,
         }
     }
 }
@@ -144,13 +224,47 @@ impl<'a> SepoDriver<'a> {
         self
     }
 
-    /// Process `n_tasks` tasks to completion.
+    /// Process `n_tasks` tasks to completion, panicking on unrecoverable
+    /// conditions.
+    ///
+    /// A thin wrapper over [`SepoDriver::try_run`]: an
+    /// [`SepoError::IterationCapExceeded`] is unwrapped back into its
+    /// incomplete [`SepoOutcome`] (the MapCG baseline inspects
+    /// `pending_tasks`); the other errors — a configuration that can never
+    /// make progress, or an exhausted fault budget — panic with the typed
+    /// error's message.
+    pub fn run<B, K>(&self, n_tasks: usize, task_bytes: B, kernel: K) -> SepoOutcome
+    where
+        B: Fn(usize) -> u64 + Sync,
+        K: Fn(usize, u32, &mut LaneCtx<'_>) -> TaskResult + Sync,
+    {
+        match self.try_run(n_tasks, task_bytes, kernel) {
+            Ok(outcome) => outcome,
+            Err(SepoError::IterationCapExceeded { outcome }) => *outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Process `n_tasks` tasks to completion, reporting unrecoverable
+    /// conditions as a typed [`SepoError`] instead of panicking.
     ///
     /// `task_bytes(t)` is the input volume of task `t` (for transfer
     /// accounting); `kernel(t, start_pair, lane)` processes task `t`
     /// beginning at pair `start_pair`, inserting into the driver's table,
     /// and reports [`TaskResult`].
-    pub fn run<B, K>(&self, n_tasks: usize, task_bytes: B, kernel: K) -> SepoOutcome
+    ///
+    /// Transient injected faults (see [`gpu_sim::FaultPlan`]) degrade
+    /// gracefully: an aborted lane simply leaves its task pending, and the
+    /// next iteration retries it — paying simulated time, never losing
+    /// work. Only when [`DriverConfig::max_fault_retries`] consecutive
+    /// iterations stall with fault activity does the run give up with
+    /// [`SepoError::FaultBudgetExhausted`].
+    pub fn try_run<B, K>(
+        &self,
+        n_tasks: usize,
+        task_bytes: B,
+        kernel: K,
+    ) -> Result<SepoOutcome, SepoError>
     where
         B: Fn(usize) -> u64 + Sync,
         K: Fn(usize, u32, &mut LaneCtx<'_>) -> TaskResult + Sync,
@@ -161,6 +275,8 @@ impl<'a> SepoDriver<'a> {
         let mut pending: Vec<u32> = (0..n_tasks as u32).collect();
         let is_basic = matches!(self.table.config().organization, Organization::Basic);
         let halt_threshold = self.table.config().halt_threshold;
+        let mut audit = self.config.audit.then(|| TableAudit::begin(self.table));
+        let mut fault_stalls = 0u32;
 
         while !pending.is_empty() {
             let iter_no = iterations.len() as u32 + 1;
@@ -172,6 +288,7 @@ impl<'a> SepoDriver<'a> {
             let mut chunks = 0u32;
             let mut halted_early = false;
             let mut attempted = 0u64;
+            let mut lanes_aborted = 0u64;
 
             for chunk in pending.chunks(self.config.chunk_tasks.max(1)) {
                 // Stream the chunk's records to the device.
@@ -180,8 +297,11 @@ impl<'a> SepoDriver<'a> {
                 }
                 chunks += 1;
                 attempted += chunk.len() as u64;
-                // One kernel launch over the chunk's pending tasks.
-                self.executor.launch(chunk.len(), |lane| {
+                // One kernel launch over the chunk's pending tasks. A lane
+                // aborted by the fault plan never runs its task, so the
+                // task's done bit stays clear and it retries next
+                // iteration.
+                let stats = self.executor.launch(chunk.len(), |lane| {
                     let t = chunk[lane.task()] as usize;
                     lane.read_stream(task_bytes(t));
                     let start = progress[t].load(Ordering::Relaxed);
@@ -192,6 +312,7 @@ impl<'a> SepoDriver<'a> {
                         }
                     }
                 });
+                lanes_aborted += stats.lanes_aborted;
                 if is_basic && self.table.fraction_failed() >= halt_threshold {
                     // §IV-C: halt, evict, restart from the first postponed
                     // record (the pending-set rescan below realizes that).
@@ -200,6 +321,7 @@ impl<'a> SepoDriver<'a> {
                 }
             }
 
+            let used_before_evict = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
             let evict = self.table.end_iteration();
             let after = self.table.metrics().snapshot();
             let next_pending: Vec<u32> = pending
@@ -208,18 +330,44 @@ impl<'a> SepoDriver<'a> {
                 .filter(|&t| !done.get(t as usize))
                 .collect();
             let tasks_completed = pending.len() as u64 - next_pending.len() as u64;
+            if let Some(a) = audit.as_mut() {
+                if let Err(v) = a.check_iteration(
+                    self.table,
+                    &done,
+                    next_pending.len(),
+                    used_before_evict.unwrap_or(0),
+                    &evict,
+                ) {
+                    panic!("SEPO audit failed at iteration {iter_no}: {v}");
+                }
+            }
             // Progress check: an iteration may complete no whole task yet
             // still advance (multi-pair tasks storing a prefix of their
             // pairs); what must never happen is an iteration in which not a
             // single allocation succeeded — that configuration can never
-            // terminate.
+            // terminate. Exception: injected lane aborts legitimately
+            // produce empty iterations, which are retried up to
+            // `max_fault_retries` consecutive times.
             let kernel_delta = after.delta(&before);
-            assert!(
-                tasks_completed > 0 || kernel_delta.alloc_success > 0 || next_pending.is_empty(),
-                "SEPO iteration {iter_no} stored nothing \
-                 ({} tasks pending): the heap cannot hold a single new entry",
-                next_pending.len()
-            );
+            let progressed =
+                tasks_completed > 0 || kernel_delta.alloc_success > 0 || next_pending.is_empty();
+            if progressed {
+                fault_stalls = 0;
+            } else if lanes_aborted > 0 {
+                fault_stalls += 1;
+                if fault_stalls > self.config.max_fault_retries {
+                    return Err(SepoError::FaultBudgetExhausted {
+                        iteration: iter_no,
+                        pending: next_pending.len() as u64,
+                        stalled_iterations: fault_stalls,
+                    });
+                }
+            } else {
+                return Err(SepoError::NoProgress {
+                    iteration: iter_no,
+                    pending: next_pending.len() as u64,
+                });
+            }
             iterations.push(IterationStats {
                 iteration: iter_no,
                 tasks_attempted: attempted,
@@ -233,13 +381,26 @@ impl<'a> SepoDriver<'a> {
             pending = next_pending;
         }
 
+        let used_before_final = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
         let final_evict = self.table.finalize();
-        SepoOutcome {
+        if let Some(a) = audit.as_mut() {
+            if let Err(v) = a.check_final(self.table, used_before_final.unwrap_or(0), &final_evict)
+            {
+                panic!("SEPO audit failed at finalize: {v}");
+            }
+        }
+        let outcome = SepoOutcome {
             iterations,
             total_tasks: n_tasks as u64,
             final_evict,
             pending_tasks: pending.len() as u64,
+        };
+        if outcome.pending_tasks > 0 {
+            return Err(SepoError::IterationCapExceeded {
+                outcome: Box::new(outcome),
+            });
         }
+        Ok(outcome)
     }
 }
 
@@ -256,6 +417,14 @@ mod tests {
         Executor::new(ExecMode::Deterministic, Arc::clone(metrics))
     }
 
+    /// Every driver test runs with the cross-layer audit on.
+    fn audited() -> DriverConfig {
+        DriverConfig {
+            audit: true,
+            ..DriverConfig::default()
+        }
+    }
+
     fn small_table(org: Organization, pages: usize) -> SepoTable {
         let cfg = TableConfig::new(org)
             .with_buckets(128)
@@ -269,7 +438,7 @@ mod tests {
         let t = small_table(Organization::Combining(Combiner::Add), 64);
         let e = exec(t.metrics());
         let keys: Vec<String> = (0..100).map(|i| format!("key-{i}")).collect();
-        let outcome = SepoDriver::new(&t, &e).run(
+        let outcome = SepoDriver::new(&t, &e).with_config(audited()).run(
             keys.len(),
             |_| 16,
             |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
@@ -287,7 +456,7 @@ mod tests {
         let t = small_table(Organization::Combining(Combiner::Add), 4);
         let e = exec(t.metrics());
         let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
-        let outcome = SepoDriver::new(&t, &e).run(
+        let outcome = SepoDriver::new(&t, &e).with_config(audited()).run(
             keys.len(),
             |_| 16,
             |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
@@ -324,7 +493,7 @@ mod tests {
         let t = small_table(Organization::Combining(Combiner::Add), 4);
         let e = exec(t.metrics());
         let records: Vec<String> = (0..1200).map(|i| format!("key-{:04}", i % 120)).collect();
-        SepoDriver::new(&t, &e).run(
+        SepoDriver::new(&t, &e).with_config(audited()).run(
             records.len(),
             |_| 16,
             |task, _start, lane| match t.insert_combining(records[task].as_bytes(), 1, lane) {
@@ -347,6 +516,8 @@ mod tests {
             .with_config(DriverConfig {
                 chunk_tasks: 32,
                 max_iterations: 1000,
+                audit: true,
+                ..DriverConfig::default()
             })
             .run(
                 600,
@@ -378,7 +549,7 @@ mod tests {
         let t = small_table(Organization::Combining(Combiner::Add), 4);
         let e = exec(t.metrics());
         let n_tasks = 120usize;
-        SepoDriver::new(&t, &e).run(
+        SepoDriver::new(&t, &e).with_config(audited()).run(
             n_tasks,
             |_| 80,
             |task, start, lane| {
@@ -410,7 +581,7 @@ mod tests {
         let records: Vec<(String, String)> = (0..240)
             .map(|i| (format!("key-{:02}", i % 30), format!("value-{i:04}-pad")))
             .collect();
-        let outcome = SepoDriver::new(&t, &e).run(
+        let outcome = SepoDriver::new(&t, &e).with_config(audited()).run(
             records.len(),
             |_| 24,
             |task, _start, lane| {
@@ -428,26 +599,184 @@ mod tests {
         assert_eq!(total, 240, "every value grouped exactly once");
     }
 
-    #[test]
-    #[should_panic(expected = "cannot hold a single new entry")]
-    fn impossible_configuration_aborts() {
-        // Heap of one page, entries bigger than the page: no progress ever.
+    /// Heap of one page, entries bigger than the page: no progress ever.
+    fn impossible_table() -> SepoTable {
         let cfg = TableConfig::new(Organization::Basic)
             .with_buckets(4)
             .with_buckets_per_group(4)
             .with_page_size(64);
-        let t = SepoTable::new(cfg, 64, Arc::new(Metrics::new()));
+        SepoTable::new(cfg, 64, Arc::new(Metrics::new()))
+    }
+
+    fn oversized_insert(
+        t: &SepoTable,
+    ) -> impl Fn(usize, u32, &mut LaneCtx<'_>) -> TaskResult + Sync + '_ {
+        |_task, _start, lane| {
+            let big = [7u8; 128];
+            match t.insert_basic(b"key", &big, lane) {
+                crate::table::InsertStatus::Success => TaskResult::Done,
+                crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_configuration_reports_no_progress() {
+        let t = impossible_table();
         let e = exec(t.metrics());
-        SepoDriver::new(&t, &e).run(
-            4,
-            |_| 8,
-            |_task, _start, lane| {
-                let big = [7u8; 128];
-                match t.insert_basic(b"key", &big, lane) {
+        let err = SepoDriver::new(&t, &e)
+            .with_config(audited())
+            .try_run(4, |_| 8, oversized_insert(&t))
+            .unwrap_err();
+        match err {
+            SepoError::NoProgress { iteration, pending } => {
+                assert_eq!(iteration, 1);
+                assert_eq!(pending, 4);
+            }
+            other => panic!("expected NoProgress, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold a single new entry")]
+    fn impossible_configuration_aborts() {
+        // The panicking wrapper preserves the historical abort behaviour.
+        let t = impossible_table();
+        let e = exec(t.metrics());
+        SepoDriver::new(&t, &e).run(4, |_| 8, oversized_insert(&t));
+    }
+
+    #[test]
+    fn iteration_cap_is_a_typed_error_with_the_partial_outcome() {
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let insert = |task: usize, _start: u32, lane: &mut LaneCtx<'_>| match t.insert_combining(
+            keys[task].as_bytes(),
+            1,
+            lane,
+        ) {
+            crate::table::InsertStatus::Success => TaskResult::Done,
+            crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+        };
+        let err = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                max_iterations: 1,
+                audit: true,
+                ..DriverConfig::default()
+            })
+            .try_run(keys.len(), |_| 16, insert)
+            .unwrap_err();
+        let SepoError::IterationCapExceeded { outcome } = err else {
+            panic!("expected IterationCapExceeded");
+        };
+        assert_eq!(outcome.n_iterations(), 1);
+        assert!(outcome.pending_tasks > 0);
+        assert!(!outcome.is_complete());
+    }
+
+    #[test]
+    fn run_unwraps_the_iteration_cap_into_an_incomplete_outcome() {
+        // MapCG-style usage: `run` must NOT panic on a capped run.
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let outcome = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                max_iterations: 1,
+                audit: true,
+                ..DriverConfig::default()
+            })
+            .run(
+                keys.len(),
+                |_| 16,
+                |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
                     crate::table::InsertStatus::Success => TaskResult::Done,
                     crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
-                }
-            },
+                },
+            );
+        assert_eq!(outcome.n_iterations(), 1);
+        assert!(outcome.pending_tasks > 0);
+    }
+
+    #[test]
+    fn transient_lane_aborts_retry_and_complete_with_exact_counts() {
+        use gpu_sim::{FaultConfig, FaultPlan};
+        // 10% lane aborts: tasks skipped by a fault stay pending and are
+        // retried; every key must still land exactly once.
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 0xFA17,
+            alloc_failure_rate: 0.0,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.10,
+        }));
+        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_faults(Arc::clone(&plan));
+        let keys: Vec<String> = (0..300).map(|i| format!("key-{i:05}")).collect();
+        let outcome = SepoDriver::new(&t, &e)
+            .with_config(audited())
+            .try_run(
+                keys.len(),
+                |_| 16,
+                |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                },
+            )
+            .unwrap();
+        assert!(outcome.is_complete());
+        assert!(
+            outcome.n_iterations() > 1,
+            "aborted lanes must force extra iterations"
         );
+        assert!(plan.injected(gpu_sim::FaultSite::Lane) > 0);
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 300);
+        assert!(got.values().all(|&v| v == 1), "no key may double-count");
+    }
+
+    #[test]
+    fn certain_lane_aborts_exhaust_the_fault_budget() {
+        use gpu_sim::{FaultConfig, FaultPlan};
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 1,
+            alloc_failure_rate: 0.0,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 1.0,
+        }));
+        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics())).with_faults(plan);
+        let err = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                max_fault_retries: 3,
+                audit: true,
+                ..DriverConfig::default()
+            })
+            .try_run(
+                50,
+                |_| 16,
+                |task, _start, lane| {
+                    let key = format!("key-{task}");
+                    match t.insert_combining(key.as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    }
+                },
+            )
+            .unwrap_err();
+        let SepoError::FaultBudgetExhausted {
+            iteration,
+            pending,
+            stalled_iterations,
+        } = err
+        else {
+            panic!("expected FaultBudgetExhausted");
+        };
+        assert_eq!(iteration, 4, "3 retries then the 4th stall gives up");
+        assert_eq!(pending, 50, "no task may be lost");
+        assert_eq!(stalled_iterations, 4);
     }
 }

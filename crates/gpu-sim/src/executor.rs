@@ -30,6 +30,7 @@
 //! [`Metrics`] **once per launch**, so the shared counters see a handful of
 //! atomic adds per launch instead of five per warp.
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::Metrics;
 use crate::pool::{self, Work, WorkerPool};
 use crate::spec::WARP_SIZE;
@@ -143,6 +144,9 @@ pub struct LaunchStats {
     pub warps: u64,
     /// Divergence events recorded by this launch.
     pub divergence_events: u64,
+    /// Lanes whose task was skipped by an injected fault (the task's work
+    /// never ran; the caller sees it as still unprocessed).
+    pub lanes_aborted: u64,
 }
 
 /// A kernel panicked during a launch. The launch still drained (every
@@ -193,6 +197,7 @@ struct Shard {
     device_bytes: u64,
     chain_hops: u64,
     divergence_events: u64,
+    lanes_aborted: u64,
 }
 
 impl Shard {
@@ -202,6 +207,7 @@ impl Shard {
         self.device_bytes += other.device_bytes;
         self.chain_hops += other.chain_hops;
         self.divergence_events += other.divergence_events;
+        self.lanes_aborted += other.lanes_aborted;
     }
 }
 
@@ -210,6 +216,7 @@ impl Shard {
 struct KernelJob<'k, K> {
     kernel: &'k K,
     n_tasks: usize,
+    faults: Option<&'k FaultPlan>,
     shards: Vec<UnsafeCell<Shard>>,
 }
 
@@ -223,20 +230,33 @@ impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
     fn run_units(&self, warps: Range<usize>, slot: usize) {
         let shard = unsafe { &mut *self.shards[slot].get() };
         for warp in warps {
-            run_warp(self.kernel, warp, self.n_tasks, shard);
+            run_warp(self.kernel, warp, self.n_tasks, self.faults, shard);
         }
     }
 }
 
 /// Execute one warp's lanes serially, folding its tally into `shard`.
-fn run_warp<K>(kernel: &K, warp: usize, n_tasks: usize, shard: &mut Shard)
-where
+/// Lanes killed by the fault plan skip their kernel invocation — the task
+/// runs nothing and stays unprocessed from the caller's point of view.
+fn run_warp<K>(
+    kernel: &K,
+    warp: usize,
+    n_tasks: usize,
+    faults: Option<&FaultPlan>,
+    shard: &mut Shard,
+) where
     K: Fn(&mut LaneCtx<'_>) + Sync,
 {
     let mut local = WarpLocal::default();
     let start = warp * WARP_SIZE;
     let end = (start + WARP_SIZE).min(n_tasks);
     for task in start..end {
+        if let Some(plan) = faults {
+            if plan.should_fault(FaultSite::Lane) {
+                shard.lanes_aborted += 1;
+                continue;
+            }
+        }
         let mut ctx = LaneCtx {
             task,
             warp: &mut local,
@@ -250,16 +270,35 @@ where
     shard.divergence_events += (local.branch_classes.len() as u64).saturating_sub(1);
 }
 
-/// The kernel executor. Cheap to clone; clones share the metrics sink.
+/// The kernel executor. Cheap to clone; clones share the metrics sink (and
+/// the fault plan, when one is attached).
 #[derive(Debug, Clone)]
 pub struct Executor {
     mode: ExecMode,
     metrics: Arc<Metrics>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Executor {
     pub fn new(mode: ExecMode, metrics: Arc<Metrics>) -> Self {
-        Executor { mode, metrics }
+        Executor {
+            mode,
+            metrics,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault plan: lanes may abort before running their task
+    /// (counted in [`LaunchStats::lanes_aborted`]). Under the deterministic
+    /// modes the abort pattern is a pure function of the plan's seed.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan in force, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The metrics sink launches report into.
@@ -299,6 +338,7 @@ impl Executor {
                 tasks: 0,
                 warps: 0,
                 divergence_events: 0,
+                lanes_aborted: 0,
             });
         }
         let n_warps = n_tasks.div_ceil(WARP_SIZE);
@@ -319,6 +359,7 @@ impl Executor {
         let job = KernelJob {
             kernel: &kernel,
             n_tasks,
+            faults: self.faults.as_deref(),
             shards: (0..max_slots)
                 .map(|_| UnsafeCell::new(Shard::default()))
                 .collect(),
@@ -338,11 +379,14 @@ impl Executor {
         self.metrics.add_divergence_events(total.divergence_events);
 
         outcome.map_err(|payload| LaunchError { payload })?;
-        self.metrics.add_tasks(n_tasks as u64);
+        // Aborted lanes never ran their task; only executed tasks count.
+        let executed = n_tasks as u64 - total.lanes_aborted;
+        self.metrics.add_tasks(executed);
         Ok(LaunchStats {
-            tasks: n_tasks as u64,
+            tasks: executed,
             warps: n_warps as u64,
             divergence_events: total.divergence_events,
+            lanes_aborted: total.lanes_aborted,
         })
     }
 }
@@ -524,6 +568,50 @@ mod tests {
             .copied()
             .or_else(|| caught.downcast_ref::<String>().map(String::as_str));
         assert_eq!(text, Some("boom-42"));
+    }
+
+    #[test]
+    fn lane_aborts_skip_tasks_deterministically() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let run = |seed| {
+            let m = Arc::new(Metrics::new());
+            let plan = Arc::new(FaultPlan::new(FaultConfig {
+                seed,
+                alloc_failure_rate: 0.0,
+                pcie_error_rate: 0.0,
+                lane_abort_rate: 0.2,
+            }));
+            let e = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&m))
+                .with_faults(Arc::clone(&plan));
+            let n = 4_000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let stats = e.launch(n, |ctx| {
+                hits[ctx.task()].fetch_add(1, Ordering::Relaxed);
+            });
+            let ran: Vec<usize> = hits
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.load(Ordering::Relaxed) == 1)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(stats.tasks as usize, ran.len());
+            assert_eq!(stats.lanes_aborted as usize, n - ran.len());
+            assert!(stats.lanes_aborted > 0, "20% abort rate must fire");
+            // Only executed tasks reach the metrics sink.
+            assert_eq!(m.snapshot().tasks, stats.tasks);
+            ran
+        };
+        // Same seed => identical abort pattern; different seed => different.
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn no_fault_plan_means_no_aborts() {
+        let (e, _) = exec(ExecMode::Deterministic);
+        let stats = e.launch(100, |_| {});
+        assert_eq!(stats.lanes_aborted, 0);
+        assert_eq!(stats.tasks, 100);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Seeded, deterministic fault injection.
+//!
+//! WarpSpeed (McCoy & Pandey) argues that what blocks large-scale adoption
+//! of GPU hash tables is missing failure-handling, not raw speed — and the
+//! SEPO paper's own claim is *graceful* degradation under resource
+//! exhaustion. A [`FaultPlan`] lets the harness prove that claim: it
+//! injects transient allocation failures ([`DeviceMemory`]), PCIe transfer
+//! errors ([`PcieBus`]) and lane aborts (the executor) at configurable
+//! rates, driven entirely by a seed.
+//!
+//! Each injection site draws from its own monotone counter hashed together
+//! with the seed (SplitMix64). Under [`ExecMode::Deterministic`] and
+//! [`ExecMode::ParallelDeterministic`] the draw *order* equals the
+//! execution order, so the same seed reproduces the same fault sequence —
+//! iteration counts and results JSON stay byte-identical across runs.
+//!
+//! [`DeviceMemory`]: crate::memory::DeviceMemory
+//! [`PcieBus`]: crate::pcie::PcieBus
+//! [`ExecMode::Deterministic`]: crate::executor::ExecMode::Deterministic
+//! [`ExecMode::ParallelDeterministic`]: crate::executor::ExecMode::ParallelDeterministic
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A device-memory reservation transiently fails (driver glitch: the
+    /// request would fit, but the allocator says no this time).
+    Alloc,
+    /// A bulk PCIe transfer fails mid-flight and must be re-issued.
+    Pcie,
+    /// A kernel lane aborts before running its task; the task stays
+    /// unprocessed and is re-issued by the SEPO driver next iteration.
+    Lane,
+}
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Alloc => 0,
+            FaultSite::Pcie => 1,
+            FaultSite::Lane => 2,
+        }
+    }
+
+    /// Stable per-site salt mixed into the hash so the three streams are
+    /// independent even under one seed.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::Alloc => 0xA110_C8ED_0000_0001,
+            FaultSite::Pcie => 0xBC1E_70BB_0000_0002,
+            FaultSite::Lane => 0x1A7E_AB07_0000_0003,
+        }
+    }
+}
+
+const N_SITES: usize = 3;
+
+/// Per-site injection rates in `[0.0, 1.0]`, plus the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the deterministic draw streams.
+    pub seed: u64,
+    /// Probability that a device-memory reservation transiently fails.
+    pub alloc_failure_rate: f64,
+    /// Probability that a bulk PCIe transfer attempt errors.
+    pub pcie_error_rate: f64,
+    /// Probability that a kernel lane aborts before its task runs.
+    pub lane_abort_rate: f64,
+}
+
+impl FaultConfig {
+    /// A plan with every rate zero (useful as a base to tweak).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            alloc_failure_rate: 0.0,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.0,
+        }
+    }
+
+    /// The default adversarial mix used by `--faults <seed>`: rare
+    /// allocation and transfer errors, occasional lane aborts.
+    pub fn standard(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            alloc_failure_rate: 0.02,
+            pcie_error_rate: 0.01,
+            lane_abort_rate: 0.005,
+        }
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::Alloc => self.alloc_failure_rate,
+            FaultSite::Pcie => self.pcie_error_rate,
+            FaultSite::Lane => self.lane_abort_rate,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive counter values.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A live fault plan: [`FaultConfig`] plus per-site draw and injection
+/// counters. One plan belongs to one simulation (like `Metrics`); sharing
+/// a plan across concurrent simulations would interleave their draw
+/// streams and break reproducibility.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// Thresholds precomputed on the u64 scale: draw < threshold → inject.
+    thresholds: [u64; N_SITES],
+    draws: [AtomicU64; N_SITES],
+    injected: [AtomicU64; N_SITES],
+}
+
+impl FaultPlan {
+    pub fn new(config: FaultConfig) -> Self {
+        let thresholds = [FaultSite::Alloc, FaultSite::Pcie, FaultSite::Lane].map(|s| {
+            let r = config.rate(s).clamp(0.0, 1.0);
+            // `u64::MAX as f64 * 1.0` rounds up past MAX; saturate there.
+            if r >= 1.0 {
+                u64::MAX
+            } else {
+                (r * u64::MAX as f64) as u64
+            }
+        });
+        FaultPlan {
+            config,
+            thresholds,
+            draws: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Draw the next decision for `site`: `true` means "inject a fault
+    /// here". Deterministic in the draw sequence: the n-th call for a site
+    /// under a given seed always returns the same answer.
+    pub fn should_fault(&self, site: FaultSite) -> bool {
+        let i = site.index();
+        if self.thresholds[i] == 0 {
+            return false; // rate 0: don't even burn a counter increment
+        }
+        let n = self.draws[i].fetch_add(1, Ordering::Relaxed);
+        let hash =
+            splitmix64(self.config.seed ^ site.salt() ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let hit = hash < self.thresholds[i];
+        if hit {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Decisions drawn so far for `site`.
+    pub fn draws(&self, site: FaultSite) -> u64 {
+        self.draws[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far for `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let p = FaultPlan::new(FaultConfig::quiet(42));
+        for _ in 0..10_000 {
+            assert!(!p.should_fault(FaultSite::Alloc));
+            assert!(!p.should_fault(FaultSite::Pcie));
+            assert!(!p.should_fault(FaultSite::Lane));
+        }
+        assert_eq!(p.total_injected(), 0);
+    }
+
+    #[test]
+    fn rate_one_always_faults() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 1,
+            alloc_failure_rate: 1.0,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.0,
+        });
+        for _ in 0..1_000 {
+            assert!(p.should_fault(FaultSite::Alloc));
+        }
+        assert_eq!(p.injected(FaultSite::Alloc), 1_000);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_sequence() {
+        let cfg = FaultConfig::standard(0xDEAD_BEEF);
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        let seq_a: Vec<bool> = (0..5_000)
+            .map(|_| a.should_fault(FaultSite::Lane))
+            .collect();
+        let seq_b: Vec<bool> = (0..5_000)
+            .map(|_| b.should_fault(FaultSite::Lane))
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.injected(FaultSite::Lane), b.injected(FaultSite::Lane));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(FaultConfig::standard(1));
+        let b = FaultPlan::new(FaultConfig::standard(2));
+        let seq_a: Vec<bool> = (0..5_000)
+            .map(|_| a.should_fault(FaultSite::Lane))
+            .collect();
+        let seq_b: Vec<bool> = (0..5_000)
+            .map(|_| b.should_fault(FaultSite::Lane))
+            .collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 99,
+            alloc_failure_rate: 0.5,
+            pcie_error_rate: 0.5,
+            lane_abort_rate: 0.5,
+        });
+        let alloc: Vec<bool> = (0..2_000)
+            .map(|_| p.should_fault(FaultSite::Alloc))
+            .collect();
+        let pcie: Vec<bool> = (0..2_000)
+            .map(|_| p.should_fault(FaultSite::Pcie))
+            .collect();
+        assert_ne!(alloc, pcie, "sites must not share a stream");
+    }
+
+    #[test]
+    fn injection_rate_tracks_configured_rate() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 7,
+            alloc_failure_rate: 0.25,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.0,
+        });
+        let n = 100_000u64;
+        for _ in 0..n {
+            p.should_fault(FaultSite::Alloc);
+        }
+        let rate = p.injected(FaultSite::Alloc) as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "observed rate {rate}");
+        assert_eq!(p.draws(FaultSite::Alloc), n);
+    }
+}

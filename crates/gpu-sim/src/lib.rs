@@ -21,6 +21,9 @@
 //!   overlap (the analytic makespan model); [`staging`] — the buffer
 //!   mechanism itself.
 //! * [`paging`] — the LRU demand-paging replay used for Table III.
+//! * [`faults`] — seeded, deterministic fault injection (transient
+//!   allocation failures, PCIe transfer errors, lane aborts) used to prove
+//!   degradation stays graceful under resource trouble.
 //!
 //! Everything that *matters to the paper's claims* — which inserts get
 //! postponed, how many SEPO iterations a dataset needs, how many bytes move
@@ -31,6 +34,7 @@ pub mod charge;
 pub mod clock;
 pub mod cost;
 pub mod executor;
+pub mod faults;
 pub mod memory;
 pub mod metrics;
 pub mod paging;
@@ -44,11 +48,12 @@ pub use charge::{Charge, MetricsCharge, NoCharge};
 pub use clock::{SimClock, SimTime};
 pub use cost::{CpuCostModel, GpuCostModel};
 pub use executor::{ExecMode, Executor, LaneCtx, LaunchError, LaunchStats};
+pub use faults::{FaultConfig, FaultPlan, FaultSite};
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};
 pub use paging::{AccessTrace, LruSimulator, PagingOutcome};
-pub use pcie::PcieBus;
+pub use pcie::{PcieBus, PcieTransferError};
 pub use pipeline::{pipelined_total, serial_total};
 pub use pool::WorkerPool;
 pub use spec::{DeviceSpec, HostSpec, PcieSpec, SystemSpec, WARP_SIZE};
-pub use staging::{stream_chunks, StagingBuffers};
+pub use staging::{stream_chunks, ChunkTooLarge, StagingBuffers};

@@ -8,12 +8,14 @@
 //! backing storage lives in host RAM (we are simulating the device), so a
 //! reservation hands back nothing but an accounting token.
 
+use crate::faults::{FaultPlan, FaultSite};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
 /// Error returned when a reservation does not fit in the remaining device
-/// memory.
+/// memory — or, with a [`FaultPlan`] attached, when the allocator
+/// transiently declined a request that would have fit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutOfDeviceMemory {
     /// Bytes requested.
@@ -22,15 +24,26 @@ pub struct OutOfDeviceMemory {
     pub free: u64,
     /// Label of the failed reservation.
     pub label: String,
+    /// True when the failure was injected by a [`FaultPlan`] rather than a
+    /// genuine capacity shortfall; retrying may succeed.
+    pub transient: bool,
 }
 
 impl fmt::Display for OutOfDeviceMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "out of device memory reserving {} bytes for '{}' ({} free)",
-            self.requested, self.label, self.free
-        )
+        if self.transient {
+            write!(
+                f,
+                "transient allocation fault reserving {} bytes for '{}' ({} free)",
+                self.requested, self.label, self.free
+            )
+        } else {
+            write!(
+                f,
+                "out of device memory reserving {} bytes for '{}' ({} free)",
+                self.requested, self.label, self.free
+            )
+        }
     }
 }
 
@@ -49,6 +62,7 @@ struct Ledger {
 pub struct DeviceMemory {
     capacity: u64,
     ledger: Arc<Mutex<Ledger>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Accounting token for a reservation. Dropping it does *not* release the
@@ -68,7 +82,15 @@ impl DeviceMemory {
         DeviceMemory {
             capacity,
             ledger: Arc::new(Mutex::new(Ledger::default())),
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan: `reserve` consults it and may transiently fail
+    /// requests that would otherwise fit (marked `transient` in the error).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Total capacity in bytes.
@@ -87,8 +109,21 @@ impl DeviceMemory {
         self.capacity - self.used()
     }
 
-    /// Reserve `bytes` under `label`, failing if it does not fit.
+    /// Reserve `bytes` under `label`, failing if it does not fit. With a
+    /// fault plan attached, the request may also fail transiently even when
+    /// it fits — callers distinguish via [`OutOfDeviceMemory::transient`]
+    /// and may simply retry.
     pub fn reserve(&self, label: &str, bytes: u64) -> Result<Reservation, OutOfDeviceMemory> {
+        if let Some(plan) = &self.faults {
+            if plan.should_fault(FaultSite::Alloc) {
+                return Err(OutOfDeviceMemory {
+                    requested: bytes,
+                    free: self.free(),
+                    label: label.to_string(),
+                    transient: true,
+                });
+            }
+        }
         let mut ledger = self.ledger.lock();
         let free = self.capacity - ledger.used;
         if bytes > free {
@@ -96,6 +131,7 @@ impl DeviceMemory {
                 requested: bytes,
                 free,
                 label: label.to_string(),
+                transient: false,
             });
         }
         ledger.used += bytes;
@@ -138,6 +174,27 @@ impl DeviceMemory {
             .filter(|(_, b)| *b > 0)
             .cloned()
             .collect()
+    }
+
+    /// Cross-check the ledger against itself: `used` must equal the sum of
+    /// live reservations and never exceed capacity. Returns a description
+    /// of the first violation, if any — consumed by the audit layer.
+    pub fn verify_ledger(&self) -> Result<(), String> {
+        let ledger = self.ledger.lock();
+        let sum: u64 = ledger.reservations.iter().map(|(_, b)| b).sum();
+        if sum != ledger.used {
+            return Err(format!(
+                "ledger used {} != sum of live reservations {}",
+                ledger.used, sum
+            ));
+        }
+        if ledger.used > self.capacity {
+            return Err(format!(
+                "ledger used {} exceeds capacity {}",
+                ledger.used, self.capacity
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -201,5 +258,46 @@ mod tests {
         let alias = mem.clone();
         mem.reserve("x", 200).unwrap();
         assert_eq!(alias.free(), 300);
+    }
+
+    #[test]
+    fn verify_ledger_passes_through_reserve_release_cycles() {
+        let mem = DeviceMemory::new(1_000);
+        let a = mem.reserve("a", 100).unwrap();
+        mem.reserve("b", 200).unwrap();
+        mem.verify_ledger().unwrap();
+        mem.release(a);
+        mem.verify_ledger().unwrap();
+        mem.reserve_remaining("heap");
+        mem.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_injects_transient_failures_that_leave_capacity_intact() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 11,
+            alloc_failure_rate: 1.0,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.0,
+        }));
+        let mem = DeviceMemory::new(1_000).with_faults(Arc::clone(&plan));
+        let err = mem.reserve("x", 100).unwrap_err();
+        assert!(err.transient);
+        assert!(err.to_string().contains("transient"));
+        // The failed attempt reserved nothing.
+        assert_eq!(mem.used(), 0);
+        mem.verify_ledger().unwrap();
+        assert_eq!(plan.injected(crate::faults::FaultSite::Alloc), 1);
+    }
+
+    #[test]
+    fn genuine_exhaustion_is_not_transient() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(3)));
+        let mem = DeviceMemory::new(100).with_faults(plan);
+        mem.reserve("a", 80).unwrap();
+        let err = mem.reserve("b", 50).unwrap_err();
+        assert!(!err.transient);
     }
 }

@@ -9,8 +9,9 @@
 //! schedules with.
 
 use crate::clock::SimTime;
-use crate::memory::{DeviceMemory, OutOfDeviceMemory};
+use crate::memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 use crate::pcie::PcieBus;
+use std::fmt;
 
 /// One staging buffer: capacity plus the bytes currently staged.
 #[derive(Debug)]
@@ -19,7 +20,34 @@ struct Buffer {
     capacity: usize,
 }
 
+/// A chunk handed to [`StagingBuffers::try_stage`] exceeded the buffer
+/// capacity. The staging pair is unchanged; the caller may split the chunk
+/// and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTooLarge {
+    /// Size of the rejected chunk.
+    pub chunk_bytes: usize,
+    /// Capacity of one staging buffer.
+    pub capacity: usize,
+}
+
+impl fmt::Display for ChunkTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk of {} bytes exceeds staging capacity {}",
+            self.chunk_bytes, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ChunkTooLarge {}
+
 /// Double-buffered staging area for streaming input chunks to the device.
+///
+/// Holds its two device reservations and returns them when dropped (or via
+/// [`StagingBuffers::release`]), so repeated runs against one
+/// [`DeviceMemory`] do not leak capacity.
 #[derive(Debug)]
 pub struct StagingBuffers {
     buffers: [Buffer; 2],
@@ -30,13 +58,26 @@ pub struct StagingBuffers {
     chunks: u64,
     /// Simulated transfer time accumulated by fills.
     transfer_time: SimTime,
+    /// The device the buffers were carved out of, plus the two reservation
+    /// tokens (taken by `release`/`Drop`).
+    device: DeviceMemory,
+    reservations: [Option<Reservation>; 2],
 }
 
 impl StagingBuffers {
-    /// Reserve two `chunk_capacity`-byte buffers from `device`.
+    /// Reserve two `chunk_capacity`-byte buffers from `device`. The
+    /// reservations are held for the life of the value and released on
+    /// drop.
     pub fn new(device: &DeviceMemory, chunk_capacity: usize) -> Result<Self, OutOfDeviceMemory> {
-        device.reserve("staging buffer A", chunk_capacity as u64)?;
-        device.reserve("staging buffer B", chunk_capacity as u64)?;
+        let a = device.reserve("staging buffer A", chunk_capacity as u64)?;
+        let b = match device.reserve("staging buffer B", chunk_capacity as u64) {
+            Ok(b) => b,
+            Err(e) => {
+                // Don't leak buffer A when B does not fit.
+                device.release(a);
+                return Err(e);
+            }
+        };
         Ok(StagingBuffers {
             buffers: [
                 Buffer {
@@ -51,7 +92,19 @@ impl StagingBuffers {
             front: 0,
             chunks: 0,
             transfer_time: SimTime::ZERO,
+            device: device.clone(),
+            reservations: [Some(a), Some(b)],
         })
+    }
+
+    /// Return both reservations to the device immediately (idempotent;
+    /// dropping does the same).
+    pub fn release(&mut self) {
+        for slot in &mut self.reservations {
+            if let Some(r) = slot.take() {
+                self.device.release(r);
+            }
+        }
     }
 
     /// Capacity of one buffer.
@@ -60,19 +113,29 @@ impl StagingBuffers {
     }
 
     /// Fill the *back* buffer with `chunk` (the DMA step) and record the
-    /// transfer on `bus`. Panics if the chunk exceeds the buffer.
-    pub fn stage(&mut self, chunk: &[u8], bus: &PcieBus) {
+    /// transfer on `bus`. Returns [`ChunkTooLarge`] (leaving the pair
+    /// unchanged) if the chunk exceeds the buffer.
+    pub fn try_stage(&mut self, chunk: &[u8], bus: &PcieBus) -> Result<(), ChunkTooLarge> {
         let back = &mut self.buffers[1 - self.front];
-        assert!(
-            chunk.len() <= back.capacity,
-            "chunk of {} bytes exceeds staging capacity {}",
-            chunk.len(),
-            back.capacity
-        );
+        if chunk.len() > back.capacity {
+            return Err(ChunkTooLarge {
+                chunk_bytes: chunk.len(),
+                capacity: back.capacity,
+            });
+        }
         back.data.clear();
         back.data.extend_from_slice(chunk);
         self.transfer_time += bus.bulk_transfer(chunk.len() as u64);
         self.chunks += 1;
+        Ok(())
+    }
+
+    /// Like [`StagingBuffers::try_stage`], panicking on an oversized chunk
+    /// (a caller bug: chunking is supposed to respect the capacity).
+    pub fn stage(&mut self, chunk: &[u8], bus: &PcieBus) {
+        if let Err(e) = self.try_stage(chunk, bus) {
+            panic!("{e}");
+        }
     }
 
     /// Swap buffers: the freshly staged chunk becomes readable by the
@@ -94,6 +157,12 @@ impl StagingBuffers {
     /// Total simulated transfer time of all fills.
     pub fn transfer_time(&self) -> SimTime {
         self.transfer_time
+    }
+}
+
+impl Drop for StagingBuffers {
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
@@ -208,5 +277,51 @@ mod tests {
         let dev = DeviceMemory::new(1 << 20);
         let mut s = StagingBuffers::new(&dev, 8).unwrap();
         s.stage(&[0u8; 9], &bus());
+    }
+
+    #[test]
+    fn try_stage_reports_oversized_chunks_without_panicking() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut s = StagingBuffers::new(&dev, 8).unwrap();
+        let err = s.try_stage(&[0u8; 9], &bus()).unwrap_err();
+        assert_eq!(err.chunk_bytes, 9);
+        assert_eq!(err.capacity, 8);
+        // The pair is still usable after the rejection.
+        s.try_stage(&[0u8; 8], &bus()).unwrap();
+        assert_eq!(s.chunks_staged(), 1);
+    }
+
+    #[test]
+    fn dropping_staging_returns_both_reservations() {
+        // Regression: `new` used to discard its Reservation tokens, leaking
+        // 2x chunk capacity per construction against a shared device.
+        let dev = DeviceMemory::new(10_000);
+        for _ in 0..2 {
+            let s = StagingBuffers::new(&dev, 3_000).unwrap();
+            assert_eq!(dev.used(), 6_000);
+            drop(s);
+            assert_eq!(dev.free(), 10_000, "drop must return the capacity");
+        }
+        dev.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn explicit_release_is_idempotent_with_drop() {
+        let dev = DeviceMemory::new(10_000);
+        let mut s = StagingBuffers::new(&dev, 2_000).unwrap();
+        s.release();
+        assert_eq!(dev.free(), 10_000);
+        s.release(); // second call is a no-op
+        drop(s); // and so is the drop
+        assert_eq!(dev.free(), 10_000);
+        dev.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn failed_second_reservation_does_not_leak_the_first() {
+        // 5000 bytes: buffer A (3000) fits, buffer B does not.
+        let dev = DeviceMemory::new(5_000);
+        assert!(StagingBuffers::new(&dev, 3_000).is_err());
+        assert_eq!(dev.free(), 5_000, "partial construction must roll back");
     }
 }

@@ -31,7 +31,8 @@ fn run_with(
     SepoDriver::new(&table, &exec)
         .with_config(DriverConfig {
             chunk_tasks,
-            max_iterations: 10_000,
+            audit: true,
+            ..DriverConfig::default()
         })
         .run(
             records.len(),
@@ -118,7 +119,7 @@ proptest! {
             let table = SepoTable::new(cfg, 3 * 1024, Arc::new(Metrics::new()));
             let exec = Executor::new(ExecMode::Deterministic, Arc::clone(table.metrics()));
             SepoDriver::new(&table, &exec)
-                .with_config(DriverConfig { chunk_tasks: chunk, max_iterations: 10_000 })
+                .with_config(DriverConfig { chunk_tasks: chunk, audit: true, ..DriverConfig::default() })
                 .run(
                     records.len(),
                     |_| 16,
