@@ -31,9 +31,12 @@ impl HostHeap {
 
     /// Store the bytes of a page evicted under host id `host_id`.
     /// Re-storing the same id replaces the copy (used when a kept page is
-    /// finally evicted with more content than a prior snapshot).
-    pub fn store(&self, host_id: u64, kind: PageKind, data: Vec<u8>) {
-        self.pages.lock().insert(host_id, (kind, Arc::from(data)));
+    /// finally evicted with more content than a prior snapshot). Accepts
+    /// either an owned `Vec<u8>` or an already-shared `Arc<[u8]>`; the
+    /// latter stores the buffer without copying (restore/adoption paths
+    /// already hold shared pages).
+    pub fn store(&self, host_id: u64, kind: PageKind, data: impl Into<Arc<[u8]>>) {
+        self.pages.lock().insert(host_id, (kind, data.into()));
     }
 
     /// Fetch a page's bytes.
@@ -132,6 +135,15 @@ mod tests {
         assert!(hh.read(HostLink::new(1, 4), 8).is_none());
         assert!(hh.read_u64(HostLink::new(1, 4), 0).is_none());
         assert!(hh.page_kind(9).is_none());
+    }
+
+    #[test]
+    fn store_accepts_shared_buffers_without_copying() {
+        let hh = HostHeap::new();
+        let shared: Arc<[u8]> = Arc::from(b"shared-bytes".to_vec());
+        hh.store(4, PageKind::Mixed, Arc::clone(&shared));
+        // The stored page IS the caller's buffer, not a copy.
+        assert!(Arc::ptr_eq(&hh.page(4).unwrap(), &shared));
     }
 
     #[test]

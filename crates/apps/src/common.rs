@@ -83,6 +83,14 @@ impl AppConfig {
         self.driver.audit = audit;
         self
     }
+
+    /// Attach the per-warp software combiner (the CLI's `--combiner`,
+    /// default on there). Only combining-organization apps are affected;
+    /// results are byte-identical either way.
+    pub fn with_combiner(mut self, on: bool) -> Self {
+        self.driver.combiner = on.then(sepo_core::CombinerConfig::default);
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -118,9 +126,17 @@ mod tests {
 
     #[test]
     fn app_config_builders() {
-        let c = AppConfig::new(1024).with_chunk_tasks(7).with_audit(true);
+        let c = AppConfig::new(1024)
+            .with_chunk_tasks(7)
+            .with_audit(true)
+            .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
         assert!(c.driver.audit);
+        assert_eq!(
+            c.driver.combiner,
+            Some(sepo_core::CombinerConfig::default())
+        );
+        assert_eq!(c.with_combiner(false).driver.combiner, None);
     }
 }

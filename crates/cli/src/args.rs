@@ -16,6 +16,10 @@ pub struct Flags {
     pub audit: bool,
     /// Seed for deterministic fault injection (`None` = no faults).
     pub faults: Option<u64>,
+    /// Per-warp software combiner in front of combining-organization
+    /// tables (`--combiner on|off`). Default on: results are byte-identical
+    /// either way and skewed workloads contend far less.
+    pub combiner: bool,
 }
 
 impl Default for Flags {
@@ -30,6 +34,7 @@ impl Default for Flags {
             save: None,
             audit: false,
             faults: None,
+            combiner: true,
         }
     }
 }
@@ -49,6 +54,13 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--parallel" => f.parallel = true,
             "--audit" => f.audit = true,
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
+            "--combiner" => {
+                f.combiner = match it.next()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return None,
+                }
+            }
             _ => return None,
         }
     }
@@ -106,6 +118,8 @@ mod tests {
             "--audit",
             "--faults",
             "42",
+            "--combiner",
+            "off",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -117,6 +131,14 @@ mod tests {
         assert!(f.parallel);
         assert!(f.audit);
         assert_eq!(f.faults, Some(42));
+        assert!(!f.combiner);
+    }
+
+    #[test]
+    fn combiner_defaults_on_and_parses_both_states() {
+        assert!(parse_flags(&[]).unwrap().combiner);
+        assert!(parse_flags(&strs(&["--combiner", "on"])).unwrap().combiner);
+        assert!(!parse_flags(&strs(&["--combiner", "off"])).unwrap().combiner);
     }
 
     #[test]
@@ -129,6 +151,8 @@ mod tests {
         assert!(parse_flags(&strs(&["--heap", "not-a-number"])).is_none());
         assert!(parse_flags(&strs(&["--faults"])).is_none());
         assert!(parse_flags(&strs(&["--faults", "not-a-seed"])).is_none());
+        assert!(parse_flags(&strs(&["--combiner"])).is_none());
+        assert!(parse_flags(&strs(&["--combiner", "maybe"])).is_none());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!                                        iteration boundary
 //!   --faults <seed>                      deterministic fault injection at the
 //!                                        standard rates, seeded with <seed>
+//!   --combiner on|off                    per-warp software combiner in front
+//!                                        of combining tables (default on;
+//!                                        results identical either way)
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -31,8 +34,8 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
-         [--heap BYTES] [--parallel] [--audit] [--faults SEED] [--input FILE] \
-         [--save IMAGE]\n  \
+         [--heap BYTES] [--parallel] [--audit] [--faults SEED] \
+         [--combiner on|off] [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -112,7 +115,9 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         println!("fault injection: standard rates, seed {seed}");
         exec = exec.with_faults(Arc::new(plan));
     }
-    let cfg = AppConfig::new(heap).with_audit(f.audit);
+    let cfg = AppConfig::new(heap)
+        .with_audit(f.audit)
+        .with_combiner(f.combiner);
     let run = run_app(app, &ds, &cfg, &exec);
     if let Some(plan) = exec.faults() {
         println!(
@@ -123,6 +128,13 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
     }
     if f.audit {
         println!("  audit: every iteration boundary checked");
+    }
+    let snap = metrics.snapshot();
+    if f.combiner && snap.combiner_hits + snap.combiner_flushes > 0 {
+        println!(
+            "  warp combiner: {} emits absorbed, {} batched flushes, {} overflows",
+            snap.combiner_hits, snap.combiner_flushes, snap.combiner_overflows
+        );
     }
     let hist = run.table.full_contention_histogram();
     let gpu = gpu_total_time(&run.outcome, &hist, &spec);

@@ -1,0 +1,337 @@
+//! Per-warp software combiner (shared-memory pre-aggregation).
+//!
+//! Under skewed key distributions every lane of a warp tends to emit the
+//! same few hot keys, and each emit costs a full global-table insert: a
+//! bucket touch, a chain walk, and a device atomic on the entry — all
+//! serialized on the hot bucket. WarpCore-style warp-cooperative work
+//! sharing and the NUMA hash table's local combining both answer this the
+//! same way: aggregate within the cooperating group *first*, then touch the
+//! shared structure once per distinct key.
+//!
+//! [`WarpCombiner`] is that layer for the simulated GPU: a small,
+//! fixed-capacity, open-addressed buffer — the software analogue of a
+//! shared-memory tile — keyed by the emit's precomputed FNV-1a hash.
+//!
+//! ## Exactness (why results stay byte-identical)
+//!
+//! The combiner is a *write-back delta cache over resident entries*, not a
+//! deferred-insert queue:
+//!
+//! * The **first** emit of a key in a warp's lifetime goes through the real
+//!   table insert inline ([`SepoTable::insert_combining_entry`]) — the
+//!   allocation sequence, postponement outcome, and fault draws are exactly
+//!   those of a combiner-off run. Only on success is the resident entry's
+//!   handle cached.
+//! * **Subsequent** emits of the key accumulate a local delta against the
+//!   cached handle: no bucket touch, no chain walk, no device atomic.
+//! * **Flush** (warp retirement, or slot eviction on overflow) applies the
+//!   delta with one device atomic ([`SepoTable::combine_delta`]). The
+//!   cached handle is valid by construction: eviction only runs at
+//!   iteration boundaries, after every warp of the launch has retired — so
+//!   a flush can never miss. Because the executor drains `finish` hooks
+//!   before a launch returns, every delta lands **before** the driver's
+//!   postponement bookkeeping, keeping `TableAudit` invariants and resume
+//!   points exact.
+//!
+//! Since every table-state transition (allocate, publish, postpone,
+//! combine) happens in the same order with the same outcomes as the
+//! uncombined run — only *when* duplicate deltas are applied changes, and
+//! combiners are commutative/associative — final results are
+//! byte-identical with the combiner on or off.
+
+use crate::config::Combiner;
+use crate::hash::mix;
+use crate::table::{InsertStatus, SepoTable};
+use gpu_sim::charge::Charge;
+use sepo_alloc::DevHandle;
+
+/// Configuration of the per-warp combiner layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombinerConfig {
+    /// Slots per warp buffer. 64 entries of ~2 words mirror a realistic
+    /// shared-memory budget (a few KiB per warp); capacity 1 degenerates to
+    /// a single-entry cache and exercises the overflow path constantly.
+    pub capacity: usize,
+}
+
+impl Default for CombinerConfig {
+    fn default() -> Self {
+        CombinerConfig { capacity: 64 }
+    }
+}
+
+/// One buffered key: the resident entry it maps to plus the delta combined
+/// locally since the entry was last touched. `delta == None` right after
+/// first touch (the first value went into the table inline), so Min/Max
+/// combiners need no identity element.
+#[derive(Debug)]
+struct Slot {
+    hash: u64,
+    key: Vec<u8>,
+    entry: DevHandle,
+    delta: Option<u64>,
+}
+
+/// A warp's combining buffer. One per warp, created by the driver's
+/// warp-scratch `init` hook and drained by its `finish` hook.
+#[derive(Debug)]
+pub struct WarpCombiner {
+    comb: Combiner,
+    slots: Box<[Option<Slot>]>,
+}
+
+/// Simulated bytes moved per slot-tag probe (the 8-byte hash word).
+const PROBE_BYTES: u64 = 8;
+/// Simulated bytes for a slot delta read-modify-write.
+const UPDATE_BYTES: u64 = 16;
+
+impl WarpCombiner {
+    /// Buffer for one warp, aggregating with `comb` over `cfg.capacity`
+    /// slots.
+    pub fn new(comb: Combiner, cfg: CombinerConfig) -> Self {
+        let capacity = cfg.capacity.max(1);
+        WarpCombiner {
+            comb,
+            slots: (0..capacity).map(|_| None).collect(),
+        }
+    }
+
+    /// Emit `<key, value>` through the combiner. Exactly one of three
+    /// things happens:
+    ///
+    /// * the key is buffered → the value folds into the local delta
+    ///   (shared-memory traffic only);
+    /// * the key is new → the pair is inserted into the table inline (the
+    ///   combiner-off path, bit for bit) and, on success, cached;
+    /// * the table postpones → `Postponed` propagates untouched, nothing is
+    ///   cached.
+    pub fn emit<C: Charge>(
+        &mut self,
+        table: &SepoTable,
+        key: &[u8],
+        hash: u64,
+        value: u64,
+        charge: &mut C,
+    ) -> InsertStatus {
+        let capacity = self.slots.len();
+        let home = (mix(hash) % capacity as u64) as usize;
+        let mut free: Option<usize> = None;
+        for i in 0..capacity {
+            let idx = (home + i) % capacity;
+            charge.smem_bytes(PROBE_BYTES);
+            match &mut self.slots[idx] {
+                Some(slot) if slot.hash == hash && slot.key == key => {
+                    slot.delta = Some(match slot.delta {
+                        None => value,
+                        Some(d) => self.comb.apply(d, value),
+                    });
+                    charge.smem_bytes(UPDATE_BYTES);
+                    charge.combiner_hits(1);
+                    return InsertStatus::Success;
+                }
+                Some(_) => {}
+                None => {
+                    free = Some(idx);
+                    break;
+                }
+            }
+        }
+        // Miss: run the real insert first. A postponement must surface now,
+        // exactly as it would without the combiner, and leaves no slot.
+        let entry = match table.insert_combining_entry(key, hash, value, charge) {
+            Ok(e) => e,
+            Err(()) => return InsertStatus::Postponed,
+        };
+        let idx = match free {
+            Some(idx) => idx,
+            None => {
+                // Buffer full: deterministically evict the home slot.
+                self.flush_slot(table, home, charge);
+                charge.combiner_overflows(1);
+                home
+            }
+        };
+        self.slots[idx] = Some(Slot {
+            hash,
+            key: key.to_vec(),
+            entry,
+            delta: None,
+        });
+        charge.smem_bytes(UPDATE_BYTES + key.len() as u64);
+        InsertStatus::Success
+    }
+
+    /// Drain every buffered delta into the table — one device atomic per
+    /// slot that actually accumulated one. Called at warp retirement (and
+    /// per-slot on overflow eviction); always completes before the launch
+    /// returns.
+    pub fn flush<C: Charge>(&mut self, table: &SepoTable, charge: &mut C) {
+        for idx in 0..self.slots.len() {
+            self.flush_slot(table, idx, charge);
+        }
+    }
+
+    /// Pending deltas currently buffered (tests / instrumentation).
+    pub fn pending(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Some(slot) if slot.delta.is_some()))
+            .count()
+    }
+
+    fn flush_slot<C: Charge>(&mut self, table: &SepoTable, idx: usize, charge: &mut C) {
+        if let Some(slot) = self.slots[idx].take() {
+            charge.smem_bytes(UPDATE_BYTES);
+            if let Some(delta) = slot.delta {
+                table.combine_delta(slot.entry, delta, self.comb, charge);
+                charge.combiner_flushes(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Organization, TableConfig};
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn table(comb: Combiner, heap_kb: usize) -> SepoTable {
+        let cfg = TableConfig::new(Organization::Combining(comb))
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, (heap_kb * 1024) as u64, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn combined_emits_match_direct_inserts() {
+        let t = table(Combiner::Add, 64);
+        let mut wc = WarpCombiner::new(Combiner::Add, CombinerConfig::default());
+        let mut c = NoCharge;
+        for i in 0..100u32 {
+            let key = format!("key-{}", i % 7);
+            let h = crate::hash::fnv1a(key.as_bytes());
+            assert!(wc.emit(&t, key.as_bytes(), h, 1, &mut c).is_success());
+        }
+        // Before the flush, later duplicates are only buffered locally.
+        assert!(wc.pending() > 0);
+        wc.flush(&t, &mut c);
+        assert_eq!(wc.pending(), 0);
+        for i in 0..7u32 {
+            let key = format!("key-{i}");
+            let expect = (100 / 7) + u64::from(i < 100 % 7);
+            assert_eq!(t.lookup_combining(key.as_bytes(), &mut c), Some(expect));
+        }
+    }
+
+    #[test]
+    fn min_and_max_need_no_identity_element() {
+        for (comb, values, expect) in [
+            (Combiner::Min, [9u64, 3, 7], 3u64),
+            (Combiner::Max, [9, 3, 7], 9),
+        ] {
+            let t = table(comb, 64);
+            let mut wc = WarpCombiner::new(comb, CombinerConfig::default());
+            let mut c = NoCharge;
+            let h = crate::hash::fnv1a(b"k");
+            for v in values {
+                assert!(wc.emit(&t, b"k", h, v, &mut c).is_success());
+            }
+            wc.flush(&t, &mut c);
+            assert_eq!(t.lookup_combining(b"k", &mut c), Some(expect));
+        }
+    }
+
+    #[test]
+    fn capacity_one_overflows_but_stays_exact() {
+        let t = table(Combiner::Add, 64);
+        let mut wc = WarpCombiner::new(Combiner::Add, CombinerConfig { capacity: 1 });
+        let m = Metrics::new();
+        let mut c = gpu_sim::charge::MetricsCharge(&m);
+        // Alternating keys evict each other from the single slot on every
+        // other emit; totals must still be exact.
+        for i in 0..50u32 {
+            let key = if i % 2 == 0 { &b"a"[..] } else { &b"b"[..] };
+            let h = crate::hash::fnv1a(key);
+            assert!(wc.emit(&t, key, h, 1, &mut c).is_success());
+        }
+        wc.flush(&t, &mut c);
+        let mut nc = NoCharge;
+        assert_eq!(t.lookup_combining(b"a", &mut nc), Some(25));
+        assert_eq!(t.lookup_combining(b"b", &mut nc), Some(25));
+        assert!(m.snapshot().combiner_overflows > 0, "capacity 1 must spill");
+    }
+
+    #[test]
+    fn postponement_surfaces_and_caches_nothing() {
+        // 1 KiB heap fills after a few distinct keys.
+        let t = table(Combiner::Add, 1);
+        let mut wc = WarpCombiner::new(Combiner::Add, CombinerConfig::default());
+        let mut c = NoCharge;
+        let mut postponed_key = None;
+        for i in 0..100u32 {
+            let key = format!("key-{i:04}");
+            let h = crate::hash::fnv1a(key.as_bytes());
+            if !wc.emit(&t, key.as_bytes(), h, 1, &mut c).is_success() {
+                postponed_key = Some(key);
+                break;
+            }
+        }
+        let postponed_key = postponed_key.expect("1 KiB heap must fill");
+        // A postponed key was not cached: a duplicate emit re-attempts the
+        // table (and is absorbed there only if the key is resident — it is
+        // not, so it postpones again rather than silently combining).
+        let h = crate::hash::fnv1a(postponed_key.as_bytes());
+        assert_eq!(
+            wc.emit(&t, postponed_key.as_bytes(), h, 1, &mut c),
+            InsertStatus::Postponed
+        );
+        // Resident keys keep combining even with the heap full.
+        let h = crate::hash::fnv1a(b"key-0000");
+        assert!(wc.emit(&t, b"key-0000", h, 1, &mut c).is_success());
+        wc.flush(&t, &mut c);
+        assert_eq!(t.lookup_combining(b"key-0000", &mut c), Some(2));
+    }
+
+    #[test]
+    fn duplicate_hits_skip_the_table_entirely() {
+        let t = table(Combiner::Add, 64);
+        let mut wc = WarpCombiner::new(Combiner::Add, CombinerConfig::default());
+        let m = Metrics::new();
+        let mut c = gpu_sim::charge::MetricsCharge(&m);
+        let h = crate::hash::fnv1a(b"hot");
+        wc.emit(&t, b"hot", h, 1, &mut c);
+        let after_first = t.contention_histogram().total_updates();
+        for _ in 0..99 {
+            wc.emit(&t, b"hot", h, 1, &mut c);
+        }
+        // 99 duplicate emits: zero additional bucket touches.
+        assert_eq!(t.contention_histogram().total_updates(), after_first);
+        assert_eq!(m.snapshot().combiner_hits, 99);
+        wc.flush(&t, &mut c);
+        assert_eq!(m.snapshot().combiner_flushes, 1);
+        let mut nc = NoCharge;
+        assert_eq!(t.lookup_combining(b"hot", &mut nc), Some(100));
+    }
+
+    #[test]
+    fn hash_collisions_keep_keys_separate() {
+        // Force both keys into the same slot by lying about the hash: full
+        // key comparison must still keep them distinct.
+        let t = table(Combiner::Add, 64);
+        let mut wc = WarpCombiner::new(Combiner::Add, CombinerConfig::default());
+        let mut c = NoCharge;
+        let h = 0xDEAD_BEEF;
+        assert!(wc.emit(&t, b"first", h, 10, &mut c).is_success());
+        assert!(wc.emit(&t, b"second", h, 20, &mut c).is_success());
+        assert!(wc.emit(&t, b"first", h, 1, &mut c).is_success());
+        wc.flush(&t, &mut c);
+        // The table was keyed by the same (wrong) hash, so both live in one
+        // bucket — but remain separate entries with separate totals.
+        assert_eq!(t.lookup_combining_hashed(b"first", h, &mut c), Some(11));
+        assert_eq!(t.lookup_combining_hashed(b"second", h, &mut c), Some(20));
+    }
+}

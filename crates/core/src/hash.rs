@@ -34,12 +34,21 @@ pub fn mix(mut h: u64) -> u64 {
     h
 }
 
+/// Bucket index for a precomputed [`fnv1a`] hash in a table of `n_buckets`.
+/// Hash-once entry point: emitters hash a key a single time and thread the
+/// `u64` through every insert/find/re-issue instead of re-running FNV-1a
+/// over the key bytes at each call site.
+#[inline]
+pub fn bucket_for(hash: u64, n_buckets: usize) -> usize {
+    debug_assert!(n_buckets > 0);
+    // Multiply-shift reduction avoids the modulo bias and division cost.
+    ((mix(hash) as u128 * n_buckets as u128) >> 64) as usize
+}
+
 /// Bucket index for `key` in a table of `n_buckets`.
 #[inline]
 pub fn bucket_of(key: &[u8], n_buckets: usize) -> usize {
-    debug_assert!(n_buckets > 0);
-    // Multiply-shift reduction avoids the modulo bias and division cost.
-    ((mix(fnv1a(key)) as u128 * n_buckets as u128) >> 64) as usize
+    bucket_for(fnv1a(key), n_buckets)
 }
 
 #[cfg(test)]
@@ -67,6 +76,19 @@ mod tests {
             for k in 0..200u32 {
                 let b = bucket_of(&k.to_le_bytes(), n);
                 assert!(b < n, "bucket {b} out of range for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_for_matches_bucket_of() {
+        for n in [1usize, 2, 7, 1024, 1_000_003] {
+            for i in 0..200u32 {
+                let key = format!("key-{i}");
+                assert_eq!(
+                    bucket_for(fnv1a(key.as_bytes()), n),
+                    bucket_of(key.as_bytes(), n)
+                );
             }
         }
     }

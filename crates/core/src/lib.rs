@@ -45,6 +45,7 @@
 
 pub mod audit;
 pub mod bitmap;
+pub mod combiner;
 pub mod config;
 pub mod entry;
 pub mod evict;
@@ -59,6 +60,7 @@ pub mod table;
 
 pub use audit::{AuditViolation, TableAudit};
 pub use bitmap::Bitmap;
+pub use combiner::{CombinerConfig, WarpCombiner};
 pub use config::{Combiner, Organization, TableConfig};
 pub use evict::EvictReport;
 pub use hostquery::HostIndex;

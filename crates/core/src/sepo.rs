@@ -19,11 +19,14 @@
 
 use crate::audit::TableAudit;
 use crate::bitmap::Bitmap;
+use crate::combiner::{CombinerConfig, WarpCombiner};
 use crate::config::Organization;
 use crate::evict::EvictReport;
 use crate::table::SepoTable;
-use gpu_sim::executor::{Executor, LaneCtx};
+use gpu_sim::charge::Charge;
+use gpu_sim::executor::{Executor, LaneCtx, WarpScratch};
 use gpu_sim::metrics::Snapshot;
+use std::any::Any;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -190,6 +193,14 @@ pub struct DriverConfig {
     /// violation. Off by default; enabled by the CLI's `--audit` flag and
     /// unconditionally in tests.
     pub audit: bool,
+    /// Attach a per-warp software combiner ([`WarpCombiner`]) in front of
+    /// the table. Only effective for the combining organization; duplicate
+    /// emits within a warp fold into a shared-memory-style buffer and flush
+    /// as one device atomic per distinct key at warp retirement — strictly
+    /// before iteration-boundary bookkeeping, so results and resume points
+    /// are byte-identical with the combiner on or off. `None` (the
+    /// default) keeps the paper's direct insert path; the CLI turns it on.
+    pub combiner: Option<CombinerConfig>,
 }
 
 impl Default for DriverConfig {
@@ -199,6 +210,7 @@ impl Default for DriverConfig {
             max_iterations: 10_000,
             max_fault_retries: 8,
             audit: false,
+            combiner: None,
         }
     }
 }
@@ -278,6 +290,32 @@ impl<'a> SepoDriver<'a> {
         let mut audit = self.config.audit.then(|| TableAudit::begin(self.table));
         let mut fault_stalls = 0u32;
 
+        // Warp-combiner hooks: each warp gets its own buffer, drained at
+        // warp retirement — i.e. before a launch returns, hence before any
+        // postponement bookkeeping or eviction below observes the table.
+        let combiner = match self.table.config().organization {
+            Organization::Combining(comb) => self.config.combiner.map(|cc| (comb, cc)),
+            _ => None,
+        };
+        let table = self.table;
+        let scratch_init;
+        let scratch_finish;
+        let scratch_hooks: Option<WarpScratch<'_>> = if let Some((comb, cc)) = combiner {
+            scratch_init = move || -> Box<dyn Any + Send> { Box::new(WarpCombiner::new(comb, cc)) };
+            scratch_finish = move |state: &mut (dyn Any + Send), charge: &mut dyn Charge| {
+                let wc = state
+                    .downcast_mut::<WarpCombiner>()
+                    .expect("warp scratch holds the combiner the driver installed");
+                wc.flush(table, &mut &mut *charge);
+            };
+            Some(WarpScratch {
+                init: &scratch_init,
+                finish: &scratch_finish,
+            })
+        } else {
+            None
+        };
+
         while !pending.is_empty() {
             let iter_no = iterations.len() as u32 + 1;
             if iter_no > self.config.max_iterations {
@@ -301,17 +339,19 @@ impl<'a> SepoDriver<'a> {
                 // aborted by the fault plan never runs its task, so the
                 // task's done bit stays clear and it retries next
                 // iteration.
-                let stats = self.executor.launch(chunk.len(), |lane| {
-                    let t = chunk[lane.task()] as usize;
-                    lane.read_stream(task_bytes(t));
-                    let start = progress[t].load(Ordering::Relaxed);
-                    match kernel(t, start, lane) {
-                        TaskResult::Done => done.set(t),
-                        TaskResult::Postponed { next_pair } => {
-                            progress[t].store(next_pair, Ordering::Relaxed);
-                        }
-                    }
-                });
+                let stats =
+                    self.executor
+                        .launch_scoped(chunk.len(), scratch_hooks.as_ref(), |lane| {
+                            let t = chunk[lane.task()] as usize;
+                            lane.read_stream(task_bytes(t));
+                            let start = progress[t].load(Ordering::Relaxed);
+                            match kernel(t, start, lane) {
+                                TaskResult::Done => done.set(t),
+                                TaskResult::Postponed { next_pair } => {
+                                    progress[t].store(next_pair, Ordering::Relaxed);
+                                }
+                            }
+                        });
                 lanes_aborted += stats.lanes_aborted;
                 if is_basic && self.table.fraction_failed() >= halt_threshold {
                     // §IV-C: halt, evict, restart from the first postponed

@@ -13,9 +13,9 @@
 //! response — the requestor marks the record unprocessed and re-issues it
 //! in a later iteration (§III).
 
-use crate::config::{Organization, TableConfig};
+use crate::config::{Combiner, Organization, TableConfig};
 use crate::entry::{self, basic, combining, key_entry, value_node};
-use crate::hash::bucket_of;
+use crate::hash::{bucket_for, bucket_of, fnv1a};
 use gpu_sim::charge::Charge;
 use gpu_sim::metrics::{ContentionHistogram, Metrics};
 use sepo_alloc::{DevHandle, GroupAllocator, Heap, HostHeap, HostLink, Link, PageClass, PageKind};
@@ -116,7 +116,9 @@ impl SepoTable {
     /// heap and advance the device heap's host-id sequence past them.
     pub(crate) fn adopt_host_heap(&self, host: HostHeap, next_host_id: u64) {
         for (id, kind, data) in host.pages_in_order() {
-            self.host.store(id, kind, data.to_vec());
+            // The restored image's pages are already shared buffers; adopt
+            // them as-is instead of cloning every page.
+            self.host.store(id, kind, data);
         }
         self.heap.advance_host_ids(next_host_id);
     }
@@ -283,6 +285,38 @@ impl SepoTable {
         value: u64,
         charge: &mut C,
     ) -> InsertStatus {
+        self.insert_combining_hashed(key, fnv1a(key), value, charge)
+    }
+
+    /// [`SepoTable::insert_combining`] with a precomputed [`fnv1a`] hash —
+    /// the hash-once entry point: callers that already hashed the key (the
+    /// emitter, the warp combiner) thread the `u64` through instead of
+    /// re-hashing the key bytes here.
+    pub fn insert_combining_hashed<C: Charge>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        value: u64,
+        charge: &mut C,
+    ) -> InsertStatus {
+        match self.insert_combining_entry(key, hash, value, charge) {
+            Ok(_) => InsertStatus::Success,
+            Err(()) => InsertStatus::Postponed,
+        }
+    }
+
+    /// Combining insert that also names the resident entry the value landed
+    /// in. The warp combiner uses the handle to apply later deltas in place
+    /// ([`SepoTable::combine_delta`]) without touching the bucket chain:
+    /// the handle stays valid until the next iteration boundary, because
+    /// eviction only runs between launches.
+    pub(crate) fn insert_combining_entry<C: Charge>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        value: u64,
+        charge: &mut C,
+    ) -> Result<DevHandle, ()> {
         let comb = match self.cfg.organization {
             Organization::Combining(c) => c,
             _ => panic!(
@@ -290,7 +324,7 @@ impl SepoTable {
                 self.cfg.organization.label()
             ),
         };
-        let bucket = bucket_of(key, self.cfg.n_buckets);
+        let bucket = bucket_for(hash, self.cfg.n_buckets);
         self.touch(bucket);
         // Hash + bucket lookup + allocator bookkeeping: ~120 scalar ops
         // plus the per-byte hashing/compare work.
@@ -317,13 +351,13 @@ impl SepoTable {
                     // host page walk neither misparses nor double-counts it.
                     self.abandon(a, combining::KLEN, key.len() as u64, size);
                 }
-                return InsertStatus::Success;
+                return Ok(e);
             }
             let e = match allocated {
                 Some(e) => e,
                 None => match self.alloc_primary(bucket, size) {
                     Ok(e) => e,
-                    Err(()) => return InsertStatus::Postponed,
+                    Err(()) => return Err(()),
                 },
             };
             // Fill the entry (next = current head) and publish.
@@ -336,21 +370,51 @@ impl SepoTable {
                 Ok(()) => {
                     self.charge_heap(charge, size as u64, 1);
                     charge.device_bytes(8); // head CAS (device-resident)
-                    return InsertStatus::Success;
+                    return Ok(e);
                 }
                 Err(_) => {
                     // Head moved: keep the entry, re-walk for a duplicate,
                     // and retry with the new head.
+                    charge.head_cas_retries(1);
                     allocated = Some(e);
                 }
             }
         }
     }
 
+    /// Apply an already-combined delta to a resident entry named by a prior
+    /// [`SepoTable::insert_combining_entry`]. One device atomic regardless
+    /// of how many emits the delta absorbed — the batched half of the warp
+    /// combiner's flush.
+    pub(crate) fn combine_delta<C: Charge>(
+        &self,
+        e: DevHandle,
+        delta: u64,
+        comb: Combiner,
+        charge: &mut C,
+    ) {
+        let slot = self.heap.atomic_u64(e, combining::VALUE);
+        slot.fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
+            Some(comb.apply(old, delta))
+        })
+        .expect("combiner closure never fails");
+        self.charge_heap(charge, 16, 2);
+    }
+
     /// Resident-side lookup of a combining key's current value (testing and
     /// intra-phase reads; evicted keys are not consulted).
     pub fn lookup_combining<C: Charge>(&self, key: &[u8], charge: &mut C) -> Option<u64> {
-        let bucket = bucket_of(key, self.cfg.n_buckets);
+        self.lookup_combining_hashed(key, fnv1a(key), charge)
+    }
+
+    /// [`SepoTable::lookup_combining`] with a precomputed [`fnv1a`] hash.
+    pub fn lookup_combining_hashed<C: Charge>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        charge: &mut C,
+    ) -> Option<u64> {
+        let bucket = bucket_for(hash, self.cfg.n_buckets);
         let head_raw = self.head_raw(bucket);
         let e = self.find_resident(head_raw, key, combining::KLEN, combining::KEY, charge)?;
         Some(
@@ -388,6 +452,17 @@ impl SepoTable {
         value: &[u8],
         charge: &mut C,
     ) -> InsertStatus {
+        self.insert_basic_hashed(key, fnv1a(key), value, charge)
+    }
+
+    /// [`SepoTable::insert_basic`] with a precomputed [`fnv1a`] hash.
+    pub fn insert_basic_hashed<C: Charge>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        value: &[u8],
+        charge: &mut C,
+    ) -> InsertStatus {
         assert!(
             matches!(self.cfg.organization, Organization::Basic),
             "insert_basic on a {} table",
@@ -397,7 +472,7 @@ impl SepoTable {
             (value.len() as u64) < (1 << 31),
             "basic values are capped below 2^31 bytes (tombstone bit)"
         );
-        let bucket = bucket_of(key, self.cfg.n_buckets);
+        let bucket = bucket_for(hash, self.cfg.n_buckets);
         self.touch(bucket);
         charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);
         charge.device_bytes(16);
@@ -426,6 +501,7 @@ impl SepoTable {
                 charge.device_bytes(8); // head CAS (device-resident)
                 return InsertStatus::Success;
             }
+            charge.head_cas_retries(1);
         }
     }
 
@@ -440,12 +516,23 @@ impl SepoTable {
         value: &[u8],
         charge: &mut C,
     ) -> InsertStatus {
+        self.insert_multivalued_hashed(key, fnv1a(key), value, charge)
+    }
+
+    /// [`SepoTable::insert_multivalued`] with a precomputed [`fnv1a`] hash.
+    pub fn insert_multivalued_hashed<C: Charge>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        value: &[u8],
+        charge: &mut C,
+    ) -> InsertStatus {
         assert!(
             matches!(self.cfg.organization, Organization::MultiValued),
             "insert_multivalued on a {} table",
             self.cfg.organization.label()
         );
-        let bucket = bucket_of(key, self.cfg.n_buckets);
+        let bucket = bucket_for(hash, self.cfg.n_buckets);
         self.touch(bucket);
         charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);
         charge.device_bytes(16);
@@ -513,6 +600,7 @@ impl SepoTable {
                     // linked assuming this key; it will be re-pointed if a
                     // peer inserted the key first (next loop iteration finds
                     // it and appends a *new* node — abandon this one).
+                    charge.head_cas_retries(1);
                     self.abandon(v, value_node::VLEN, value.len() as u64, vsize);
                     allocated_key = Some(k);
                 }
@@ -563,6 +651,7 @@ impl SepoTable {
                 self.charge_heap(charge, vsize as u64 + 16, 3);
                 return InsertStatus::Success;
             }
+            charge.head_cas_retries(1);
         }
     }
 

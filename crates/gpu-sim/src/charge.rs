@@ -17,6 +17,63 @@ pub trait Charge {
     fn device_bytes(&mut self, bytes: u64);
     /// Record `hops` hash-chain link traversals.
     fn chain_hops(&mut self, hops: u64);
+    /// Charge `bytes` of on-chip shared-memory traffic (warp-combiner
+    /// probes and slot updates). Orders of magnitude cheaper than
+    /// `device_bytes`; default no-op so plain sinks ignore it.
+    fn smem_bytes(&mut self, _bytes: u64) {}
+    /// Record emits absorbed by a warp combiner (no table touch).
+    fn combiner_hits(&mut self, _n: u64) {}
+    /// Record combiner slots flushed into the table (one device atomic
+    /// per distinct buffered key).
+    fn combiner_flushes(&mut self, _n: u64) {}
+    /// Record combiner slots evicted early because the buffer was full.
+    fn combiner_overflows(&mut self, _n: u64) {}
+    /// Record lost bucket-head CAS races (publish retries).
+    fn head_cas_retries(&mut self, _n: u64) {}
+}
+
+/// Forwarding impl so `&mut dyn Charge` (e.g. the sink a warp-scratch
+/// `finish` hook receives) satisfies `C: Charge` bounds on generic methods.
+impl<C: Charge + ?Sized> Charge for &mut C {
+    #[inline]
+    fn compute(&mut self, units: u64) {
+        (**self).compute(units);
+    }
+
+    #[inline]
+    fn device_bytes(&mut self, bytes: u64) {
+        (**self).device_bytes(bytes);
+    }
+
+    #[inline]
+    fn chain_hops(&mut self, hops: u64) {
+        (**self).chain_hops(hops);
+    }
+
+    #[inline]
+    fn smem_bytes(&mut self, bytes: u64) {
+        (**self).smem_bytes(bytes);
+    }
+
+    #[inline]
+    fn combiner_hits(&mut self, n: u64) {
+        (**self).combiner_hits(n);
+    }
+
+    #[inline]
+    fn combiner_flushes(&mut self, n: u64) {
+        (**self).combiner_flushes(n);
+    }
+
+    #[inline]
+    fn combiner_overflows(&mut self, n: u64) {
+        (**self).combiner_overflows(n);
+    }
+
+    #[inline]
+    fn head_cas_retries(&mut self, n: u64) {
+        (**self).head_cas_retries(n);
+    }
 }
 
 /// Direct-to-metrics sink used outside kernels (CPU baselines, tests).
@@ -38,6 +95,31 @@ impl Charge for MetricsCharge<'_> {
     fn chain_hops(&mut self, hops: u64) {
         self.0.add_chain_hops(hops);
         self.0.add_device_bytes(hops * 16); // a hop reads one dual link
+    }
+
+    #[inline]
+    fn smem_bytes(&mut self, bytes: u64) {
+        self.0.add_smem_bytes(bytes);
+    }
+
+    #[inline]
+    fn combiner_hits(&mut self, n: u64) {
+        self.0.add_combiner_hits(n);
+    }
+
+    #[inline]
+    fn combiner_flushes(&mut self, n: u64) {
+        self.0.add_combiner_flushes(n);
+    }
+
+    #[inline]
+    fn combiner_overflows(&mut self, n: u64) {
+        self.0.add_combiner_overflows(n);
+    }
+
+    #[inline]
+    fn head_cas_retries(&mut self, n: u64) {
+        self.0.add_head_cas_retries(n);
     }
 }
 
@@ -65,10 +147,20 @@ mod tests {
         c.compute(10);
         c.device_bytes(64);
         c.chain_hops(3);
+        c.smem_bytes(32);
+        c.combiner_hits(5);
+        c.combiner_flushes(2);
+        c.combiner_overflows(1);
+        c.head_cas_retries(4);
         let s = m.snapshot();
         assert_eq!(s.compute_units, 10);
         assert_eq!(s.chain_hops, 3);
         assert_eq!(s.device_bytes, 64 + 48);
+        assert_eq!(s.smem_bytes, 32);
+        assert_eq!(s.combiner_hits, 5);
+        assert_eq!(s.combiner_flushes, 2);
+        assert_eq!(s.combiner_overflows, 1);
+        assert_eq!(s.head_cas_retries, 4);
     }
 
     #[test]
@@ -77,5 +169,10 @@ mod tests {
         c.compute(u64::MAX);
         c.device_bytes(u64::MAX);
         c.chain_hops(u64::MAX);
+        c.smem_bytes(u64::MAX);
+        c.combiner_hits(u64::MAX);
+        c.combiner_flushes(u64::MAX);
+        c.combiner_overflows(u64::MAX);
+        c.head_cas_retries(u64::MAX);
     }
 }

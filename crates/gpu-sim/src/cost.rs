@@ -31,6 +31,11 @@ use crate::spec::{DeviceSpec, HostSpec};
 const GPU_STREAM_EFFICIENCY: f64 = 0.75;
 /// Fraction of peak host bandwidth achieved by sequential streaming reads.
 const CPU_STREAM_EFFICIENCY: f64 = 0.80;
+/// On-chip shared memory bandwidth relative to peak DRAM bandwidth. Kepler
+/// SMX shared memory sustains several times the device's DRAM rate with no
+/// coalescing concerns, which is what makes warp-combiner probes close to
+/// free next to the device atomics they replace.
+const GPU_SMEM_BANDWIDTH_RATIO: f64 = 8.0;
 
 /// Converts event counts into simulated durations for the GPU device.
 #[derive(Debug, Clone)]
@@ -55,7 +60,9 @@ impl GpuCostModel {
         let t_stream =
             s.stream_bytes as f64 / (self.spec.mem_bandwidth as f64 * GPU_STREAM_EFFICIENCY);
         let t_irregular = s.device_bytes as f64 / self.spec.random_access_bandwidth();
-        let t_mem = t_stream + t_irregular;
+        let t_smem =
+            s.smem_bytes as f64 / (self.spec.mem_bandwidth as f64 * GPU_SMEM_BANDWIDTH_RATIO);
+        let t_mem = t_stream + t_irregular + t_smem;
         let t_div = s.divergence_events as f64 * self.spec.divergence_ns / 1e9;
         let t_contention = self.contention_time(contention).as_secs_f64();
         SimTime::from_secs_f64(t_compute.max(t_mem) + t_div + t_contention)
@@ -152,6 +159,27 @@ mod tests {
         s.device_bytes = 42_000_000_000; // 1 s
         let t = m.kernel_time(&s, &empty_contention());
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn smem_traffic_is_far_cheaper_than_device_traffic() {
+        let m = GpuCostModel::new(DeviceSpec::default());
+        let smem = Snapshot {
+            smem_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let dev = Snapshot {
+            device_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let t_smem = m.kernel_time(&smem, &empty_contention());
+        let t_dev = m.kernel_time(&dev, &empty_contention());
+        assert!(t_smem > SimTime::ZERO);
+        assert!(
+            t_dev.ratio(t_smem) > 5.0,
+            "smem={t_smem} dev={t_dev} ratio={}",
+            t_dev.ratio(t_smem)
+        );
     }
 
     #[test]

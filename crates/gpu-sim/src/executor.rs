@@ -74,7 +74,32 @@ struct WarpLocal {
     stream_bytes: u64,
     device_bytes: u64,
     chain_hops: u64,
+    smem_bytes: u64,
+    combiner_hits: u64,
+    combiner_flushes: u64,
+    combiner_overflows: u64,
+    head_cas_retries: u64,
     branch_classes: BTreeSet<u32>,
+}
+
+/// Per-warp scratch hooks: the software analogue of a kernel's shared
+/// memory. `init` runs once when a warp starts, producing warp-lifetime
+/// state its lanes may access through [`LaneCtx::scratch_parts`]; `finish`
+/// runs when the warp retires — before the launch returns, hence before
+/// any iteration-boundary bookkeeping (eviction, audits, postponement
+/// rescans) the caller performs after the launch.
+pub struct WarpScratch<'s> {
+    /// Build one warp's scratch state.
+    pub init: &'s (dyn Fn() -> Box<dyn Any + Send> + Sync),
+    /// Drain the scratch state at warp retirement, charging any final work
+    /// to the warp's tally.
+    pub finish: &'s (dyn Fn(&mut (dyn Any + Send), &mut dyn crate::charge::Charge) + Sync),
+}
+
+impl fmt::Debug for WarpScratch<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WarpScratch { .. }")
+    }
 }
 
 /// Handle through which a kernel lane reports its simulated-cost events.
@@ -82,6 +107,58 @@ struct WarpLocal {
 pub struct LaneCtx<'w> {
     task: usize,
     warp: &'w mut WarpLocal,
+    scratch: Option<&'w mut (dyn Any + Send)>,
+}
+
+/// Charge sink borrowing only a lane's warp tally — what
+/// [`LaneCtx::scratch_parts`] hands out so scratch state and the charge
+/// sink can be used simultaneously.
+#[derive(Debug)]
+pub struct WarpCharge<'a> {
+    warp: &'a mut WarpLocal,
+}
+
+impl crate::charge::Charge for WarpCharge<'_> {
+    #[inline]
+    fn compute(&mut self, units: u64) {
+        self.warp.compute_units += units;
+    }
+
+    #[inline]
+    fn device_bytes(&mut self, bytes: u64) {
+        self.warp.device_bytes += bytes;
+    }
+
+    #[inline]
+    fn chain_hops(&mut self, hops: u64) {
+        self.warp.chain_hops += hops;
+        self.warp.device_bytes += hops * 16; // a hop reads one dual link
+    }
+
+    #[inline]
+    fn smem_bytes(&mut self, bytes: u64) {
+        self.warp.smem_bytes += bytes;
+    }
+
+    #[inline]
+    fn combiner_hits(&mut self, n: u64) {
+        self.warp.combiner_hits += n;
+    }
+
+    #[inline]
+    fn combiner_flushes(&mut self, n: u64) {
+        self.warp.combiner_flushes += n;
+    }
+
+    #[inline]
+    fn combiner_overflows(&mut self, n: u64) {
+        self.warp.combiner_overflows += n;
+    }
+
+    #[inline]
+    fn head_cas_retries(&mut self, n: u64) {
+        self.warp.head_cas_retries += n;
+    }
 }
 
 impl LaneCtx<'_> {
@@ -115,6 +192,15 @@ impl LaneCtx<'_> {
     pub fn branch_class(&mut self, class: u32) {
         self.warp.branch_classes.insert(class);
     }
+
+    /// Split this lane into its warp-scratch state (when the launch was
+    /// [`Executor::launch_scoped`] with a [`WarpScratch`]) and a charge
+    /// sink over the warp tally. The split borrows disjoint fields, so a
+    /// lane can update scratch state while charging costs.
+    #[inline]
+    pub fn scratch_parts(&mut self) -> (Option<&mut (dyn Any + Send)>, WarpCharge<'_>) {
+        (self.scratch.as_deref_mut(), WarpCharge { warp: self.warp })
+    }
 }
 
 impl crate::charge::Charge for LaneCtx<'_> {
@@ -132,6 +218,31 @@ impl crate::charge::Charge for LaneCtx<'_> {
     fn chain_hops(&mut self, hops: u64) {
         self.warp.chain_hops += hops;
         self.warp.device_bytes += hops * 16; // a hop reads one dual link
+    }
+
+    #[inline]
+    fn smem_bytes(&mut self, bytes: u64) {
+        self.warp.smem_bytes += bytes;
+    }
+
+    #[inline]
+    fn combiner_hits(&mut self, n: u64) {
+        self.warp.combiner_hits += n;
+    }
+
+    #[inline]
+    fn combiner_flushes(&mut self, n: u64) {
+        self.warp.combiner_flushes += n;
+    }
+
+    #[inline]
+    fn combiner_overflows(&mut self, n: u64) {
+        self.warp.combiner_overflows += n;
+    }
+
+    #[inline]
+    fn head_cas_retries(&mut self, n: u64) {
+        self.warp.head_cas_retries += n;
     }
 }
 
@@ -196,6 +307,11 @@ struct Shard {
     stream_bytes: u64,
     device_bytes: u64,
     chain_hops: u64,
+    smem_bytes: u64,
+    combiner_hits: u64,
+    combiner_flushes: u64,
+    combiner_overflows: u64,
+    head_cas_retries: u64,
     divergence_events: u64,
     lanes_aborted: u64,
 }
@@ -206,6 +322,11 @@ impl Shard {
         self.stream_bytes += other.stream_bytes;
         self.device_bytes += other.device_bytes;
         self.chain_hops += other.chain_hops;
+        self.smem_bytes += other.smem_bytes;
+        self.combiner_hits += other.combiner_hits;
+        self.combiner_flushes += other.combiner_flushes;
+        self.combiner_overflows += other.combiner_overflows;
+        self.head_cas_retries += other.head_cas_retries;
         self.divergence_events += other.divergence_events;
         self.lanes_aborted += other.lanes_aborted;
     }
@@ -217,6 +338,7 @@ struct KernelJob<'k, K> {
     kernel: &'k K,
     n_tasks: usize,
     faults: Option<&'k FaultPlan>,
+    scratch: Option<&'k WarpScratch<'k>>,
     shards: Vec<UnsafeCell<Shard>>,
 }
 
@@ -230,7 +352,14 @@ impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
     fn run_units(&self, warps: Range<usize>, slot: usize) {
         let shard = unsafe { &mut *self.shards[slot].get() };
         for warp in warps {
-            run_warp(self.kernel, warp, self.n_tasks, self.faults, shard);
+            run_warp(
+                self.kernel,
+                warp,
+                self.n_tasks,
+                self.faults,
+                self.scratch,
+                shard,
+            );
         }
     }
 }
@@ -238,16 +367,22 @@ impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
 /// Execute one warp's lanes serially, folding its tally into `shard`.
 /// Lanes killed by the fault plan skip their kernel invocation — the task
 /// runs nothing and stays unprocessed from the caller's point of view.
+/// When `scratch` hooks are attached, warp scratch state is created before
+/// the first lane and drained (`finish`) at warp retirement, before the
+/// tally is folded — so every scratch effect lands before the launch
+/// returns.
 fn run_warp<K>(
     kernel: &K,
     warp: usize,
     n_tasks: usize,
     faults: Option<&FaultPlan>,
+    scratch: Option<&WarpScratch<'_>>,
     shard: &mut Shard,
 ) where
     K: Fn(&mut LaneCtx<'_>) + Sync,
 {
     let mut local = WarpLocal::default();
+    let mut scratch_state = scratch.map(|s| (s.init)());
     let start = warp * WARP_SIZE;
     let end = (start + WARP_SIZE).min(n_tasks);
     for task in start..end {
@@ -260,13 +395,23 @@ fn run_warp<K>(
         let mut ctx = LaneCtx {
             task,
             warp: &mut local,
+            scratch: scratch_state.as_deref_mut(),
         };
         kernel(&mut ctx);
+    }
+    if let (Some(hooks), Some(state)) = (scratch, scratch_state.as_mut()) {
+        let mut charge = WarpCharge { warp: &mut local };
+        (hooks.finish)(&mut **state, &mut charge);
     }
     shard.compute_units += local.compute_units;
     shard.stream_bytes += local.stream_bytes;
     shard.device_bytes += local.device_bytes;
     shard.chain_hops += local.chain_hops;
+    shard.smem_bytes += local.smem_bytes;
+    shard.combiner_hits += local.combiner_hits;
+    shard.combiner_flushes += local.combiner_flushes;
+    shard.combiner_overflows += local.combiner_overflows;
+    shard.head_cas_retries += local.head_cas_retries;
     shard.divergence_events += (local.branch_classes.len() as u64).saturating_sub(1);
 }
 
@@ -325,11 +470,42 @@ impl Executor {
             .unwrap_or_else(|e| std::panic::resume_unwind(e.into_panic()))
     }
 
+    /// Like [`Executor::launch`], with per-warp scratch hooks attached: each
+    /// warp gets its own scratch state (`scratch.init`) which its lanes can
+    /// reach via [`LaneCtx::scratch_parts`], drained by `scratch.finish`
+    /// when the warp retires — strictly before this call returns.
+    pub fn launch_scoped<K>(
+        &self,
+        n_tasks: usize,
+        scratch: Option<&WarpScratch<'_>>,
+        kernel: K,
+    ) -> LaunchStats
+    where
+        K: Fn(&mut LaneCtx<'_>) + Sync,
+    {
+        self.try_launch_scoped(n_tasks, scratch, kernel)
+            .unwrap_or_else(|e| std::panic::resume_unwind(e.into_panic()))
+    }
+
     /// Like [`Executor::launch`], but a kernel panic is returned as a
     /// [`LaunchError`] instead of unwinding. The launch always drains:
     /// every warp not in the panicking chunk still executes, and the worker
     /// pool remains fully usable.
     pub fn try_launch<K>(&self, n_tasks: usize, kernel: K) -> Result<LaunchStats, LaunchError>
+    where
+        K: Fn(&mut LaneCtx<'_>) + Sync,
+    {
+        self.try_launch_scoped(n_tasks, None, kernel)
+    }
+
+    /// [`Executor::launch_scoped`] with the panic-capturing contract of
+    /// [`Executor::try_launch`].
+    pub fn try_launch_scoped<K>(
+        &self,
+        n_tasks: usize,
+        scratch: Option<&WarpScratch<'_>>,
+        kernel: K,
+    ) -> Result<LaunchStats, LaunchError>
     where
         K: Fn(&mut LaneCtx<'_>) + Sync,
     {
@@ -360,6 +536,7 @@ impl Executor {
             kernel: &kernel,
             n_tasks,
             faults: self.faults.as_deref(),
+            scratch,
             shards: (0..max_slots)
                 .map(|_| UnsafeCell::new(Shard::default()))
                 .collect(),
@@ -376,6 +553,12 @@ impl Executor {
         self.metrics.add_stream_bytes(total.stream_bytes);
         self.metrics.add_device_bytes(total.device_bytes);
         self.metrics.add_chain_hops(total.chain_hops);
+        self.metrics.add_smem_bytes(total.smem_bytes);
+        self.metrics.add_combiner_hits(total.combiner_hits);
+        self.metrics.add_combiner_flushes(total.combiner_flushes);
+        self.metrics
+            .add_combiner_overflows(total.combiner_overflows);
+        self.metrics.add_head_cas_retries(total.head_cas_retries);
         self.metrics.add_divergence_events(total.divergence_events);
 
         outcome.map_err(|payload| LaunchError { payload })?;
@@ -612,6 +795,54 @@ mod tests {
         let stats = e.launch(100, |_| {});
         assert_eq!(stats.lanes_aborted, 0);
         assert_eq!(stats.tasks, 100);
+    }
+
+    #[test]
+    fn warp_scratch_init_and_finish_run_once_per_warp() {
+        use crate::charge::Charge;
+        let (e, m) = exec(ExecMode::Deterministic);
+        let inits = AtomicU64::new(0);
+        let finishes = AtomicU64::new(0);
+        let init = || -> Box<dyn Any + Send> {
+            inits.fetch_add(1, Ordering::Relaxed);
+            Box::new(0u64)
+        };
+        let finish = |state: &mut (dyn Any + Send), charge: &mut dyn Charge| {
+            finishes.fetch_add(1, Ordering::Relaxed);
+            let lanes = *state.downcast_ref::<u64>().unwrap();
+            // Drain the warp's accumulated lane count as flushes.
+            charge.combiner_flushes(lanes);
+        };
+        let hooks = WarpScratch {
+            init: &init,
+            finish: &finish,
+        };
+        let n = 100; // 4 warps (ceil 100/32)
+        let stats = e.launch_scoped(n, Some(&hooks), |ctx| {
+            let (scratch, mut charge) = ctx.scratch_parts();
+            let counter = scratch.unwrap().downcast_mut::<u64>().unwrap();
+            *counter += 1;
+            charge.combiner_hits(1);
+            charge.smem_bytes(8);
+        });
+        assert_eq!(stats.tasks, 100);
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+        assert_eq!(finishes.load(Ordering::Relaxed), 4);
+        let s = m.snapshot();
+        assert_eq!(s.combiner_hits, 100);
+        assert_eq!(s.smem_bytes, 800);
+        // finish saw every lane of its own warp, and its charges landed
+        // in the same launch's flush.
+        assert_eq!(s.combiner_flushes, 100);
+    }
+
+    #[test]
+    fn plain_launch_has_no_scratch() {
+        let (e, _) = exec(ExecMode::Deterministic);
+        e.launch(10, |ctx| {
+            let (scratch, _) = ctx.scratch_parts();
+            assert!(scratch.is_none());
+        });
     }
 
     #[test]

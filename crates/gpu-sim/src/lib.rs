@@ -47,7 +47,9 @@ pub mod staging;
 pub use charge::{Charge, MetricsCharge, NoCharge};
 pub use clock::{SimClock, SimTime};
 pub use cost::{CpuCostModel, GpuCostModel};
-pub use executor::{ExecMode, Executor, LaneCtx, LaunchError, LaunchStats};
+pub use executor::{
+    ExecMode, Executor, LaneCtx, LaunchError, LaunchStats, WarpCharge, WarpScratch,
+};
 pub use faults::{FaultConfig, FaultPlan, FaultSite};
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};

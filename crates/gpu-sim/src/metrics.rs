@@ -29,6 +29,18 @@ pub struct Metrics {
     /// Hash-chain links traversed (also contributes to `device_bytes`;
     /// tracked separately for reporting).
     pub chain_hops: AtomicU64,
+    /// Bytes of on-chip shared-memory traffic (warp-combiner probes and
+    /// slot updates) — far cheaper than `device_bytes`.
+    pub smem_bytes: AtomicU64,
+    /// Emits absorbed by a warp combiner without touching the table.
+    pub combiner_hits: AtomicU64,
+    /// Combiner slots flushed into the table (one device atomic each).
+    pub combiner_flushes: AtomicU64,
+    /// Combiner slots evicted early because the warp buffer was full.
+    pub combiner_overflows: AtomicU64,
+    /// Lost bucket-head CAS races (publish retries under real concurrency;
+    /// identically zero in the deterministic modes).
+    pub head_cas_retries: AtomicU64,
     /// Warp-divergence events: for each warp, one event per *extra* branch
     /// class beyond the first that the warp had to serially execute.
     pub divergence_events: AtomicU64,
@@ -65,6 +77,11 @@ add_methods! {
     device_bytes => add_device_bytes,
     stream_bytes => add_stream_bytes,
     chain_hops => add_chain_hops,
+    smem_bytes => add_smem_bytes,
+    combiner_hits => add_combiner_hits,
+    combiner_flushes => add_combiner_flushes,
+    combiner_overflows => add_combiner_overflows,
+    head_cas_retries => add_head_cas_retries,
     divergence_events => add_divergence_events,
     alloc_success => add_alloc_success,
     alloc_postponed => add_alloc_postponed,
@@ -90,6 +107,11 @@ impl Metrics {
             device_bytes: self.device_bytes.load(Ordering::Relaxed),
             stream_bytes: self.stream_bytes.load(Ordering::Relaxed),
             chain_hops: self.chain_hops.load(Ordering::Relaxed),
+            smem_bytes: self.smem_bytes.load(Ordering::Relaxed),
+            combiner_hits: self.combiner_hits.load(Ordering::Relaxed),
+            combiner_flushes: self.combiner_flushes.load(Ordering::Relaxed),
+            combiner_overflows: self.combiner_overflows.load(Ordering::Relaxed),
+            head_cas_retries: self.head_cas_retries.load(Ordering::Relaxed),
             divergence_events: self.divergence_events.load(Ordering::Relaxed),
             alloc_success: self.alloc_success.load(Ordering::Relaxed),
             alloc_postponed: self.alloc_postponed.load(Ordering::Relaxed),
@@ -107,6 +129,11 @@ impl Metrics {
         self.device_bytes.store(0, Ordering::Relaxed);
         self.stream_bytes.store(0, Ordering::Relaxed);
         self.chain_hops.store(0, Ordering::Relaxed);
+        self.smem_bytes.store(0, Ordering::Relaxed);
+        self.combiner_hits.store(0, Ordering::Relaxed);
+        self.combiner_flushes.store(0, Ordering::Relaxed);
+        self.combiner_overflows.store(0, Ordering::Relaxed);
+        self.head_cas_retries.store(0, Ordering::Relaxed);
         self.divergence_events.store(0, Ordering::Relaxed);
         self.alloc_success.store(0, Ordering::Relaxed);
         self.alloc_postponed.store(0, Ordering::Relaxed);
@@ -125,6 +152,11 @@ pub struct Snapshot {
     pub device_bytes: u64,
     pub stream_bytes: u64,
     pub chain_hops: u64,
+    pub smem_bytes: u64,
+    pub combiner_hits: u64,
+    pub combiner_flushes: u64,
+    pub combiner_overflows: u64,
+    pub head_cas_retries: u64,
     pub divergence_events: u64,
     pub alloc_success: u64,
     pub alloc_postponed: u64,
@@ -144,6 +176,17 @@ impl Snapshot {
             device_bytes: self.device_bytes.saturating_sub(earlier.device_bytes),
             stream_bytes: self.stream_bytes.saturating_sub(earlier.stream_bytes),
             chain_hops: self.chain_hops.saturating_sub(earlier.chain_hops),
+            smem_bytes: self.smem_bytes.saturating_sub(earlier.smem_bytes),
+            combiner_hits: self.combiner_hits.saturating_sub(earlier.combiner_hits),
+            combiner_flushes: self
+                .combiner_flushes
+                .saturating_sub(earlier.combiner_flushes),
+            combiner_overflows: self
+                .combiner_overflows
+                .saturating_sub(earlier.combiner_overflows),
+            head_cas_retries: self
+                .head_cas_retries
+                .saturating_sub(earlier.head_cas_retries),
             divergence_events: self
                 .divergence_events
                 .saturating_sub(earlier.divergence_events),

@@ -8,6 +8,8 @@
 //! idempotence across SEPO iterations is the emitter's job.
 
 use gpu_sim::executor::LaneCtx;
+use sepo_core::combiner::WarpCombiner;
+use sepo_core::hash::fnv1a;
 use sepo_core::sepo::TaskResult;
 use sepo_core::table::{InsertStatus, SepoTable};
 
@@ -37,11 +39,27 @@ impl<'a, 'l, 'w> Emitter<'a, 'l, 'w> {
     /// Emit a `<key, u64>` pair into a combining (MAP_REDUCE) table.
     /// Returns `false` once a pair has been postponed — the map function
     /// may stop early (later emits are ignored either way).
+    ///
+    /// The key is hashed exactly once here; the `u64` is threaded through
+    /// the insert/find paths (and the warp combiner's slot probe, when the
+    /// driver attached one) instead of re-running FNV-1a per layer.
     pub fn emit_combining(&mut self, key: &[u8], value: u64) -> bool {
         if !self.should_attempt() {
             return self.postponed_at.is_none();
         }
-        match self.table.insert_combining(key, value, self.lane) {
+        let hash = fnv1a(key);
+        // Route through the warp combiner when the launch installed one:
+        // duplicate keys within the warp fold locally and flush at warp
+        // retirement; first touches and postponements follow the direct
+        // path bit for bit.
+        let (scratch, mut warp_charge) = self.lane.scratch_parts();
+        let status = match scratch.and_then(|s| s.downcast_mut::<WarpCombiner>()) {
+            Some(wc) => wc.emit(self.table, key, hash, value, &mut warp_charge),
+            None => self
+                .table
+                .insert_combining_hashed(key, hash, value, self.lane),
+        };
+        match status {
             InsertStatus::Success => true,
             InsertStatus::Postponed => {
                 self.note_postponed();
@@ -55,7 +73,10 @@ impl<'a, 'l, 'w> Emitter<'a, 'l, 'w> {
         if !self.should_attempt() {
             return self.postponed_at.is_none();
         }
-        match self.table.insert_multivalued(key, value, self.lane) {
+        match self
+            .table
+            .insert_multivalued_hashed(key, fnv1a(key), value, self.lane)
+        {
             InsertStatus::Success => true,
             InsertStatus::Postponed => {
                 self.note_postponed();
@@ -69,7 +90,10 @@ impl<'a, 'l, 'w> Emitter<'a, 'l, 'w> {
         if !self.should_attempt() {
             return self.postponed_at.is_none();
         }
-        match self.table.insert_basic(key, value, self.lane) {
+        match self
+            .table
+            .insert_basic_hashed(key, fnv1a(key), value, self.lane)
+        {
             InsertStatus::Success => true,
             InsertStatus::Postponed => {
                 self.note_postponed();
