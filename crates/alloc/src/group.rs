@@ -16,6 +16,8 @@
 
 use crate::heap::{Heap, PageKind};
 use crate::layout::DevHandle;
+use gpu_sim::charge::Charge;
+use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -108,6 +110,20 @@ impl GroupAllocator {
         class: PageClass,
         size: usize,
     ) -> Result<DevHandle, Postpone> {
+        self.alloc_charged(group, class, size, &mut gpu_sim::charge::NoCharge)
+    }
+
+    /// [`GroupAllocator::alloc`] declaring its bump-cursor atomics to the
+    /// charge sink (the shadow sanitizer watches heap cursors; the bump is
+    /// the access that both claims the region and, on a fresh page, marks
+    /// the page's new logical identity live).
+    pub fn alloc_charged<C: Charge>(
+        &self,
+        group: usize,
+        class: PageClass,
+        size: usize,
+        charge: &mut C,
+    ) -> Result<DevHandle, Postpone> {
         let g = &self.groups[group];
         let slot = &g.current[class as usize];
         // Bounded retries: each round either bumps successfully, installs a
@@ -122,10 +138,14 @@ impl GroupAllocator {
                 }
             }
             if let Some(offset) = self.heap.bump(cur, size) {
-                g.allocs.fetch_add(1, Ordering::Relaxed);
-                self.heap.metrics().add_alloc_success(1);
-                // Touching the page's bump word is one irregular access.
-                self.heap.metrics().add_device_bytes(8);
+                charge.access(
+                    ShadowAddr::HeapCursor(self.heap.host_id(cur)),
+                    AccessKind::Atomic,
+                );
+                g.allocs.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok (statistics counter)
+                self.heap.metrics().add_alloc_success(1); // lint: metrics-direct-ok
+                                                          // Touching the page's bump word is one irregular access.
+                self.heap.metrics().add_device_bytes(8); // lint: metrics-direct-ok
                 return Ok(DevHandle::new(cur, offset));
             }
             // Current page full: swap in a fresh one.
@@ -170,7 +190,7 @@ impl GroupAllocator {
         if !g.failed.swap(true, Ordering::Relaxed) {
             self.failed_count.fetch_add(1, Ordering::Relaxed);
         }
-        self.heap.metrics().add_alloc_postponed(1);
+        self.heap.metrics().add_alloc_postponed(1); // lint: metrics-direct-ok
         Err(Postpone)
     }
 

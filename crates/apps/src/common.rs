@@ -91,6 +91,14 @@ impl AppConfig {
         self.driver.combiner = on.then(sepo_core::CombinerConfig::default);
         self
     }
+
+    /// Check declared device accesses against the shadow-memory sanitizer
+    /// (the CLI's `--sanitize`). The executor must carry a sanitizer
+    /// ([`Executor::with_shadow`]); results are byte-identical either way.
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.driver.sanitize = on;
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -129,10 +137,12 @@ mod tests {
         let c = AppConfig::new(1024)
             .with_chunk_tasks(7)
             .with_audit(true)
+            .with_sanitize(true)
             .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
         assert!(c.driver.audit);
+        assert!(c.driver.sanitize);
         assert_eq!(
             c.driver.combiner,
             Some(sepo_core::CombinerConfig::default())

@@ -128,9 +128,7 @@ fn main() {
         "touch_reduction": off.touches as f64 / on.touches.max(1) as f64,
         "results_identical": results_identical,
     });
-    let text = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_contention.json", &text).expect("write BENCH_contention.json");
-    sepo_bench::write_json("BENCH_contention", &report);
+    sepo_bench::write_json_mirrored("BENCH_contention", &report);
     println!("\nwrote BENCH_contention.json");
 
     let mut failed = false;

@@ -132,9 +132,7 @@ fn main() {
         }),
         "best_speedup_vs_spawn_per_launch": best / old.launches_per_sec,
     });
-    let text = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_gpu_sim.json", &text).expect("write BENCH_gpu_sim.json");
-    sepo_bench::write_json("BENCH_gpu_sim", &report);
+    sepo_bench::write_json_mirrored("BENCH_gpu_sim", &report);
     println!("\nwrote BENCH_gpu_sim.json");
     if best / old.launches_per_sec < 5.0 {
         eprintln!(

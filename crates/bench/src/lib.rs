@@ -24,7 +24,7 @@
 pub mod report;
 pub mod timing;
 
-pub use report::{write_json, Table};
+pub use report::{write_json, write_json_mirrored, Table};
 pub use timing::{cpu_total_time, gpu_total_time, pinned_total_time, GpuTiming};
 
 use gpu_sim::spec::SystemSpec;

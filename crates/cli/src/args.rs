@@ -20,6 +20,10 @@ pub struct Flags {
     /// tables (`--combiner on|off`). Default on: results are byte-identical
     /// either way and skewed workloads contend far less.
     pub combiner: bool,
+    /// Check every declared device access against the shadow-memory
+    /// sanitizer, panicking on publish-discipline violations. Results are
+    /// byte-identical either way.
+    pub sanitize: bool,
 }
 
 impl Default for Flags {
@@ -35,6 +39,7 @@ impl Default for Flags {
             audit: false,
             faults: None,
             combiner: true,
+            sanitize: false,
         }
     }
 }
@@ -53,6 +58,7 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--save" => f.save = Some(it.next()?.clone()),
             "--parallel" => f.parallel = true,
             "--audit" => f.audit = true,
+            "--sanitize" => f.sanitize = true,
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
             "--combiner" => {
                 f.combiner = match it.next()?.as_str() {
@@ -116,6 +122,7 @@ mod tests {
             "t.sepo",
             "--parallel",
             "--audit",
+            "--sanitize",
             "--faults",
             "42",
             "--combiner",
@@ -130,8 +137,15 @@ mod tests {
         assert_eq!(f.save.as_deref(), Some("t.sepo"));
         assert!(f.parallel);
         assert!(f.audit);
+        assert!(f.sanitize);
         assert_eq!(f.faults, Some(42));
         assert!(!f.combiner);
+    }
+
+    #[test]
+    fn sanitize_defaults_off() {
+        assert!(!parse_flags(&[]).unwrap().sanitize);
+        assert!(parse_flags(&strs(&["--sanitize"])).unwrap().sanitize);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   --combiner on|off                    per-warp software combiner in front
 //!                                        of combining tables (default on;
 //!                                        results identical either way)
+//!   --sanitize                           shadow-memory sanitizer over every
+//!                                        declared device access (panics on a
+//!                                        violation; results identical either
+//!                                        way)
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -34,7 +38,7 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
-         [--heap BYTES] [--parallel] [--audit] [--faults SEED] \
+         [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
          [--combiner on|off] [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
@@ -115,9 +119,14 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         println!("fault injection: standard rates, seed {seed}");
         exec = exec.with_faults(Arc::new(plan));
     }
+    if f.sanitize {
+        exec = exec.with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        println!("shadow-memory sanitizer: on");
+    }
     let cfg = AppConfig::new(heap)
         .with_audit(f.audit)
-        .with_combiner(f.combiner);
+        .with_combiner(f.combiner)
+        .with_sanitize(f.sanitize);
     let run = run_app(app, &ds, &cfg, &exec);
     if let Some(plan) = exec.faults() {
         println!(
@@ -129,6 +138,9 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
     if f.audit {
         println!("  audit: every iteration boundary checked");
     }
+    if let Some(sz) = exec.shadow() {
+        println!("  sanitizer: {}", sz.report());
+    }
     let snap = metrics.snapshot();
     if f.combiner && snap.combiner_hits + snap.combiner_flushes > 0 {
         println!(
@@ -136,6 +148,7 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
             snap.combiner_hits, snap.combiner_flushes, snap.combiner_overflows
         );
     }
+    println!("  head CAS retries: {}", snap.head_cas_retries);
     let hist = run.table.full_contention_histogram();
     let gpu = gpu_total_time(&run.outcome, &hist, &spec);
     let (pages, bytes) = run.table.host_footprint();

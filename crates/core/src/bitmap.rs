@@ -6,6 +6,8 @@
 //! iterations the driver scans for unset bits to build the next pending
 //! set.
 
+use gpu_sim::charge::Charge;
+use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-size concurrent bitmap, one bit per task.
@@ -35,13 +37,23 @@ impl Bitmap {
     #[inline]
     pub fn set(&self, i: usize) {
         debug_assert!(i < self.len);
+        // lint: relaxed-ok (idempotent fetch_or; word carries no payload)
         self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// [`Bitmap::set`] declaring the word access to the shadow sanitizer —
+    /// the form kernel lanes use, so cross-warp bitmap traffic is checked.
+    #[inline]
+    pub fn set_charged<C: Charge>(&self, i: usize, charge: &mut C) {
+        charge.access(ShadowAddr::BitmapWord((i / 64) as u32), AccessKind::Atomic);
+        self.set(i);
     }
 
     /// Test bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // lint: relaxed-ok (monotone flag; readers tolerate staleness)
         self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
     }
 
@@ -55,6 +67,7 @@ impl Bitmap {
         let n: usize = self
             .words
             .iter()
+            // lint: relaxed-ok (quiescent iteration boundary)
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum();
         debug_assert!(
@@ -70,6 +83,7 @@ impl Bitmap {
     pub fn unset_indices(&self) -> Vec<usize> {
         let mut out = Vec::new();
         for (wi, word) in self.words.iter().enumerate() {
+            // lint: relaxed-ok (quiescent iteration boundary)
             let mut inv = !word.load(Ordering::Relaxed);
             // Mask off the tail beyond `len`.
             if (wi + 1) * 64 > self.len {
@@ -95,6 +109,7 @@ impl Bitmap {
     /// Clear every bit.
     pub fn clear_all(&self) {
         for w in self.words.iter() {
+            // lint: relaxed-ok (quiescent iteration boundary)
             w.store(0, Ordering::Relaxed);
         }
     }
@@ -178,5 +193,33 @@ mod tests {
         b.set(3);
         b.set(3);
         assert_eq!(b.count_set(), 1);
+    }
+
+    #[test]
+    fn set_charged_declares_the_word() {
+        use gpu_sim::shadow::{AccessKind, ShadowAddr};
+
+        struct Recorder(Vec<(ShadowAddr, AccessKind)>);
+        impl Charge for Recorder {
+            fn compute(&mut self, _: u64) {}
+            fn device_bytes(&mut self, _: u64) {}
+            fn chain_hops(&mut self, _: u64) {}
+            fn access(&mut self, addr: ShadowAddr, kind: AccessKind) {
+                self.0.push((addr, kind));
+            }
+        }
+
+        let b = Bitmap::new(130);
+        let mut rec = Recorder(Vec::new());
+        b.set_charged(0, &mut rec);
+        b.set_charged(129, &mut rec);
+        assert!(b.get(0) && b.get(129));
+        assert_eq!(
+            rec.0,
+            vec![
+                (ShadowAddr::BitmapWord(0), AccessKind::Atomic),
+                (ShadowAddr::BitmapWord(2), AccessKind::Atomic),
+            ]
+        );
     }
 }

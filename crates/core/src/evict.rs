@@ -25,6 +25,8 @@ use crate::config::Organization;
 use crate::entry::{self, key_entry};
 use crate::hash::bucket_of;
 use crate::table::SepoTable;
+use gpu_sim::charge::{Charge, NoCharge};
+use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use sepo_alloc::{DevHandle, HostLink, Link, PageKind};
 use std::sync::atomic::Ordering;
 
@@ -54,9 +56,19 @@ impl SepoTable {
     /// End-of-iteration eviction per the table's organization. Quiescent
     /// callers only.
     pub fn end_iteration(&self) -> EvictReport {
+        self.end_iteration_charged(&mut NoCharge)
+    }
+
+    /// [`SepoTable::end_iteration`] declaring its host-side accesses —
+    /// page evictions, kept-entry link rewrites — to `charge`. The SEPO
+    /// driver passes the shadow sanitizer's host sink here so evicted pages
+    /// are retired in the shadow map (later device touches become
+    /// use-after-evict findings) while the eviction machinery's own writes
+    /// stay exempt from race rules (the device is quiescent).
+    pub fn end_iteration_charged<C: Charge>(&self, charge: &mut C) -> EvictReport {
         match self.cfg.organization {
-            Organization::Basic | Organization::Combining(_) => self.evict_all(),
-            Organization::MultiValued => self.evict_multivalued(false),
+            Organization::Basic | Organization::Combining(_) => self.evict_all(charge),
+            Organization::MultiValued => self.evict_multivalued(false, charge),
         }
     }
 
@@ -64,17 +76,23 @@ impl SepoTable {
     /// the last iteration; afterwards the result collectors see the full
     /// table in the host heap.
     pub fn finalize(&self) -> EvictReport {
+        self.finalize_charged(&mut NoCharge)
+    }
+
+    /// [`SepoTable::finalize`] with host-side access declarations (see
+    /// [`SepoTable::end_iteration_charged`]).
+    pub fn finalize_charged<C: Charge>(&self, charge: &mut C) -> EvictReport {
         match self.cfg.organization {
-            Organization::Basic | Organization::Combining(_) => self.evict_all(),
-            Organization::MultiValued => self.evict_multivalued(true),
+            Organization::Basic | Organization::Combining(_) => self.evict_all(charge),
+            Organization::MultiValued => self.evict_multivalued(true, charge),
         }
     }
 
     /// Copy every resident page out and free it; clear all bucket heads.
-    fn evict_all(&self) -> EvictReport {
+    fn evict_all<C: Charge>(&self, charge: &mut C) -> EvictReport {
         let mut report = EvictReport::default();
         for p in self.heap.resident_pages() {
-            report.absorb(self.evict_page(p));
+            report.absorb(self.evict_page(p, charge));
         }
         self.reset_heads();
         self.groups.reset_iteration();
@@ -82,8 +100,10 @@ impl SepoTable {
     }
 
     /// Copy one page to the host heap under its stamped identity and
-    /// release it.
-    fn evict_page(&self, p: u32) -> EvictReport {
+    /// release it. Declares the page's logical identity evicted *before*
+    /// the release, while the identity is still readable.
+    fn evict_page<C: Charge>(&self, p: u32, charge: &mut C) -> EvictReport {
+        charge.access(ShadowAddr::Page(self.heap.host_id(p)), AccessKind::Evicted);
         let data = self.heap.page_data(p);
         let bytes = data.len() as u64;
         self.host
@@ -98,7 +118,7 @@ impl SepoTable {
 
     /// The multi-valued policy (Fig. 5b). `force` evicts kept pages too
     /// (finalize).
-    fn evict_multivalued(&self, force: bool) -> EvictReport {
+    fn evict_multivalued<C: Charge>(&self, force: bool, charge: &mut C) -> EvictReport {
         let mut report = EvictReport::default();
         let resident = self.heap.resident_pages();
         let key_pages: Vec<u32> = resident
@@ -118,6 +138,7 @@ impl SepoTable {
         //    so the host images carry the final continuations.
         for &p in &key_pages {
             self.for_each_key_entry(p, |k| {
+                charge.access(self.shadow_entry(k), AccessKind::PlainWrite);
                 let head_raw = self.heap.read_u64(k, key_entry::VALUE_HEAD);
                 if head_raw != u64::MAX {
                     let head = DevHandle::from_raw(head_raw);
@@ -133,7 +154,7 @@ impl SepoTable {
 
         // 2. Value pages always leave.
         for &p in &value_pages {
-            report.absorb(self.evict_page(p));
+            report.absorb(self.evict_page(p, charge));
         }
 
         // 3. Key pages leave unless they hold pending keys (or we are
@@ -162,7 +183,7 @@ impl SepoTable {
                 report.kept_pages += 1;
                 report.kept_bytes += self.heap.page_used(p) as u64;
             } else {
-                report.absorb(self.evict_page(p));
+                report.absorb(self.evict_page(p, charge));
             }
         }
 
@@ -171,10 +192,12 @@ impl SepoTable {
         self.reset_heads();
         for &p in &kept {
             self.for_each_key_entry(p, |k| {
+                charge.access(self.shadow_entry(k), AccessKind::PlainWrite);
                 let key_off = DevHandle::new(k.page(), k.offset() + key_entry::KEY);
                 let klen = (self.heap.read_u64(k, key_entry::KLEN) & 0xFFFF_FFFF) as usize;
                 let key = self.heap.read(key_off, klen);
                 let bucket = bucket_of(key, self.cfg.n_buckets);
+                // lint: relaxed-ok (quiescent iteration boundary)
                 let old_raw = self.heads[bucket].load(Ordering::Relaxed);
                 let next = if old_raw == u64::MAX {
                     Link::NULL
@@ -183,6 +206,7 @@ impl SepoTable {
                 };
                 self.heap.write_u64(k, entry::NEXT_DEV, next.dev.to_raw());
                 self.heap.write_u64(k, entry::NEXT_HOST, next.host.to_raw());
+                // lint: relaxed-ok (quiescent iteration boundary)
                 self.heads[bucket].store(k.to_raw(), Ordering::Relaxed);
             });
         }
@@ -212,6 +236,7 @@ impl SepoTable {
 
     fn reset_heads(&self) {
         for h in self.heads.iter() {
+            // lint: relaxed-ok (quiescent iteration boundary)
             h.store(u64::MAX, Ordering::Relaxed);
         }
     }
@@ -364,5 +389,72 @@ mod tests {
             .map(|&p| entry::PageWalker::new(&t.heap().page_data(p), entry::EntryKind::Key).count())
             .sum();
         assert_eq!(n_keys, 1, "exactly one key entry for the sticky key");
+    }
+
+    /// ISSUE negative test: a kernel that holds a device handle across an
+    /// iteration boundary and dereferences it after the page was evicted
+    /// must produce a use-after-evict finding with a usable witness.
+    #[test]
+    fn device_read_after_evict_is_reported_with_witness() {
+        use gpu_sim::shadow::{AccessKind, FindingKind, ShadowAddr, ShadowSanitizer};
+        use gpu_sim::{Charge, ExecMode, Executor};
+
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let sz = Arc::new(ShadowSanitizer::new());
+        let exec = Executor::new(ExecMode::Deterministic, Arc::new(Metrics::new()))
+            .with_shadow(sz.clone());
+
+        sz.set_iteration(1);
+        let keys: Vec<String> = (0..64).map(|i| format!("key-{i:02}")).collect();
+        exec.launch(keys.len(), |ctx| {
+            let k = keys[ctx.task()].as_bytes().to_vec();
+            assert!(t.insert_combining(&k, 1, ctx).is_success());
+        });
+        assert_eq!(sz.finding_count(), 0, "disciplined inserts are clean");
+
+        // A buggy kernel squirrels away a handle to a resident page...
+        let page = t.heap().resident_pages()[0];
+        let stale = ShadowAddr::Page(t.heap().host_id(page));
+
+        // ...the iteration boundary evicts everything...
+        t.end_iteration_charged(&mut sz.host_charge());
+
+        // ...and the next launch dereferences the stale handle.
+        sz.set_iteration(2);
+        exec.launch(40, |ctx| {
+            if ctx.task() == 38 {
+                ctx.access(stale, AccessKind::PlainRead);
+            }
+        });
+
+        let report = sz.report();
+        assert!(report.use_after_evict >= 1, "stale read must be flagged");
+        let w = report
+            .witnesses
+            .iter()
+            .find(|w| w.kind == FindingKind::UseAfterEvict)
+            .expect("use-after-evict witness present");
+        assert_eq!(w.addr, stale);
+        assert_eq!(w.warp, 1, "task 38 runs in the second warp");
+        assert_eq!(w.lane, 6, "task 38 is lane 6 of its warp");
+        assert_eq!(w.iteration, 2);
+    }
+
+    /// The host is allowed to keep touching evicted identities (that is the
+    /// whole point of eviction) — only device accesses are findings.
+    #[test]
+    fn host_access_after_evict_is_legal() {
+        use gpu_sim::shadow::{AccessKind, ShadowAddr, ShadowSanitizer};
+
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut c = NoCharge;
+        assert!(t.insert_combining(b"solo", 1, &mut c).is_success());
+        let page = t.heap().resident_pages()[0];
+        let addr = ShadowAddr::Page(t.heap().host_id(page));
+
+        let sz = ShadowSanitizer::new();
+        t.end_iteration_charged(&mut sz.host_charge());
+        sz.record_host(addr, AccessKind::PlainRead);
+        assert_eq!(sz.finding_count(), 0);
     }
 }

@@ -201,6 +201,15 @@ pub struct DriverConfig {
     /// are byte-identical with the combiner on or off. `None` (the
     /// default) keeps the paper's direct insert path; the CLI turns it on.
     pub combiner: Option<CombinerConfig>,
+    /// Check every declared device access against the shadow-memory
+    /// sanitizer ([`gpu_sim::shadow`]), panicking at the next iteration
+    /// boundary if any access violated the publish discipline (concurrent
+    /// plain access, plain/atomic mixing, use-after-evict). Requires a
+    /// sanitizer attached to the executor via [`Executor::with_shadow`].
+    /// Declaring accesses charges no simulated cost, so results are
+    /// byte-identical with this on or off. Off by default; enabled by the
+    /// CLI's `--sanitize` flag and unconditionally in tests.
+    pub sanitize: bool,
 }
 
 impl Default for DriverConfig {
@@ -211,6 +220,7 @@ impl Default for DriverConfig {
             max_fault_retries: 8,
             audit: false,
             combiner: None,
+            sanitize: false,
         }
     }
 }
@@ -290,6 +300,19 @@ impl<'a> SepoDriver<'a> {
         let mut audit = self.config.audit.then(|| TableAudit::begin(self.table));
         let mut fault_stalls = 0u32;
 
+        // Shadow-memory sanitizer: kernels declare their logical accesses
+        // through the lane's charge sink; the executor forwards them to the
+        // sanitizer attached via `Executor::with_shadow`. The driver only
+        // has to stamp the iteration number, route eviction's host-side
+        // accesses, and fail loudly when the check finds a violation.
+        let shadow = self.config.sanitize.then(|| {
+            self.executor
+                .shadow()
+                .cloned()
+                .expect("DriverConfig::sanitize requires Executor::with_shadow")
+        });
+        let findings_baseline = shadow.as_ref().map_or(0, |sz| sz.finding_count());
+
         // Warp-combiner hooks: each warp gets its own buffer, drained at
         // warp retirement — i.e. before a launch returns, hence before any
         // postponement bookkeeping or eviction below observes the table.
@@ -321,6 +344,9 @@ impl<'a> SepoDriver<'a> {
             if iter_no > self.config.max_iterations {
                 break;
             }
+            if let Some(sz) = &shadow {
+                sz.set_iteration(iter_no);
+            }
             let before = self.table.metrics().snapshot();
             let mut input_bytes = 0u64;
             let mut chunks = 0u32;
@@ -346,7 +372,7 @@ impl<'a> SepoDriver<'a> {
                             lane.read_stream(task_bytes(t));
                             let start = progress[t].load(Ordering::Relaxed);
                             match kernel(t, start, lane) {
-                                TaskResult::Done => done.set(t),
+                                TaskResult::Done => done.set_charged(t, lane),
                                 TaskResult::Postponed { next_pair } => {
                                     progress[t].store(next_pair, Ordering::Relaxed);
                                 }
@@ -362,7 +388,10 @@ impl<'a> SepoDriver<'a> {
             }
 
             let used_before_evict = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
-            let evict = self.table.end_iteration();
+            let evict = match &shadow {
+                Some(sz) => self.table.end_iteration_charged(&mut sz.host_charge()),
+                None => self.table.end_iteration(),
+            };
             let after = self.table.metrics().snapshot();
             let next_pending: Vec<u32> = pending
                 .iter()
@@ -379,6 +408,14 @@ impl<'a> SepoDriver<'a> {
                     &evict,
                 ) {
                     panic!("SEPO audit failed at iteration {iter_no}: {v}");
+                }
+            }
+            if let Some(sz) = &shadow {
+                if sz.finding_count() > findings_baseline {
+                    panic!(
+                        "SEPO sanitizer failed at iteration {iter_no}: {}",
+                        sz.report()
+                    );
                 }
             }
             // Progress check: an iteration may complete no whole task yet
@@ -422,11 +459,19 @@ impl<'a> SepoDriver<'a> {
         }
 
         let used_before_final = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
-        let final_evict = self.table.finalize();
+        let final_evict = match &shadow {
+            Some(sz) => self.table.finalize_charged(&mut sz.host_charge()),
+            None => self.table.finalize(),
+        };
         if let Some(a) = audit.as_mut() {
             if let Err(v) = a.check_final(self.table, used_before_final.unwrap_or(0), &final_evict)
             {
                 panic!("SEPO audit failed at finalize: {v}");
+            }
+        }
+        if let Some(sz) = &shadow {
+            if sz.finding_count() > findings_baseline {
+                panic!("SEPO sanitizer failed at finalize: {}", sz.report());
             }
         }
         let outcome = SepoOutcome {
@@ -455,12 +500,16 @@ mod tests {
 
     fn exec(metrics: &Arc<Metrics>) -> Executor {
         Executor::new(ExecMode::Deterministic, Arc::clone(metrics))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()))
     }
 
-    /// Every driver test runs with the cross-layer audit on.
+    /// Every driver test runs with the cross-layer audit *and* the shadow
+    /// sanitizer on: a run that completes has zero sanitizer findings (the
+    /// driver panics at the first boundary with findings).
     fn audited() -> DriverConfig {
         DriverConfig {
             audit: true,
+            sanitize: true,
             ..DriverConfig::default()
         }
     }
@@ -557,6 +606,7 @@ mod tests {
                 chunk_tasks: 32,
                 max_iterations: 1000,
                 audit: true,
+                sanitize: true,
                 ..DriverConfig::default()
             })
             .run(
@@ -703,6 +753,7 @@ mod tests {
             .with_config(DriverConfig {
                 max_iterations: 1,
                 audit: true,
+                sanitize: true,
                 ..DriverConfig::default()
             })
             .try_run(keys.len(), |_| 16, insert)
@@ -725,6 +776,7 @@ mod tests {
             .with_config(DriverConfig {
                 max_iterations: 1,
                 audit: true,
+                sanitize: true,
                 ..DriverConfig::default()
             })
             .run(
@@ -752,7 +804,8 @@ mod tests {
             lane_abort_rate: 0.10,
         }));
         let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
-            .with_faults(Arc::clone(&plan));
+            .with_faults(Arc::clone(&plan))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
         let keys: Vec<String> = (0..300).map(|i| format!("key-{i:05}")).collect();
         let outcome = SepoDriver::new(&t, &e)
             .with_config(audited())
@@ -786,11 +839,14 @@ mod tests {
             pcie_error_rate: 0.0,
             lane_abort_rate: 1.0,
         }));
-        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics())).with_faults(plan);
+        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_faults(plan)
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
         let err = SepoDriver::new(&t, &e)
             .with_config(DriverConfig {
                 max_fault_retries: 3,
                 audit: true,
+                sanitize: true,
                 ..DriverConfig::default()
             })
             .try_run(

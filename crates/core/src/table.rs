@@ -18,6 +18,7 @@ use crate::entry::{self, basic, combining, key_entry, value_node};
 use crate::hash::{bucket_for, bucket_of, fnv1a};
 use gpu_sim::charge::Charge;
 use gpu_sim::metrics::{ContentionHistogram, Metrics};
+use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use sepo_alloc::{DevHandle, GroupAllocator, Heap, HostHeap, HostLink, Link, PageClass, PageKind};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -135,6 +136,7 @@ impl SepoTable {
         ContentionHistogram::from_counts(
             self.touches
                 .iter()
+                // lint: relaxed-ok (statistics counter, read quiescently)
                 .map(|t| t.load(Ordering::Relaxed) as u64),
         )
     }
@@ -155,7 +157,7 @@ impl SepoTable {
     /// Reset the per-bucket touch counters (between measured phases).
     pub fn reset_touches(&self) {
         for t in self.touches.iter() {
-            t.store(0, Ordering::Relaxed);
+            t.store(0, Ordering::Relaxed); // lint: relaxed-ok (statistics reset between phases)
         }
     }
 
@@ -165,7 +167,18 @@ impl SepoTable {
 
     #[inline]
     fn touch(&self, bucket: usize) {
-        self.touches[bucket].fetch_add(1, Ordering::Relaxed);
+        self.touches[bucket].fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok (statistics counter)
+    }
+
+    /// Logical shadow address of entry `e` for sanitizer declarations:
+    /// keyed by the owning page's *host identity*, so a physical page
+    /// recycled after eviction never aliases its previous tenant.
+    #[inline]
+    pub(crate) fn shadow_entry(&self, e: DevHandle) -> ShadowAddr {
+        ShadowAddr::Entry {
+            page: self.heap.host_id(e.page()),
+            offset: e.offset(),
+        }
     }
 
     #[inline]
@@ -198,6 +211,9 @@ impl SepoTable {
         while cur_raw != NULL_RAW {
             let cur = DevHandle::from_raw(cur_raw);
             self.charge_hop(charge);
+            // One declaration covers this entry visit (lens, key bytes and
+            // next-link reads all land on the entry's shadow cell).
+            charge.access(self.shadow_entry(cur), AccessKind::PlainRead);
             let klen = (self.heap.read_u64(cur, klen_off) & 0xFFFF_FFFF) as usize;
             if klen == key.len() {
                 self.charge_heap(charge, klen as u64, 1);
@@ -235,8 +251,10 @@ impl SepoTable {
     #[inline]
     fn charge_heap<C: Charge>(&self, charge: &mut C, bytes: u64, transactions: u64) {
         if self.cfg.remote_heap {
-            self.metrics.add_pcie_small_transactions(transactions);
-            self.metrics.add_pcie_small_bytes(bytes);
+            // PCIe traffic is bus-global, not a per-warp cost — it bypasses
+            // the warp shards by design.
+            self.metrics.add_pcie_small_transactions(transactions); // lint: metrics-direct-ok
+            self.metrics.add_pcie_small_bytes(bytes); // lint: metrics-direct-ok
         } else {
             charge.device_bytes(bytes);
         }
@@ -246,8 +264,9 @@ impl SepoTable {
     #[inline]
     fn charge_hop<C: Charge>(&self, charge: &mut C) {
         if self.cfg.remote_heap {
-            self.metrics.add_pcie_small_transactions(1);
-            self.metrics.add_pcie_small_bytes(16);
+            // See charge_heap: bus-global PCIe accounting.
+            self.metrics.add_pcie_small_transactions(1); // lint: metrics-direct-ok
+            self.metrics.add_pcie_small_bytes(16); // lint: metrics-direct-ok
         } else {
             charge.chain_hops(1);
         }
@@ -263,12 +282,35 @@ impl SepoTable {
     }
 
     /// Publish `e` as the new head of `bucket` if the head is still
-    /// `expect`; returns the observed head on failure.
+    /// `expect`; returns the observed head on failure. Declares the CAS —
+    /// and, on success, the publication of `e` itself — to the sanitizer.
     #[inline]
-    fn publish(&self, bucket: usize, expect: u64, e: DevHandle) -> Result<(), u64> {
-        self.heads[bucket]
-            .compare_exchange(expect, e.to_raw(), Ordering::Release, Ordering::Acquire)
-            .map(|_| ())
+    fn publish<C: Charge>(
+        &self,
+        bucket: usize,
+        expect: u64,
+        e: DevHandle,
+        charge: &mut C,
+    ) -> Result<(), u64> {
+        match self.heads[bucket].compare_exchange(
+            expect,
+            e.to_raw(),
+            Ordering::Release,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                charge.access(
+                    ShadowAddr::BucketHead(bucket as u32),
+                    AccessKind::CasPublish,
+                );
+                charge.access(self.shadow_entry(e), AccessKind::CasPublish);
+                Ok(())
+            }
+            Err(cur) => {
+                charge.access(ShadowAddr::BucketHead(bucket as u32), AccessKind::Atomic);
+                Err(cur)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -335,10 +377,12 @@ impl SepoTable {
         let size = combining::size(key.len());
         loop {
             let head_raw = self.head_raw(bucket);
+            charge.access(ShadowAddr::BucketHead(bucket as u32), AccessKind::Atomic);
             if let Some(e) =
                 self.find_resident(head_raw, key, combining::KLEN, combining::KEY, charge)
             {
                 // Duplicate: combine atomically via the callback.
+                charge.access(self.shadow_entry(e), AccessKind::Atomic);
                 let slot = self.heap.atomic_u64(e, combining::VALUE);
                 slot.fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
                     Some(comb.apply(old, value))
@@ -349,24 +393,26 @@ impl SepoTable {
                     // We allocated speculatively and lost the race to a peer
                     // inserting the same key: tombstone the entry so the
                     // host page walk neither misparses nor double-counts it.
+                    charge.access(self.shadow_entry(a), AccessKind::PlainWrite);
                     self.abandon(a, combining::KLEN, key.len() as u64, size);
                 }
                 return Ok(e);
             }
             let e = match allocated {
                 Some(e) => e,
-                None => match self.alloc_primary(bucket, size) {
+                None => match self.alloc_primary(bucket, size, charge) {
                     Ok(e) => e,
                     Err(()) => return Err(()),
                 },
             };
             // Fill the entry (next = current head) and publish.
+            charge.access(self.shadow_entry(e), AccessKind::PlainWrite);
             self.write_next(e, self.head_link(head_raw));
             self.heap.write_u64(e, combining::VALUE, value);
             self.heap.write_u64(e, combining::KLEN, key.len() as u64);
             self.heap
                 .write(DevHandle::new(e.page(), e.offset() + combining::KEY), key);
-            match self.publish(bucket, head_raw, e) {
+            match self.publish(bucket, head_raw, e, charge) {
                 Ok(()) => {
                     self.charge_heap(charge, size as u64, 1);
                     charge.device_bytes(8); // head CAS (device-resident)
@@ -393,6 +439,7 @@ impl SepoTable {
         comb: Combiner,
         charge: &mut C,
     ) {
+        charge.access(self.shadow_entry(e), AccessKind::Atomic);
         let slot = self.heap.atomic_u64(e, combining::VALUE);
         slot.fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
             Some(comb.apply(old, delta))
@@ -478,10 +525,11 @@ impl SepoTable {
         charge.device_bytes(16);
 
         let size = basic::size(key.len(), value.len());
-        let e = match self.alloc_primary(bucket, size) {
+        let e = match self.alloc_primary(bucket, size, charge) {
             Ok(e) => e,
             Err(()) => return InsertStatus::Postponed,
         };
+        charge.access(self.shadow_entry(e), AccessKind::PlainWrite);
         self.heap.write_u64(
             e,
             basic::LENS,
@@ -495,8 +543,10 @@ impl SepoTable {
         );
         loop {
             let head_raw = self.head_raw(bucket);
+            charge.access(ShadowAddr::BucketHead(bucket as u32), AccessKind::Atomic);
+            charge.access(self.shadow_entry(e), AccessKind::PlainWrite);
             self.write_next(e, self.head_link(head_raw));
-            if self.publish(bucket, head_raw, e).is_ok() {
+            if self.publish(bucket, head_raw, e, charge).is_ok() {
                 self.charge_heap(charge, size as u64, 1);
                 charge.device_bytes(8); // head CAS (device-resident)
                 return InsertStatus::Success;
@@ -542,10 +592,12 @@ impl SepoTable {
         let mut allocated_key: Option<DevHandle> = None;
         loop {
             let head_raw = self.head_raw(bucket);
+            charge.access(ShadowAddr::BucketHead(bucket as u32), AccessKind::Atomic);
             if let Some(k) =
                 self.find_resident(head_raw, key, key_entry::KLEN, key_entry::KEY, charge)
             {
                 if let Some(a) = allocated_key {
+                    charge.access(self.shadow_entry(a), AccessKind::PlainWrite);
                     self.abandon(
                         a,
                         key_entry::KLEN,
@@ -559,21 +611,23 @@ impl SepoTable {
             let ksize = key_entry::size(key.len());
             let k = match allocated_key {
                 Some(k) => k,
-                None => match self.alloc_class(group, PageClass::Primary, ksize) {
+                None => match self.alloc_class(group, PageClass::Primary, ksize, charge) {
                     Ok(k) => k,
                     Err(()) => return InsertStatus::Postponed,
                 },
             };
-            let v = match self.alloc_class(group, PageClass::Value, vsize) {
+            let v = match self.alloc_class(group, PageClass::Value, vsize, charge) {
                 Ok(v) => v,
                 Err(()) => {
                     // The key entry was carved out but can't be completed;
                     // tombstone it so key-page walks skip the region.
+                    charge.access(self.shadow_entry(k), AccessKind::PlainWrite);
                     self.abandon(k, key_entry::KLEN, key.len() as u64, ksize);
                     return InsertStatus::Postponed;
                 }
             };
             // First value node of a brand-new key: no predecessor.
+            charge.access(self.shadow_entry(v), AccessKind::PlainWrite);
             self.write_next(v, Link::NULL);
             self.heap.write_u64(v, value_node::VLEN, value.len() as u64);
             self.heap.write(
@@ -581,6 +635,7 @@ impl SepoTable {
                 value,
             );
             // Key entry.
+            charge.access(self.shadow_entry(k), AccessKind::PlainWrite);
             self.write_next(k, self.head_link(head_raw));
             self.heap.write_u64(k, key_entry::VALUE_HEAD, v.to_raw());
             self.heap
@@ -589,8 +644,10 @@ impl SepoTable {
             self.heap.write_u64(k, key_entry::KLEN, key.len() as u64);
             self.heap
                 .write(DevHandle::new(k.page(), k.offset() + key_entry::KEY), key);
-            match self.publish(bucket, head_raw, k) {
+            match self.publish(bucket, head_raw, k, charge) {
                 Ok(()) => {
+                    // Publishing the key also publishes its linked value.
+                    charge.access(self.shadow_entry(v), AccessKind::CasPublish);
                     self.charge_heap(charge, (ksize + vsize) as u64, 2);
                     charge.device_bytes(8); // head CAS (device-resident)
                     return InsertStatus::Success;
@@ -601,6 +658,7 @@ impl SepoTable {
                     // peer inserted the key first (next loop iteration finds
                     // it and appends a *new* node — abandon this one).
                     charge.head_cas_retries(1);
+                    charge.access(self.shadow_entry(v), AccessKind::PlainWrite);
                     self.abandon(v, value_node::VLEN, value.len() as u64, vsize);
                     allocated_key = Some(k);
                 }
@@ -619,13 +677,15 @@ impl SepoTable {
         vsize: usize,
         charge: &mut C,
     ) -> InsertStatus {
-        let v = match self.alloc_class(group, PageClass::Value, vsize) {
+        let v = match self.alloc_class(group, PageClass::Value, vsize, charge) {
             Ok(v) => v,
             Err(()) => {
+                charge.access(self.shadow_entry(k), AccessKind::Atomic);
                 self.mark_pending(k);
                 return InsertStatus::Postponed;
             }
         };
+        charge.access(self.shadow_entry(v), AccessKind::PlainWrite);
         self.heap.write_u64(v, value_node::VLEN, value.len() as u64);
         self.heap.write(
             DevHandle::new(v.page(), v.offset() + value_node::VALUE),
@@ -634,6 +694,7 @@ impl SepoTable {
         let head = self.heap.atomic_u64(k, key_entry::VALUE_HEAD);
         loop {
             let old_raw = head.load(Ordering::Acquire);
+            charge.access(self.shadow_entry(k), AccessKind::Atomic);
             let next = if old_raw == NULL_RAW {
                 // Chain continues in CPU memory (or is empty): link to the
                 // key's host continuation.
@@ -643,11 +704,13 @@ impl SepoTable {
             } else {
                 self.heap.link_for(DevHandle::from_raw(old_raw))
             };
+            charge.access(self.shadow_entry(v), AccessKind::PlainWrite);
             self.write_next(v, next);
             if head
                 .compare_exchange(old_raw, v.to_raw(), Ordering::Release, Ordering::Acquire)
                 .is_ok()
             {
+                charge.access(self.shadow_entry(v), AccessKind::CasPublish);
                 self.charge_heap(charge, vsize as u64 + 16, 3);
                 return InsertStatus::Success;
             }
@@ -669,12 +732,25 @@ impl SepoTable {
     // Allocation helpers
     // ------------------------------------------------------------------
 
-    fn alloc_primary(&self, bucket: usize, size: usize) -> Result<DevHandle, ()> {
-        self.alloc_class(self.cfg.group_of(bucket), PageClass::Primary, size)
+    fn alloc_primary<C: Charge>(
+        &self,
+        bucket: usize,
+        size: usize,
+        charge: &mut C,
+    ) -> Result<DevHandle, ()> {
+        self.alloc_class(self.cfg.group_of(bucket), PageClass::Primary, size, charge)
     }
 
-    fn alloc_class(&self, group: usize, class: PageClass, size: usize) -> Result<DevHandle, ()> {
-        self.groups.alloc(group, class, size).map_err(|_| ())
+    fn alloc_class<C: Charge>(
+        &self,
+        group: usize,
+        class: PageClass,
+        size: usize,
+        charge: &mut C,
+    ) -> Result<DevHandle, ()> {
+        self.groups
+            .alloc_charged(group, class, size, charge)
+            .map_err(|_| ())
     }
 }
 

@@ -8,6 +8,7 @@
 //! (baseline) execution.
 
 use crate::metrics::Metrics;
+use crate::shadow::{AccessKind, ShadowAddr};
 
 /// Sink for simulated-cost events emitted by shared data structures.
 pub trait Charge {
@@ -30,6 +31,11 @@ pub trait Charge {
     fn combiner_overflows(&mut self, _n: u64) {}
     /// Record lost bucket-head CAS races (publish retries).
     fn head_cas_retries(&mut self, _n: u64) {}
+    /// Declare one access to the simulated device's logical address space
+    /// for the shadow-memory sanitizer ([`crate::shadow`]). Charges no
+    /// simulated cost; default no-op so plain sinks — and therefore all
+    /// baseline runs — pay nothing.
+    fn access(&mut self, _addr: ShadowAddr, _kind: AccessKind) {}
 }
 
 /// Forwarding impl so `&mut dyn Charge` (e.g. the sink a warp-scratch
@@ -73,6 +79,11 @@ impl<C: Charge + ?Sized> Charge for &mut C {
     #[inline]
     fn head_cas_retries(&mut self, n: u64) {
         (**self).head_cas_retries(n);
+    }
+
+    #[inline]
+    fn access(&mut self, addr: ShadowAddr, kind: AccessKind) {
+        (**self).access(addr, kind);
     }
 }
 
@@ -174,5 +185,91 @@ mod tests {
         c.combiner_flushes(u64::MAX);
         c.combiner_overflows(u64::MAX);
         c.head_cas_retries(u64::MAX);
+        c.access(ShadowAddr::BucketHead(0), AccessKind::Atomic);
+    }
+
+    /// Counting sink recording which trait methods were invoked on it.
+    #[derive(Default)]
+    struct CountingSink {
+        calls: Vec<&'static str>,
+    }
+
+    impl Charge for CountingSink {
+        fn compute(&mut self, _: u64) {
+            self.calls.push("compute");
+        }
+        fn device_bytes(&mut self, _: u64) {
+            self.calls.push("device_bytes");
+        }
+        fn chain_hops(&mut self, _: u64) {
+            self.calls.push("chain_hops");
+        }
+        fn smem_bytes(&mut self, _: u64) {
+            self.calls.push("smem_bytes");
+        }
+        fn combiner_hits(&mut self, _: u64) {
+            self.calls.push("combiner_hits");
+        }
+        fn combiner_flushes(&mut self, _: u64) {
+            self.calls.push("combiner_flushes");
+        }
+        fn combiner_overflows(&mut self, _: u64) {
+            self.calls.push("combiner_overflows");
+        }
+        fn head_cas_retries(&mut self, _: u64) {
+            self.calls.push("head_cas_retries");
+        }
+        fn access(&mut self, _: ShadowAddr, _: AccessKind) {
+            self.calls.push("access");
+        }
+    }
+
+    /// Drive every trait method through a `C: Charge` bound — the shape
+    /// generic table code uses.
+    fn drive_all<C: Charge>(c: &mut C) {
+        c.compute(1);
+        c.device_bytes(1);
+        c.chain_hops(1);
+        c.smem_bytes(1);
+        c.combiner_hits(1);
+        c.combiner_flushes(1);
+        c.combiner_overflows(1);
+        c.head_cas_retries(1);
+        c.access(ShadowAddr::BitmapWord(0), AccessKind::PlainRead);
+    }
+
+    /// Pins that the blanket `impl<C: Charge + ?Sized> Charge for &mut C`
+    /// forwards *every* trait method — including the default-noop ones and
+    /// `access`. A method missing from the blanket impl would fall back to
+    /// its trait default and silently discard the call behind
+    /// `&mut dyn Charge` (exactly how warp-scratch finish hooks charge), so
+    /// a counting sink must observe all nine calls.
+    #[test]
+    fn blanket_mut_ref_impl_forwards_every_method() {
+        const ALL: [&str; 9] = [
+            "compute",
+            "device_bytes",
+            "chain_hops",
+            "smem_bytes",
+            "combiner_hits",
+            "combiner_flushes",
+            "combiner_overflows",
+            "head_cas_retries",
+            "access",
+        ];
+        // One level of &mut: the concrete-sink reference generic code takes.
+        let mut sink = CountingSink::default();
+        drive_all(&mut &mut sink);
+        assert_eq!(sink.calls, ALL);
+
+        // Through &mut dyn Charge — type-erased, then re-borrowed, the
+        // scratch-hook path.
+        let mut sink = CountingSink::default();
+        {
+            let dyn_sink: &mut dyn Charge = &mut sink;
+            let mut reborrow = dyn_sink;
+            drive_all(&mut reborrow);
+        }
+        assert_eq!(sink.calls, ALL);
     }
 }

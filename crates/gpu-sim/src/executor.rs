@@ -33,6 +33,7 @@
 use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::Metrics;
 use crate::pool::{self, Work, WorkerPool};
+use crate::shadow::{AccessKind, ShadowAddr, ShadowEvent, ShadowSanitizer, WARP_LEVEL_LANE};
 use crate::spec::WARP_SIZE;
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -80,6 +81,11 @@ struct WarpLocal {
     combiner_overflows: u64,
     head_cas_retries: u64,
     branch_classes: BTreeSet<u32>,
+    /// This warp's index within the launch (stamps shadow events).
+    warp_index: u32,
+    /// Declared shadow accesses; `None` unless a sanitizer is attached, so
+    /// unsanitized launches never allocate or push.
+    shadow: Option<Vec<ShadowEvent>>,
 }
 
 /// Per-warp scratch hooks: the software analogue of a kernel's shared
@@ -158,6 +164,18 @@ impl crate::charge::Charge for WarpCharge<'_> {
     #[inline]
     fn head_cas_retries(&mut self, n: u64) {
         self.warp.head_cas_retries += n;
+    }
+
+    #[inline]
+    fn access(&mut self, addr: ShadowAddr, kind: AccessKind) {
+        if let Some(log) = self.warp.shadow.as_mut() {
+            log.push(ShadowEvent {
+                addr,
+                kind,
+                warp: self.warp.warp_index,
+                lane: WARP_LEVEL_LANE,
+            });
+        }
     }
 }
 
@@ -244,6 +262,18 @@ impl crate::charge::Charge for LaneCtx<'_> {
     fn head_cas_retries(&mut self, n: u64) {
         self.warp.head_cas_retries += n;
     }
+
+    #[inline]
+    fn access(&mut self, addr: ShadowAddr, kind: AccessKind) {
+        if let Some(log) = self.warp.shadow.as_mut() {
+            log.push(ShadowEvent {
+                addr,
+                kind,
+                warp: self.warp.warp_index,
+                lane: (self.task % WARP_SIZE) as u32,
+            });
+        }
+    }
 }
 
 /// Statistics returned by a kernel launch.
@@ -301,7 +331,7 @@ impl std::error::Error for LaunchError {}
 
 /// Per-participant event accumulator: one per pool slot, written without
 /// synchronization, flushed to [`Metrics`] once per launch.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default)]
 struct Shard {
     compute_units: u64,
     stream_bytes: u64,
@@ -314,10 +344,12 @@ struct Shard {
     head_cas_retries: u64,
     divergence_events: u64,
     lanes_aborted: u64,
+    /// Declared shadow accesses, in this shard's warp-retirement order.
+    shadow: Vec<ShadowEvent>,
 }
 
 impl Shard {
-    fn absorb(&mut self, other: &Shard) {
+    fn absorb(&mut self, other: Shard) {
         self.compute_units += other.compute_units;
         self.stream_bytes += other.stream_bytes;
         self.device_bytes += other.device_bytes;
@@ -329,6 +361,7 @@ impl Shard {
         self.head_cas_retries += other.head_cas_retries;
         self.divergence_events += other.divergence_events;
         self.lanes_aborted += other.lanes_aborted;
+        self.shadow.extend(other.shadow);
     }
 }
 
@@ -339,6 +372,8 @@ struct KernelJob<'k, K> {
     n_tasks: usize,
     faults: Option<&'k FaultPlan>,
     scratch: Option<&'k WarpScratch<'k>>,
+    /// Buffer declared shadow accesses for a sanitizer at retirement.
+    shadow_on: bool,
     shards: Vec<UnsafeCell<Shard>>,
 }
 
@@ -358,6 +393,7 @@ impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
                 self.n_tasks,
                 self.faults,
                 self.scratch,
+                self.shadow_on,
                 shard,
             );
         }
@@ -377,11 +413,16 @@ fn run_warp<K>(
     n_tasks: usize,
     faults: Option<&FaultPlan>,
     scratch: Option<&WarpScratch<'_>>,
+    shadow_on: bool,
     shard: &mut Shard,
 ) where
     K: Fn(&mut LaneCtx<'_>) + Sync,
 {
-    let mut local = WarpLocal::default();
+    let mut local = WarpLocal {
+        warp_index: warp as u32,
+        shadow: shadow_on.then(Vec::new),
+        ..WarpLocal::default()
+    };
     let mut scratch_state = scratch.map(|s| (s.init)());
     let start = warp * WARP_SIZE;
     let end = (start + WARP_SIZE).min(n_tasks);
@@ -413,6 +454,9 @@ fn run_warp<K>(
     shard.combiner_overflows += local.combiner_overflows;
     shard.head_cas_retries += local.head_cas_retries;
     shard.divergence_events += (local.branch_classes.len() as u64).saturating_sub(1);
+    if let Some(log) = local.shadow {
+        shard.shadow.extend(log);
+    }
 }
 
 /// The kernel executor. Cheap to clone; clones share the metrics sink (and
@@ -422,6 +466,7 @@ pub struct Executor {
     mode: ExecMode,
     metrics: Arc<Metrics>,
     faults: Option<Arc<FaultPlan>>,
+    shadow: Option<Arc<ShadowSanitizer>>,
 }
 
 impl Executor {
@@ -430,6 +475,7 @@ impl Executor {
             mode,
             metrics,
             faults: None,
+            shadow: None,
         }
     }
 
@@ -439,6 +485,21 @@ impl Executor {
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Attach a shadow-memory sanitizer: every access the kernel declares
+    /// through [`crate::charge::Charge::access`] is buffered warp-locally
+    /// and merged into the sanitizer (in shard slot order) when the launch
+    /// retires. Declared accesses charge no simulated cost, so attaching a
+    /// sanitizer never changes results or metrics.
+    pub fn with_shadow(mut self, sanitizer: Arc<ShadowSanitizer>) -> Self {
+        self.shadow = Some(sanitizer);
+        self
+    }
+
+    /// The shadow sanitizer in force, if any.
+    pub fn shadow(&self) -> Option<&Arc<ShadowSanitizer>> {
+        self.shadow.as_ref()
     }
 
     /// The fault plan in force, if any.
@@ -537,6 +598,7 @@ impl Executor {
             n_tasks,
             faults: self.faults.as_deref(),
             scratch,
+            shadow_on: self.shadow.is_some(),
             shards: (0..max_slots)
                 .map(|_| UnsafeCell::new(Shard::default()))
                 .collect(),
@@ -547,7 +609,10 @@ impl Executor {
         // failed launch still accounts the work it did.
         let mut total = Shard::default();
         for cell in job.shards {
-            total.absorb(&cell.into_inner());
+            total.absorb(cell.into_inner());
+        }
+        if let Some(sanitizer) = &self.shadow {
+            sanitizer.ingest(std::mem::take(&mut total.shadow));
         }
         self.metrics.add_compute_units(total.compute_units);
         self.metrics.add_stream_bytes(total.stream_bytes);

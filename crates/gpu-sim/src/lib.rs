@@ -24,6 +24,10 @@
 //! * [`faults`] — seeded, deterministic fault injection (transient
 //!   allocation failures, PCIe transfer errors, lane aborts) used to prove
 //!   degradation stays graceful under resource trouble.
+//! * [`shadow`] — epoch-based shadow-memory sanitizer: data structures
+//!   declare logical accesses through [`charge::Charge::access`] and the
+//!   sanitizer flags plain/atomic mixing, unpublished cross-warp sharing,
+//!   and use-after-evict, at zero simulated cost.
 //!
 //! Everything that *matters to the paper's claims* — which inserts get
 //! postponed, how many SEPO iterations a dataset needs, how many bytes move
@@ -41,6 +45,7 @@ pub mod paging;
 pub mod pcie;
 pub mod pipeline;
 pub mod pool;
+pub mod shadow;
 pub mod spec;
 pub mod staging;
 
@@ -57,5 +62,8 @@ pub use paging::{AccessTrace, LruSimulator, PagingOutcome};
 pub use pcie::{PcieBus, PcieTransferError};
 pub use pipeline::{pipelined_total, serial_total};
 pub use pool::WorkerPool;
+pub use shadow::{
+    AccessKind, Finding, FindingKind, SanitizerReport, ShadowAddr, ShadowEvent, ShadowSanitizer,
+};
 pub use spec::{DeviceSpec, HostSpec, PcieSpec, SystemSpec, WARP_SIZE};
 pub use staging::{stream_chunks, ChunkTooLarge, StagingBuffers};

@@ -1,0 +1,705 @@
+//! Epoch-based shadow-memory sanitizer for the simulated device.
+//!
+//! SEPO's correctness argument rests on an access *discipline* over the
+//! device heap (see `sepo-alloc`'s safety model): entries are plain-written
+//! only while private to the inserting warp, made reachable by a single
+//! Release CAS on a bucket head, and after that touched only through reads
+//! or word atomics — until an iteration boundary evicts their page, after
+//! which device code must never touch them again. Nothing in the simulator
+//! *checks* that discipline; this module does.
+//!
+//! Data-structure code declares every logically-shared access through
+//! [`crate::charge::Charge::access`] (a default-no-op hook, so sinks that
+//! don't care pay nothing and simulated costs are untouched). Declared
+//! events carry a [`ShadowAddr`] — a *logical* address, independent of
+//! physical page reuse — plus an [`AccessKind`], the issuing warp and lane.
+//! Events buffer in the warp tally, fold into the launch's metric shards,
+//! and are merged in slot order at launch retirement into the sanitizer,
+//! which replays them against a per-address state machine:
+//!
+//! * Each launch is one **epoch**. Two warps of the same epoch are
+//!   logically concurrent (SIMT warps have no intra-launch ordering);
+//!   different epochs are separated by a launch boundary, which the
+//!   simulated device treats as a full synchronization point.
+//! * A plain write makes the address *owned* by the writing warp for the
+//!   rest of its epoch. Any plain access from another warp in the same
+//!   epoch is a race ([`FindingKind::ConcurrentPlainAccess`]); an atomic
+//!   from another warp in the same epoch is a mixed plain/atomic conflict
+//!   ([`FindingKind::MixedPlainAtomic`]).
+//! * An atomic or publishing CAS moves the address to *published*: from
+//!   then on plain writes to it are mixed-access findings — published words
+//!   may only be read or updated atomically.
+//! * An [`AccessKind::Evicted`] event retires a page's logical identity.
+//!   Any later *device* access to that page is a use-after-evict
+//!   ([`FindingKind::UseAfterEvict`]). Host-side access (the eviction and
+//!   rebuild machinery itself, declared with [`HOST_WARP`]) stays legal:
+//!   iteration boundaries are quiescent, so the host may rewrite links of
+//!   kept entries or read evicted images freely.
+//!
+//! Zero findings under a deterministic schedule plus byte-identical replay
+//! (`ExecMode::ParallelDeterministic`) means the *declared* access stream
+//! of that schedule is race-free; under `Parallel` mode the merge order of
+//! shards is not schedule-true, so findings remain sound per-warp but
+//! witness ordering is best-effort. The sanitizer charges no simulated
+//! cost, so results are byte-identical with it on or off.
+
+use crate::charge::Charge;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Logical address of a simulated-device word the discipline covers.
+///
+/// Heap-resident addresses ([`ShadowAddr::Entry`], [`ShadowAddr::HeapCursor`],
+/// [`ShadowAddr::Page`]) are keyed by the page's *host identity* (the
+/// monotone id the heap stamps at acquisition), not its physical index —
+/// so a physical page recycled after eviction never aliases its previous
+/// tenant, and "evicted" is a property of the logical page forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShadowAddr {
+    /// A bucket-head word of the (single) hash table under test.
+    BucketHead(u32),
+    /// One 64-bit word of the driver's done-bitmap.
+    BitmapWord(u32),
+    /// A page's bump cursor, keyed by the page's host identity.
+    HeapCursor(u64),
+    /// An entry (its base word stands for the whole record), keyed by the
+    /// owning page's host identity plus the entry's byte offset.
+    Entry {
+        /// Host identity of the owning page.
+        page: u64,
+        /// Entry base offset within the page.
+        offset: u32,
+    },
+    /// A whole page's lifecycle marker (used with [`AccessKind::Evicted`]).
+    Page(u64),
+}
+
+impl ShadowAddr {
+    /// The page identity this address lives on, if heap-resident.
+    fn page(&self) -> Option<u64> {
+        match *self {
+            ShadowAddr::Entry { page, .. }
+            | ShadowAddr::HeapCursor(page)
+            | ShadowAddr::Page(page) => Some(page),
+            ShadowAddr::BucketHead(_) | ShadowAddr::BitmapWord(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ShadowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ShadowAddr::BucketHead(b) => write!(f, "bucket-head[{b}]"),
+            ShadowAddr::BitmapWord(w) => write!(f, "bitmap-word[{w}]"),
+            ShadowAddr::HeapCursor(p) => write!(f, "heap-cursor[page #{p}]"),
+            ShadowAddr::Entry { page, offset } => write!(f, "entry[page #{page} +{offset}]"),
+            ShadowAddr::Page(p) => write!(f, "page[#{p}]"),
+        }
+    }
+}
+
+/// What kind of access a [`Charge::access`] declaration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Non-atomic read.
+    PlainRead,
+    /// Non-atomic write (legal only while the address is warp-private).
+    PlainWrite,
+    /// Word atomic (load/RMW) that does not newly publish the address.
+    Atomic,
+    /// The Release CAS (or equivalent) that makes the address — and the
+    /// data it points at — reachable by other warps.
+    CasPublish,
+    /// The page behind this address was evicted to the host heap; its
+    /// logical identity is dead to device code from here on.
+    Evicted,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::PlainRead => "plain read",
+            AccessKind::PlainWrite => "plain write",
+            AccessKind::Atomic => "atomic",
+            AccessKind::CasPublish => "publishing CAS",
+            AccessKind::Evicted => "evict",
+        })
+    }
+}
+
+/// Sentinel warp index for host-side (iteration-boundary) accesses: the
+/// device is quiescent, so race rules do not apply and evicted pages are
+/// legal to touch.
+pub const HOST_WARP: u32 = u32::MAX;
+
+/// Sentinel lane index for warp-level accesses (e.g. combiner flushes at
+/// warp retirement, which act for the whole warp rather than one lane).
+pub const WARP_LEVEL_LANE: u32 = crate::spec::WARP_SIZE as u32;
+
+/// One declared access, as buffered in the warp tallies and merged at
+/// launch retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowEvent {
+    /// Logical address accessed.
+    pub addr: ShadowAddr,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Issuing warp ([`HOST_WARP`] for host-side machinery).
+    pub warp: u32,
+    /// Issuing lane ([`WARP_LEVEL_LANE`] for warp-retirement work).
+    pub lane: u32,
+}
+
+/// Category of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Plain access raced a same-epoch plain write from another warp
+    /// without an intervening atomic publish.
+    ConcurrentPlainAccess,
+    /// Plain and atomic access mixed on the same word within an epoch, or
+    /// a plain write to an already-published word.
+    MixedPlainAtomic,
+    /// Device access to a page after its eviction to the host heap.
+    UseAfterEvict,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FindingKind::ConcurrentPlainAccess => "concurrent plain access",
+            FindingKind::MixedPlainAtomic => "mixed plain/atomic access",
+            FindingKind::UseAfterEvict => "use after evict",
+        })
+    }
+}
+
+/// A witness trace for one finding: which access, by whom, when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Category.
+    pub kind: FindingKind,
+    /// Offending address.
+    pub addr: ShadowAddr,
+    /// The access that completed the violation.
+    pub access: AccessKind,
+    /// Issuing warp of the offending access.
+    pub warp: u32,
+    /// Issuing lane of the offending access.
+    pub lane: u32,
+    /// Launch epoch (1-based, counted per sanitizer).
+    pub epoch: u64,
+    /// SEPO driver iteration in force (0 outside a driver run).
+    pub iteration: u32,
+    /// What the shadow state knew about the address beforehand.
+    pub prior: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} by warp {} lane {} on {} at iteration {} (epoch {}); prior: {}",
+            self.kind,
+            self.access,
+            self.warp,
+            self.lane,
+            self.addr,
+            self.iteration,
+            self.epoch,
+            self.prior
+        )
+    }
+}
+
+/// Aggregated sanitizer outcome: counts per category plus the first few
+/// witness traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Total declared accesses checked.
+    pub events_checked: u64,
+    /// Total findings across all categories.
+    pub findings_total: u64,
+    /// [`FindingKind::ConcurrentPlainAccess`] count.
+    pub concurrent_plain: u64,
+    /// [`FindingKind::MixedPlainAtomic`] count.
+    pub mixed_plain_atomic: u64,
+    /// [`FindingKind::UseAfterEvict`] count.
+    pub use_after_evict: u64,
+    /// First [`ShadowSanitizer::MAX_WITNESSES`] findings, in detection order.
+    pub witnesses: Vec<Finding>,
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} finding(s) over {} access(es) \
+             (concurrent-plain {}, mixed-plain-atomic {}, use-after-evict {})",
+            self.findings_total,
+            self.events_checked,
+            self.concurrent_plain,
+            self.mixed_plain_atomic,
+            self.use_after_evict
+        )?;
+        for w in &self.witnesses {
+            write!(f, "\n  - {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shadow state of one logical address. Absence from the cell map means
+/// *fresh*: never accessed (or only ever host-accessed before any device
+/// write).
+#[derive(Debug, Clone, Copy)]
+enum CellState {
+    /// Plain-written by `warp` during `epoch` and not yet published; private
+    /// to that warp for the rest of the epoch.
+    Owned { warp: u32, epoch: u64 },
+    /// Published (or only ever touched atomically): shared, read/atomic
+    /// access only.
+    Published,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Launch counter; bumped once per [`ShadowSanitizer::ingest`].
+    epoch: u64,
+    cells: HashMap<ShadowAddr, CellState>,
+    /// Host identities of evicted pages (identities are never reused).
+    evicted: HashSet<u64>,
+    events_checked: u64,
+    concurrent_plain: u64,
+    mixed_plain_atomic: u64,
+    use_after_evict: u64,
+    witnesses: Vec<Finding>,
+}
+
+impl Inner {
+    fn findings_total(&self) -> u64 {
+        self.concurrent_plain + self.mixed_plain_atomic + self.use_after_evict
+    }
+
+    fn finding(&mut self, kind: FindingKind, ev: ShadowEvent, iteration: u32, prior: String) {
+        match kind {
+            FindingKind::ConcurrentPlainAccess => self.concurrent_plain += 1,
+            FindingKind::MixedPlainAtomic => self.mixed_plain_atomic += 1,
+            FindingKind::UseAfterEvict => self.use_after_evict += 1,
+        }
+        if self.witnesses.len() < ShadowSanitizer::MAX_WITNESSES {
+            self.witnesses.push(Finding {
+                kind,
+                addr: ev.addr,
+                access: ev.kind,
+                warp: ev.warp,
+                lane: ev.lane,
+                epoch: self.epoch,
+                iteration,
+                prior,
+            });
+        }
+    }
+
+    fn apply(&mut self, ev: ShadowEvent, iteration: u32) {
+        self.events_checked += 1;
+        let host = ev.warp == HOST_WARP;
+
+        if let AccessKind::Evicted = ev.kind {
+            if let Some(p) = ev.addr.page() {
+                self.evicted.insert(p);
+            }
+            return;
+        }
+        if let Some(p) = ev.addr.page() {
+            if self.evicted.contains(&p) {
+                if !host {
+                    self.finding(
+                        FindingKind::UseAfterEvict,
+                        ev,
+                        iteration,
+                        format!("page #{p} was evicted to the host heap"),
+                    );
+                }
+                // Host access to evicted data (eviction machinery, host
+                // queries over stored images) is always legal.
+                return;
+            }
+        }
+        if host {
+            // Iteration boundaries are quiescent: whatever the host leaves
+            // behind is published state for the next epoch.
+            self.cells.insert(ev.addr, CellState::Published);
+            return;
+        }
+
+        let epoch = self.epoch;
+        let state = self.cells.get(&ev.addr).copied();
+        match ev.kind {
+            AccessKind::PlainWrite => match state {
+                Some(CellState::Owned { warp, epoch: e }) if e == epoch && warp != ev.warp => {
+                    self.finding(
+                        FindingKind::ConcurrentPlainAccess,
+                        ev,
+                        iteration,
+                        format!("warp {warp} holds an unpublished plain write from this epoch"),
+                    );
+                }
+                Some(CellState::Published) => {
+                    self.finding(
+                        FindingKind::MixedPlainAtomic,
+                        ev,
+                        iteration,
+                        "address was published; published words allow only read/atomic access"
+                            .to_string(),
+                    );
+                }
+                _ => {
+                    self.cells.insert(
+                        ev.addr,
+                        CellState::Owned {
+                            warp: ev.warp,
+                            epoch,
+                        },
+                    );
+                }
+            },
+            AccessKind::PlainRead => {
+                if let Some(CellState::Owned { warp, epoch: e }) = state {
+                    if e == epoch && warp != ev.warp {
+                        self.finding(
+                            FindingKind::ConcurrentPlainAccess,
+                            ev,
+                            iteration,
+                            format!("warp {warp} holds an unpublished plain write from this epoch"),
+                        );
+                    }
+                }
+            }
+            AccessKind::Atomic | AccessKind::CasPublish => {
+                if let Some(CellState::Owned { warp, epoch: e }) = state {
+                    if e == epoch && warp != ev.warp {
+                        self.finding(
+                            FindingKind::MixedPlainAtomic,
+                            ev,
+                            iteration,
+                            format!("warp {warp} holds an unpublished plain write from this epoch"),
+                        );
+                    }
+                }
+                self.cells.insert(ev.addr, CellState::Published);
+            }
+            AccessKind::Evicted => unreachable!("handled above"),
+        }
+    }
+}
+
+/// The shadow-memory sanitizer. One instance covers one table/driver run;
+/// attach it to an [`crate::executor::Executor`] via
+/// [`crate::executor::Executor::with_shadow`] and it receives every
+/// declared access at each launch's retirement.
+pub struct ShadowSanitizer {
+    inner: parking_lot::Mutex<Inner>,
+    /// Driver-iteration label stamped onto findings (display only).
+    iteration: AtomicU32,
+}
+
+impl fmt::Debug for ShadowSanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ShadowSanitizer")
+            .field("epoch", &inner.epoch)
+            .field("events_checked", &inner.events_checked)
+            .field("findings", &inner.findings_total())
+            .finish()
+    }
+}
+
+impl Default for ShadowSanitizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShadowSanitizer {
+    /// Witness traces retained per run (counts keep accumulating past this).
+    pub const MAX_WITNESSES: usize = 8;
+
+    pub fn new() -> Self {
+        ShadowSanitizer {
+            inner: parking_lot::Mutex::new(Inner::default()),
+            iteration: AtomicU32::new(0),
+        }
+    }
+
+    /// Label subsequent findings with the driver iteration in force.
+    pub fn set_iteration(&self, iteration: u32) {
+        self.iteration.store(iteration, Ordering::Relaxed);
+    }
+
+    /// Merge one retired launch's declared accesses (in slot order) and
+    /// advance the epoch. Called by the executor; not normally user code.
+    pub fn ingest(&self, events: Vec<ShadowEvent>) {
+        let iteration = self.iteration.load(Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        for ev in events {
+            inner.apply(ev, iteration);
+        }
+    }
+
+    /// Declare one host-side access at the current epoch (race rules do not
+    /// apply; see [`HOST_WARP`]).
+    pub fn record_host(&self, addr: ShadowAddr, kind: AccessKind) {
+        let iteration = self.iteration.load(Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.apply(
+            ShadowEvent {
+                addr,
+                kind,
+                warp: HOST_WARP,
+                lane: 0,
+            },
+            iteration,
+        );
+    }
+
+    /// A [`Charge`] sink that feeds [`ShadowSanitizer::record_host`] — hand
+    /// it to iteration-boundary table operations (eviction, rebuilds) so
+    /// host-side accesses are declared without race rules.
+    pub fn host_charge(&self) -> HostCharge<'_> {
+        HostCharge(self)
+    }
+
+    /// Total findings so far.
+    pub fn finding_count(&self) -> u64 {
+        self.inner.lock().findings_total()
+    }
+
+    /// Snapshot counts and witnesses.
+    pub fn report(&self) -> SanitizerReport {
+        let inner = self.inner.lock();
+        SanitizerReport {
+            events_checked: inner.events_checked,
+            findings_total: inner.findings_total(),
+            concurrent_plain: inner.concurrent_plain,
+            mixed_plain_atomic: inner.mixed_plain_atomic,
+            use_after_evict: inner.use_after_evict,
+            witnesses: inner.witnesses.clone(),
+        }
+    }
+}
+
+/// Host-side charge sink: declares accesses to a [`ShadowSanitizer`] under
+/// [`HOST_WARP`] and discards all simulated costs (iteration-boundary work
+/// is accounted elsewhere).
+#[derive(Debug)]
+pub struct HostCharge<'a>(&'a ShadowSanitizer);
+
+impl Charge for HostCharge<'_> {
+    #[inline]
+    fn compute(&mut self, _: u64) {}
+    #[inline]
+    fn device_bytes(&mut self, _: u64) {}
+    #[inline]
+    fn chain_hops(&mut self, _: u64) {}
+    #[inline]
+    fn access(&mut self, addr: ShadowAddr, kind: AccessKind) {
+        self.0.record_host(addr, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{ExecMode, Executor};
+    use crate::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn dev(addr: ShadowAddr, kind: AccessKind, warp: u32, lane: u32) -> ShadowEvent {
+        ShadowEvent {
+            addr,
+            kind,
+            warp,
+            lane,
+        }
+    }
+
+    const ENTRY: ShadowAddr = ShadowAddr::Entry { page: 7, offset: 0 };
+    const HEAD: ShadowAddr = ShadowAddr::BucketHead(3);
+
+    #[test]
+    fn disciplined_publish_sequence_is_clean() {
+        let s = ShadowSanitizer::new();
+        // Warp 0 fills a private entry and publishes it; warp 1 then reads
+        // the chain through the head — the canonical insert discipline.
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 4),
+            dev(HEAD, AccessKind::Atomic, 0, 4),
+            dev(HEAD, AccessKind::CasPublish, 0, 4),
+            dev(ENTRY, AccessKind::CasPublish, 0, 4),
+            dev(HEAD, AccessKind::Atomic, 1, 0),
+            dev(ENTRY, AccessKind::PlainRead, 1, 0),
+            dev(ENTRY, AccessKind::Atomic, 1, 0),
+        ]);
+        assert_eq!(s.finding_count(), 0);
+        assert_eq!(s.report().events_checked, 7);
+    }
+
+    #[test]
+    fn concurrent_plain_writes_from_two_warps_are_a_race() {
+        let s = ShadowSanitizer::new();
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 1),
+            dev(ENTRY, AccessKind::PlainWrite, 2, 9),
+        ]);
+        let r = s.report();
+        assert_eq!(r.concurrent_plain, 1);
+        assert_eq!(r.witnesses[0].warp, 2);
+        assert_eq!(r.witnesses[0].lane, 9);
+    }
+
+    #[test]
+    fn same_warp_rewrites_its_private_entry_freely() {
+        let s = ShadowSanitizer::new();
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 1),
+            dev(ENTRY, AccessKind::PlainWrite, 0, 1),
+            dev(ENTRY, AccessKind::PlainRead, 0, 5),
+        ]);
+        assert_eq!(s.finding_count(), 0);
+    }
+
+    #[test]
+    fn launch_boundary_synchronizes_ownership() {
+        let s = ShadowSanitizer::new();
+        // An unpublished (abandoned) write in epoch 1 is not a race for
+        // epoch-2 readers: the launch boundary orders them.
+        s.ingest(vec![dev(ENTRY, AccessKind::PlainWrite, 0, 1)]);
+        s.ingest(vec![dev(ENTRY, AccessKind::PlainRead, 5, 2)]);
+        assert_eq!(s.finding_count(), 0);
+    }
+
+    #[test]
+    fn plain_write_to_published_word_is_mixed_access() {
+        let s = ShadowSanitizer::new();
+        s.ingest(vec![
+            dev(HEAD, AccessKind::CasPublish, 0, 0),
+            dev(HEAD, AccessKind::PlainWrite, 1, 3),
+        ]);
+        let r = s.report();
+        assert_eq!(r.mixed_plain_atomic, 1);
+        assert_eq!(r.witnesses[0].kind, FindingKind::MixedPlainAtomic);
+    }
+
+    #[test]
+    fn atomic_on_anothers_unpublished_write_is_mixed_access() {
+        let s = ShadowSanitizer::new();
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 0),
+            dev(ENTRY, AccessKind::Atomic, 3, 8),
+        ]);
+        assert_eq!(s.report().mixed_plain_atomic, 1);
+    }
+
+    #[test]
+    fn device_touch_after_evict_is_flagged_but_host_touch_is_not() {
+        let s = ShadowSanitizer::new();
+        s.set_iteration(4);
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 0),
+            dev(ENTRY, AccessKind::CasPublish, 0, 0),
+        ]);
+        s.record_host(ShadowAddr::Page(7), AccessKind::Evicted);
+        s.record_host(ENTRY, AccessKind::PlainRead); // eviction machinery: fine
+        assert_eq!(s.finding_count(), 0);
+        s.ingest(vec![dev(ENTRY, AccessKind::PlainRead, 1, 6)]);
+        let r = s.report();
+        assert_eq!(r.use_after_evict, 1);
+        let w = &r.witnesses[0];
+        assert_eq!((w.warp, w.lane, w.iteration), (1, 6, 4));
+        assert!(w.to_string().contains("use after evict"), "{w}");
+    }
+
+    #[test]
+    fn host_rebuild_leaves_published_state_behind() {
+        let s = ShadowSanitizer::new();
+        // Host rewrites a kept entry's links between iterations; device
+        // reads and atomics on it next epoch are legal, a plain write not.
+        s.record_host(ENTRY, AccessKind::PlainWrite);
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainRead, 0, 0),
+            dev(ENTRY, AccessKind::Atomic, 1, 1),
+        ]);
+        assert_eq!(s.finding_count(), 0);
+        s.ingest(vec![dev(ENTRY, AccessKind::PlainWrite, 2, 2)]);
+        assert_eq!(s.report().mixed_plain_atomic, 1);
+    }
+
+    #[test]
+    fn witness_list_is_capped_but_counts_are_not() {
+        let s = ShadowSanitizer::new();
+        let mut events = vec![dev(ENTRY, AccessKind::PlainWrite, 0, 0)];
+        for i in 0..20 {
+            events.push(dev(ENTRY, AccessKind::PlainWrite, 1 + i, 0));
+        }
+        s.ingest(events);
+        let r = s.report();
+        assert_eq!(r.findings_total, 20);
+        assert_eq!(r.witnesses.len(), ShadowSanitizer::MAX_WITNESSES);
+    }
+
+    /// Negative test (ISSUE 4): a deliberately *broken* bucket-head publish
+    /// — warp 0 stores the head with a plain write instead of a CAS — must
+    /// be caught when warp 1 reads the same head in the same launch, with a
+    /// warp/lane witness. Runs through the real executor so the event path
+    /// (lane ctx → warp tally → shard merge → ingest) is the one under test.
+    #[test]
+    fn broken_bucket_head_publish_is_detected_through_the_executor() {
+        let sanitizer = Arc::new(ShadowSanitizer::new());
+        let m = Arc::new(Metrics::new());
+        let e = Executor::new(ExecMode::Deterministic, m).with_shadow(Arc::clone(&sanitizer));
+        // 64 tasks = 2 warps. Warp 0 "publishes" an entry with a plain
+        // store to the bucket head; warp 1 loads the head atomically.
+        e.launch(64, |lane| {
+            let warp_0 = lane.task() < 32;
+            if warp_0 {
+                lane.access(
+                    ShadowAddr::Entry { page: 1, offset: 0 },
+                    AccessKind::PlainWrite,
+                );
+                lane.access(ShadowAddr::BucketHead(0), AccessKind::PlainWrite); // the bug
+            } else {
+                lane.access(ShadowAddr::BucketHead(0), AccessKind::Atomic);
+            }
+        });
+        let r = sanitizer.report();
+        assert!(r.findings_total >= 1, "broken publish must be flagged: {r}");
+        assert!(r.mixed_plain_atomic >= 1, "{r}");
+        let w = r
+            .witnesses
+            .iter()
+            .find(|w| w.addr == ShadowAddr::BucketHead(0))
+            .expect("a bucket-head witness");
+        assert_eq!(w.warp, 1, "the atomic reader completes the violation");
+        assert!(w.lane < 32);
+    }
+
+    #[test]
+    fn correct_cas_publish_through_the_executor_is_clean() {
+        let sanitizer = Arc::new(ShadowSanitizer::new());
+        let m = Arc::new(Metrics::new());
+        let e = Executor::new(ExecMode::Deterministic, m).with_shadow(Arc::clone(&sanitizer));
+        e.launch(64, |lane| {
+            let entry = ShadowAddr::Entry {
+                page: 1,
+                offset: lane.task() as u32 * 64,
+            };
+            lane.access(entry, AccessKind::PlainWrite);
+            lane.access(ShadowAddr::BucketHead(0), AccessKind::Atomic);
+            lane.access(ShadowAddr::BucketHead(0), AccessKind::CasPublish);
+            lane.access(entry, AccessKind::CasPublish);
+        });
+        assert_eq!(sanitizer.finding_count(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+// Lint fixture: every banned pattern, unannotated. Never compiled — the
+// linter's unit tests feed this text through `check_file` under a
+// pretend `crates/core/src/table.rs` path and expect one finding per
+// offence below.
+
+fn relaxed_without_annotation(head: &std::sync::atomic::AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed)
+}
+
+fn wall_clock_in_simulated_code() -> std::time::Instant {
+    Instant::now()
+}
+
+fn system_clock_in_simulated_code() -> std::time::SystemTime {
+    SystemTime::now()
+}
+
+fn direct_metrics_mutation(table: &SepoTable) {
+    table.metrics().add_compute_units(1);
+}
+
+fn direct_metrics_mutation_through_binding(metrics: &Metrics) {
+    metrics.add_device_bytes(64);
+}

@@ -1,0 +1,16 @@
+// Lint fixture: the same patterns as bad_patterns.rs, each carrying its
+// allowlist annotation — the linter must accept all of these.
+
+fn relaxed_with_same_line_annotation(head: &std::sync::atomic::AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed) // lint: relaxed-ok (statistics counter)
+}
+
+fn relaxed_with_line_above_annotation(head: &std::sync::atomic::AtomicU64) -> u64 {
+    // lint: relaxed-ok (quiescent iteration boundary)
+    head.load(Ordering::Relaxed)
+}
+
+fn annotated_metrics_mutation(table: &SepoTable) {
+    // lint: metrics-direct-ok (host-side bulk upload, no kernel in flight)
+    table.metrics().add_pcie_bulk_transfers(1);
+}

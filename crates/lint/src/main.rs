@@ -1,0 +1,449 @@
+//! `sepo-lint` — source checker for the simulated-device discipline.
+//!
+//! The simulated GPU only stays faithful if the workspace's source keeps a
+//! few promises no type system enforces. This binary scans `crates/*/src`
+//! line by line (zero dependencies, so it can gate CI cheaply) and fails
+//! on:
+//!
+//! 1. **relaxed-ordering** — `Ordering::Relaxed` on the table/bitmap/evict
+//!    atomics. Relaxed is only sound on statistics counters and at
+//!    quiescent iteration boundaries; every use must carry a
+//!    `// lint: relaxed-ok (<why>)` comment on the same line or the line
+//!    above.
+//! 2. **wall-clock** — `Instant::now` / `SystemTime::now` inside simulated
+//!    crates (core, alloc, apps, mapreduce). Simulated paths must use
+//!    [`SimTime`]; wall-clock reads make results machine-dependent.
+//! 3. **metrics-direct** — direct `metrics().add_*` / `metrics.add_*`
+//!    mutation inside simulated crates. Kernel-side events must flow
+//!    through a `Charge` sink (warp-local, flushed once per launch); only
+//!    quiescent host-side accounting may write metrics directly, and must
+//!    say so with `// lint: metrics-direct-ok (<why>)`.
+//! 4. **charge-forwarding** — the blanket `impl<C: Charge + ?Sized> Charge
+//!    for &mut C` in gpu-sim must forward *every* `Charge` trait method. A
+//!    method missing there silently falls back to the trait default behind
+//!    `&mut dyn Charge`, discarding charges (or sanitizer accesses) on the
+//!    warp-scratch path.
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    /// Workspace-relative path (forward slashes).
+    file: String,
+    /// 1-based line, 0 for whole-file findings.
+    line: usize,
+    /// Rule slug.
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files whose atomics are the shared table state: `Ordering::Relaxed`
+/// there needs an allowlist comment.
+const RELAXED_SCOPED_FILES: [&str; 3] = [
+    "crates/core/src/table.rs",
+    "crates/core/src/bitmap.rs",
+    "crates/core/src/evict.rs",
+];
+
+/// Crates whose code runs on (or next to) the simulated device: no
+/// wall-clock reads, no direct metrics mutation without an annotation.
+const SIMULATED_CRATES: [&str; 4] = [
+    "crates/core/",
+    "crates/alloc/",
+    "crates/apps/",
+    "crates/mapreduce/",
+];
+
+/// Strip a trailing `// ...` line comment (string literals containing
+/// `//` are rare enough in this workspace that a lint-side false skip is
+/// acceptable; the allowlist markers themselves live in comments).
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does line `i` (0-based) carry `marker` on itself or the line above?
+fn allowlisted(lines: &[&str], i: usize, marker: &str) -> bool {
+    lines[i].contains(marker) || (i > 0 && lines[i - 1].contains(marker))
+}
+
+/// Scan one file's content. `rel` is the workspace-relative path with
+/// forward slashes; it decides which rules apply.
+fn check_file(rel: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let in_simulated = SIMULATED_CRATES.iter().any(|c| rel.starts_with(c));
+    let relaxed_scoped = RELAXED_SCOPED_FILES.contains(&rel);
+
+    for (i, &line) in lines.iter().enumerate() {
+        let code = code_of(line);
+        if relaxed_scoped
+            && code.contains("Ordering::Relaxed")
+            && !allowlisted(&lines, i, "lint: relaxed-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "relaxed-ordering",
+                message: "Ordering::Relaxed on table state without a \
+                          `// lint: relaxed-ok (<why>)` annotation"
+                    .to_string(),
+            });
+        }
+        if in_simulated && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "wall-clock",
+                message: "wall-clock read in a simulated crate; use SimTime \
+                          or move the timing to the bench/cli layer"
+                    .to_string(),
+            });
+        }
+        if in_simulated
+            && (code.contains("metrics().add_") || code.contains("metrics.add_"))
+            && !allowlisted(&lines, i, "lint: metrics-direct-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "metrics-direct",
+                message: "direct metrics mutation in a simulated crate; charge \
+                          through a Charge sink, or annotate quiescent host-side \
+                          accounting with `// lint: metrics-direct-ok (<why>)`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Method names declared (or defaulted) by `pub trait Charge` in
+/// `charge.rs` source text.
+fn charge_trait_methods(charge_src: &str) -> Vec<String> {
+    collect_fn_names(charge_src, "pub trait Charge")
+}
+
+/// Method names the blanket `&mut C` impl forwards.
+fn charge_blanket_methods(charge_src: &str) -> Vec<String> {
+    collect_fn_names(charge_src, "impl<C: Charge + ?Sized> Charge for &mut C")
+}
+
+/// Collect `fn` names inside the brace block opened on (or after) the line
+/// containing `opener`, tracking brace depth so nested bodies don't end
+/// the block early.
+fn collect_fn_names(src: &str, opener: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut inside = false;
+    for line in src.lines() {
+        let code = code_of(line);
+        if !inside {
+            if code.contains(opener) {
+                inside = true;
+                depth = 0;
+            } else {
+                continue;
+            }
+        }
+        // Only block-level `fn` declarations (depth 1 after the opening
+        // brace) are trait/impl methods.
+        for (off, ch) in code.char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return names;
+                    }
+                }
+                _ => {}
+            }
+            let _ = off;
+        }
+        if depth == 1 || (depth == 2 && code.trim_start().starts_with("fn ")) {
+            if let Some(rest) = code.trim_start().strip_prefix("fn ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Rule 4 over the charge.rs source: every trait method must be forwarded
+/// by the blanket `&mut C` impl.
+fn check_charge_forwarding(rel: &str, charge_src: &str) -> Vec<Finding> {
+    let trait_methods = charge_trait_methods(charge_src);
+    let blanket = charge_blanket_methods(charge_src);
+    if trait_methods.is_empty() {
+        return vec![Finding {
+            file: rel.to_string(),
+            line: 0,
+            rule: "charge-forwarding",
+            message: "cannot locate `pub trait Charge`".to_string(),
+        }];
+    }
+    if blanket.is_empty() {
+        return vec![Finding {
+            file: rel.to_string(),
+            line: 0,
+            rule: "charge-forwarding",
+            message: "cannot locate the blanket `impl<C: Charge + ?Sized> \
+                      Charge for &mut C`"
+                .to_string(),
+        }];
+    }
+    trait_methods
+        .iter()
+        .filter(|m| !blanket.contains(m))
+        .map(|m| Finding {
+            file: rel.to_string(),
+            line: 0,
+            rule: "charge-forwarding",
+            message: format!(
+                "blanket `&mut C` impl does not forward `{m}`; calls through \
+                 `&mut dyn Charge` would silently hit the trait default"
+            ),
+        })
+        .collect()
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`.
+fn run_lint(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", crates_dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        // The linter does not scan itself: its rule strings and fixtures
+        // would trip every pattern.
+        if crate_dir.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&crate_dir.join("src"), &mut files);
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let content = match std::fs::read_to_string(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line: 0,
+                        rule: "io",
+                        message: format!("cannot read: {e}"),
+                    });
+                    continue;
+                }
+            };
+            findings.extend(check_file(&rel, &content));
+            if rel == "crates/gpu-sim/src/charge.rs" {
+                findings.extend(check_charge_forwarding(&rel, &content));
+            }
+        }
+    }
+    findings
+}
+
+fn main() -> std::process::ExitCode {
+    // CARGO_MANIFEST_DIR = <workspace>/crates/lint at compile time; the
+    // binary lints the workspace it was built from regardless of cwd.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings = run_lint(&root);
+    if findings.is_empty() {
+        println!("sepo-lint: clean");
+        std::process::ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("sepo-lint: {} finding(s)", findings.len());
+        std::process::ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = include_str!("../fixtures/bad_patterns.rs");
+    const GOOD_FIXTURE: &str = include_str!("../fixtures/good_patterns.rs");
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let findings = run_lint(&root);
+        assert!(
+            findings.is_empty(),
+            "workspace must lint clean:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn fixture_trips_relaxed_and_metrics_rules_in_scoped_table_file() {
+        let findings = check_file("crates/core/src/table.rs", FIXTURE);
+        let rules = rules_of(&findings);
+        assert!(
+            rules.contains(&"relaxed-ordering"),
+            "unannotated Relaxed must be flagged: {findings:?}"
+        );
+        assert!(
+            rules.contains(&"metrics-direct"),
+            "unannotated direct metrics mutation must be flagged: {findings:?}"
+        );
+        assert!(
+            rules.contains(&"wall-clock"),
+            "Instant::now in a simulated crate must be flagged: {findings:?}"
+        );
+        // Findings carry 1-based line numbers pointing at the offence.
+        for f in &findings {
+            assert!(f.line >= 1, "line number missing in {f}");
+        }
+    }
+
+    #[test]
+    fn scoping_rules_by_path() {
+        // Outside the table files, Relaxed is not this linter's business...
+        let relaxed = "let x = a.load(Ordering::Relaxed);\n";
+        assert!(check_file("crates/core/src/sepo.rs", relaxed).is_empty());
+        // ...and outside simulated crates, neither are clocks or metrics.
+        let clocky = "let t = Instant::now();\nm.metrics().add_compute_units(1);\n";
+        assert!(check_file("crates/bench/src/lib.rs", clocky).is_empty());
+        assert!(!check_file("crates/core/src/lookup.rs", clocky).is_empty());
+    }
+
+    #[test]
+    fn annotations_silence_the_scoped_rules() {
+        let findings = check_file("crates/core/src/bitmap.rs", GOOD_FIXTURE);
+        assert!(
+            findings.is_empty(),
+            "annotated fixture must be clean: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn same_line_and_line_above_annotations_both_count() {
+        let same = "w.store(0, Ordering::Relaxed); // lint: relaxed-ok (reset)\n";
+        assert!(check_file("crates/core/src/bitmap.rs", same).is_empty());
+        let above = "// lint: relaxed-ok (reset)\nw.store(0, Ordering::Relaxed);\n";
+        assert!(check_file("crates/core/src/bitmap.rs", above).is_empty());
+        let far = "// lint: relaxed-ok (reset)\nlet pad = 0;\nw.store(0, Ordering::Relaxed);\n";
+        assert_eq!(
+            rules_of(&check_file("crates/core/src/bitmap.rs", far)),
+            vec!["relaxed-ordering"],
+            "an annotation two lines up must not count"
+        );
+    }
+
+    #[test]
+    fn charge_trait_parse_finds_all_methods_in_real_source() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let src = std::fs::read_to_string(root.join("crates/gpu-sim/src/charge.rs"))
+            .expect("charge.rs readable");
+        let methods = charge_trait_methods(&src);
+        for expected in [
+            "compute",
+            "device_bytes",
+            "chain_hops",
+            "smem_bytes",
+            "combiner_hits",
+            "combiner_flushes",
+            "combiner_overflows",
+            "head_cas_retries",
+            "access",
+        ] {
+            assert!(
+                methods.iter().any(|m| m == expected),
+                "trait parse missed `{expected}`: {methods:?}"
+            );
+        }
+        assert!(check_charge_forwarding("crates/gpu-sim/src/charge.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn incomplete_blanket_impl_is_flagged() {
+        let src = "\
+pub trait Charge {
+    fn compute(&mut self, units: u64);
+    fn access(&mut self, a: u32) {}
+}
+
+impl<C: Charge + ?Sized> Charge for &mut C {
+    fn compute(&mut self, units: u64) {
+        (**self).compute(units);
+    }
+}
+";
+        let findings = check_charge_forwarding("charge.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`access`"));
+    }
+
+    #[test]
+    fn missing_trait_or_blanket_impl_is_an_error_not_a_pass() {
+        assert_eq!(
+            rules_of(&check_charge_forwarding("x.rs", "fn nothing() {}")),
+            vec!["charge-forwarding"]
+        );
+        let trait_only = "pub trait Charge {\n    fn compute(&mut self, u: u64);\n}\n";
+        let findings = check_charge_forwarding("x.rs", trait_only);
+        assert!(findings[0].message.contains("blanket"));
+    }
+}

@@ -1,0 +1,22 @@
+//! The `BENCH_*.json` trajectory files are tracked both at the repo root
+//! (visible at a glance) and under `results/` (next to the other generated
+//! artifacts). The bench bins serialize once under `results/` and byte-copy
+//! to the root; this pins that the checked-in pairs have not drifted.
+
+use std::path::Path;
+
+#[test]
+fn bench_json_root_and_results_copies_match() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for name in ["BENCH_contention.json", "BENCH_gpu_sim.json"] {
+        let root_copy = std::fs::read(repo.join(name))
+            .unwrap_or_else(|e| panic!("cannot read {name} at repo root: {e}"));
+        let results_copy = std::fs::read(repo.join("results").join(name))
+            .unwrap_or_else(|e| panic!("cannot read results/{name}: {e}"));
+        assert_eq!(
+            root_copy, results_copy,
+            "{name} differs between the repo root and results/ — regenerate \
+             with `cargo run --release -p sepo-bench --bin <bench>`"
+        );
+    }
+}
