@@ -229,6 +229,17 @@ impl GroupAllocator {
             .collect()
     }
 
+    /// Roll the per-group allocation counters back to a checkpointed state
+    /// (hard-fault recovery). The counters feed the contention histogram;
+    /// restoring them keeps a resumed run's profile identical to an
+    /// unkilled one. Panics on a group-count mismatch.
+    pub fn restore_alloc_counts(&self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.groups.len(), "group count mismatch");
+        for (g, &c) in self.groups.iter().zip(counts) {
+            g.allocs.store(c, Ordering::Relaxed);
+        }
+    }
+
     /// Current page of `group` for `class`, if any (stats/eviction use).
     pub fn current_page(&self, group: usize, class: PageClass) -> Option<u32> {
         let p = self.groups[group].current[class as usize].load(Ordering::Acquire);
@@ -315,6 +326,19 @@ mod tests {
         assert_eq!(ga.failed_groups(), 0);
         assert!(ga.current_page(0, PageClass::Primary).is_none());
         assert!(ga.alloc(0, PageClass::Primary, 600).is_ok());
+    }
+
+    #[test]
+    fn alloc_counts_restore_round_trips() {
+        let (_heap, ga) = setup(8, 1024, 2);
+        ga.alloc(0, PageClass::Primary, 64).unwrap();
+        ga.alloc(0, PageClass::Primary, 64).unwrap();
+        ga.alloc(1, PageClass::Primary, 64).unwrap();
+        let saved = ga.alloc_counts();
+        ga.alloc(1, PageClass::Primary, 64).unwrap();
+        assert_ne!(ga.alloc_counts(), saved);
+        ga.restore_alloc_counts(&saved);
+        assert_eq!(ga.alloc_counts(), saved);
     }
 
     #[test]

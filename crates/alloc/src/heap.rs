@@ -127,6 +127,66 @@ impl std::fmt::Debug for Heap {
     }
 }
 
+/// One resident page inside a [`HeapSnapshot`]: its full physical identity
+/// (index, host id, kind, flags, bump head) plus the used prefix of its
+/// bytes. Capturing raw values — not re-derived ones — is what lets a
+/// restore reproduce the device heap *exactly*, so links embedded in
+/// evicted entry bytes stay valid and a resumed run replays byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidentPage {
+    /// Page index within the heap.
+    pub index: u32,
+    /// Host id stamped at acquisition.
+    pub host_id: u64,
+    /// Page kind at capture time.
+    pub kind: PageKind,
+    /// Kept-resident flag (multi-valued pages pinned across boundaries).
+    pub kept: bool,
+    /// Pending-key count (multi-valued).
+    pub pending_keys: u32,
+    /// Raw bump head at capture time.
+    pub head: u32,
+    /// The used prefix of the page's bytes.
+    pub data: Vec<u8>,
+}
+
+/// Physical snapshot of a [`Heap`] at a quiescent point (an iteration
+/// boundary): the exact free-pool order, the per-page identity counters,
+/// and the bytes of every resident page. [`Heap::restore`] rebuilds the
+/// heap to this state bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapSnapshot {
+    /// Page size the heap was built with (restore sanity check).
+    pub page_size: usize,
+    /// Total page count (restore sanity check).
+    pub total_pages: usize,
+    /// The free pool, bottom of the stack first (acquisition pops the back).
+    pub pool: Vec<u32>,
+    /// Next host id to stamp.
+    pub next_host_id: u64,
+    /// Lifetime fragmentation-waste counter.
+    pub wasted: u64,
+    /// Lifetime pages-acquired counter.
+    pub acquired_total: u64,
+    /// Every resident (non-free) page, in index order.
+    pub resident: Vec<ResidentPage>,
+}
+
+impl HeapSnapshot {
+    /// Serialized footprint of this snapshot in a `SEPOCKP1` image:
+    /// fixed header fields, the pool indices, and per-page metadata+bytes.
+    pub fn encoded_size(&self) -> u64 {
+        let fixed = 8 + 8 + 8 + 8 + 4 + 4 + 4; // counters + lengths
+        let pool = 4 * self.pool.len() as u64;
+        let pages: u64 = self
+            .resident
+            .iter()
+            .map(|p| 4 + 8 + 1 + 1 + 4 + 4 + 4 + p.data.len() as u64)
+            .sum();
+        fixed + pool + pages
+    }
+}
+
 /// Point-in-time allocator statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HeapStats {
@@ -471,6 +531,88 @@ impl Heap {
         Some(page)
     }
 
+    /// Capture the heap's full physical state at a quiescent point. The
+    /// pool order matters: a restored heap must hand out the same page
+    /// indices in the same order so replayed allocations land identically.
+    pub fn snapshot(&self) -> HeapSnapshot {
+        let pool = self.pool.lock().clone();
+        let resident = self
+            .resident_pages()
+            .into_iter()
+            .map(|p| {
+                let meta = &self.pages[p as usize];
+                ResidentPage {
+                    index: p,
+                    host_id: meta.host_id.load(Ordering::Acquire),
+                    kind: self.page_kind(p),
+                    kept: meta.kept.load(Ordering::Relaxed),
+                    pending_keys: meta.pending_keys.load(Ordering::Relaxed),
+                    head: meta.head.load(Ordering::Relaxed),
+                    data: self.page_data(p),
+                }
+            })
+            .collect();
+        HeapSnapshot {
+            page_size: self.page_size,
+            total_pages: self.pages.len(),
+            pool,
+            next_host_id: self.next_host_id.load(Ordering::Relaxed),
+            wasted: self.wasted.load(Ordering::Relaxed),
+            acquired_total: self.acquired_total.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+
+    /// Rebuild the heap to a captured state (hard-fault recovery: the
+    /// simulated device was lost and its memory is reconstructed from the
+    /// last iteration-boundary checkpoint). Every page meta, the pool
+    /// order, the host-id counter, and each resident page's bytes are
+    /// restored exactly; free pages keep whatever bytes they hold, which a
+    /// deterministic replay rewrites before reuse.
+    ///
+    /// Panics if `s` came from a differently-shaped heap.
+    pub fn restore(&self, s: &HeapSnapshot) {
+        assert_eq!(s.page_size, self.page_size, "snapshot page size mismatch");
+        assert_eq!(
+            s.total_pages,
+            self.pages.len(),
+            "snapshot page count mismatch"
+        );
+        for meta in self.pages.iter() {
+            meta.head.store(0, Ordering::Relaxed);
+            meta.pending_keys.store(0, Ordering::Relaxed);
+            meta.kept.store(false, Ordering::Relaxed);
+            meta.kind.store(PageKind::Free as u8, Ordering::Relaxed);
+            meta.host_id.store(NO_HOST_ID, Ordering::Relaxed);
+        }
+        for p in &s.resident {
+            let meta = &self.pages[p.index as usize];
+            if !p.data.is_empty() {
+                // SAFETY: in-bounds (data is a used prefix captured from a
+                // same-shape heap) and quiescent — no kernels in flight.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        p.data.as_ptr(),
+                        self.ptr_at(p.index, 0),
+                        p.data.len(),
+                    );
+                }
+            }
+            meta.head.store(p.head, Ordering::Relaxed);
+            meta.pending_keys.store(p.pending_keys, Ordering::Relaxed);
+            meta.kept.store(p.kept, Ordering::Relaxed);
+            meta.kind.store(p.kind as u8, Ordering::Relaxed);
+            // Release pairs with the Acquire in `host_id`, as in
+            // `acquire_page`.
+            meta.host_id.store(p.host_id, Ordering::Release);
+        }
+        *self.pool.lock() = s.pool.clone();
+        self.next_host_id.store(s.next_host_id, Ordering::Relaxed);
+        self.wasted.store(s.wasted, Ordering::Relaxed);
+        self.acquired_total
+            .store(s.acquired_total, Ordering::Relaxed);
+    }
+
     /// Snapshot the used prefix of `page` (for eviction to the host store).
     pub fn page_data(&self, page: u32) -> Vec<u8> {
         let used = self.page_used(page);
@@ -674,6 +816,75 @@ mod tests {
     #[should_panic(expected = "page size")]
     fn rejects_tiny_pages() {
         let _ = Heap::new(1024, 8, Arc::new(Metrics::new()));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_physical_state() {
+        let h = heap(4, 1024);
+        let a = h.acquire_page(PageKind::Mixed).unwrap();
+        let b = h.acquire_page(PageKind::Key).unwrap();
+        let off = h.bump(a, 16).unwrap();
+        h.write(DevHandle::new(a, off), b"checkpointed-a!!");
+        h.bump(b, 8).unwrap();
+        h.write(DevHandle::new(b, 0), b"keypage!");
+        h.add_pending_key(b);
+        h.set_kept(b, true);
+        h.note_waste(13);
+        let snap = h.snapshot();
+
+        // Diverge: churn pages, mutate bytes, advance ids.
+        let c = h.acquire_page(PageKind::Value).unwrap();
+        h.bump(c, 64).unwrap();
+        h.write(DevHandle::new(a, off), b"clobbered-bytes!");
+        h.release_page(a);
+        h.acquire_page(PageKind::Mixed).unwrap();
+
+        h.restore(&snap);
+        assert_eq!(h.snapshot(), snap, "restore must be exact");
+        assert_eq!(h.read(DevHandle::new(a, off), 16), b"checkpointed-a!!");
+        assert_eq!(h.page_kind(b), PageKind::Key);
+        assert_eq!(h.pending_keys(b), 1);
+        assert!(h.is_kept(b));
+        assert_eq!(h.stats().wasted_bytes, 13);
+    }
+
+    #[test]
+    fn restore_replays_the_same_acquisition_order_and_ids() {
+        let h = heap(4, 1024);
+        h.acquire_page(PageKind::Mixed).unwrap();
+        let snap = h.snapshot();
+        let first: Vec<(u32, u64)> = (0..3)
+            .map(|_| {
+                let p = h.acquire_page(PageKind::Mixed).unwrap();
+                (p, h.host_id(p))
+            })
+            .collect();
+        h.restore(&snap);
+        let replay: Vec<(u32, u64)> = (0..3)
+            .map(|_| {
+                let p = h.acquire_page(PageKind::Mixed).unwrap();
+                (p, h.host_id(p))
+            })
+            .collect();
+        assert_eq!(first, replay, "pool order and host ids must replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "page count mismatch")]
+    fn restore_rejects_mismatched_shapes() {
+        let h = heap(2, 1024);
+        let other = heap(3, 1024);
+        h.restore(&other.snapshot());
+    }
+
+    #[test]
+    fn snapshot_encoded_size_tracks_contents() {
+        let h = heap(2, 1024);
+        let empty = h.snapshot().encoded_size();
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        h.bump(p, 32).unwrap();
+        let full = h.snapshot().encoded_size();
+        assert!(full > empty, "resident bytes must grow the footprint");
     }
 
     #[test]

@@ -98,6 +98,18 @@ impl HostHeap {
     pub fn clear(&self) {
         self.pages.lock().clear();
     }
+
+    /// Replace the entire store with `pages` under one lock acquisition
+    /// (checkpoint restore). The page payloads are shared `Arc`s — a
+    /// snapshot taken with [`HostHeap::pages_in_order`] and restored here
+    /// never copies page bytes, only refcounts.
+    pub fn restore_pages(&self, pages: &[(u64, PageKind, Arc<[u8]>)]) {
+        let mut map = self.pages.lock();
+        map.clear();
+        for (id, kind, data) in pages {
+            map.insert(*id, (*kind, Arc::clone(data)));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +165,19 @@ mod tests {
         hh.store(3, PageKind::Key, b"newer".to_vec());
         assert_eq!(hh.len(), 1);
         assert_eq!(hh.page(3).unwrap().as_ref(), b"newer");
+    }
+
+    #[test]
+    fn restore_pages_swaps_contents_without_copying() {
+        let hh = HostHeap::new();
+        hh.store(1, PageKind::Mixed, b"pre-checkpoint".to_vec());
+        let snapshot = hh.pages_in_order();
+        hh.store(2, PageKind::Key, b"post-checkpoint".to_vec());
+        hh.store(1, PageKind::Mixed, b"mutated".to_vec());
+        hh.restore_pages(&snapshot);
+        assert_eq!(hh.len(), 1);
+        // Restored page IS the snapshot's buffer (refcount, not copy).
+        assert!(Arc::ptr_eq(&hh.page(1).unwrap(), &snapshot[0].2));
     }
 
     #[test]

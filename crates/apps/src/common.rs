@@ -99,6 +99,21 @@ impl AppConfig {
         self.driver.sanitize = on;
         self
     }
+
+    /// Checkpoint at iteration boundaries for hard-fault recovery (the
+    /// CLI's `--checkpoint` / `--chaos-seed`). Resumed runs are
+    /// byte-identical to unkilled ones.
+    pub fn with_checkpoint(mut self, policy: sepo_core::CheckpointPolicy) -> Self {
+        self.driver.checkpoint = policy;
+        self
+    }
+
+    /// Hard faults survived per run before
+    /// [`sepo_core::SepoError::DeviceLost`].
+    pub fn with_max_recoveries(mut self, n: u32) -> Self {
+        self.driver.max_recoveries = n;
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -138,11 +153,15 @@ mod tests {
             .with_chunk_tasks(7)
             .with_audit(true)
             .with_sanitize(true)
+            .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
+            .with_max_recoveries(42)
             .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
         assert!(c.driver.audit);
         assert!(c.driver.sanitize);
+        assert_eq!(c.driver.checkpoint, sepo_core::CheckpointPolicy::Memory);
+        assert_eq!(c.driver.max_recoveries, 42);
         assert_eq!(
             c.driver.combiner,
             Some(sepo_core::CombinerConfig::default())

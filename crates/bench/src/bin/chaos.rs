@@ -1,0 +1,209 @@
+//! Seeded chaos harness: kill every application mid-run, resume it from
+//! the last iteration-boundary checkpoint, and prove the recovery left no
+//! trace.
+//!
+//! For each of the seven §VI applications this runs an unkilled baseline
+//! (parallel-deterministic executor, audit and sanitizer on) and then a
+//! chaos run with hard device faults injected at elevated per-launch
+//! rates and in-memory checkpointing enabled.
+//! Seeds are swept until at least one hard fault actually strikes, so the
+//! comparison always covers a real kill-and-resume. The recovered run must
+//! match the baseline **byte for byte**: saved table image, per-iteration
+//! completion trajectory, and the full metrics snapshot.
+//!
+//! Writes `BENCH_chaos.json` (repo root and `results/`) recording per-app
+//! recovery counts, replayed iterations, checkpoint sizes, and wall-clock
+//! overhead, and exits non-zero if any app's recovery is not invisible.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::{Metrics, Snapshot};
+use gpu_sim::{FaultConfig, FaultPlan, HardFaultConfig, ShadowSanitizer};
+use sepo_apps::{run_app, AppConfig};
+use sepo_core::sepo::RecoveryStats;
+use sepo_core::CheckpointPolicy;
+use sepo_datagen::{App, Dataset};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records per app — the tests' forced multi-iteration scale.
+const SCALE: u64 = 16_384;
+/// Device heap small enough that every app needs several iterations, so
+/// kills land both before and after eviction boundaries.
+const HEAP_BYTES: u64 = 96 << 10;
+/// Tasks per kernel launch. The scaled datasets hold a few hundred to a
+/// few thousand records, so the default chunk (8192) would mean one
+/// launch — one kill-point — per iteration. Chunking small gives every
+/// run dozens of kill-points spread across each iteration's interior.
+const CHUNK_TASKS: usize = 32;
+/// Per-launch hard-fault rates. Higher than `HardFaultConfig::standard`
+/// (the CLI's long-haul mix) so these short runs reliably see several
+/// kills per seed.
+const DEVICE_LOSS_RATE: f64 = 0.05;
+const POISONED_LAUNCH_RATE: f64 = 0.02;
+/// Seeds tried per app before giving up on provoking a hard fault. At the
+/// above per-launch rates a multi-chunk run is overwhelmingly likely to
+/// be struck, so the sweep almost always stops at the first seed.
+const MAX_SEED_TRIES: u64 = 20;
+/// First chaos seed per app (successive tries increment from here).
+const BASE_SEED: u64 = 0x5EED_C0DE;
+
+struct Run {
+    image: Vec<u8>,
+    trajectory: Vec<u64>,
+    snapshot: Snapshot,
+    recovery: RecoveryStats,
+    iterations: u32,
+    secs: f64,
+}
+
+/// One audited + sanitized run. `chaos_seed` arms hard faults (quiet
+/// transient rates, elevated hard rates) plus in-memory checkpointing.
+fn run_once(app: App, ds: &Dataset, chaos_seed: Option<u64>) -> Run {
+    let metrics = Arc::new(Metrics::new());
+    let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
+    if let Some(seed) = chaos_seed {
+        let plan = FaultPlan::new(FaultConfig::quiet(seed)).with_hard(HardFaultConfig {
+            seed,
+            device_loss_rate: DEVICE_LOSS_RATE,
+            poisoned_launch_rate: POISONED_LAUNCH_RATE,
+        });
+        exec = exec.with_faults(Arc::new(plan));
+    }
+    exec = exec.with_shadow(Arc::new(ShadowSanitizer::new()));
+    let mut cfg = AppConfig::new(HEAP_BYTES)
+        .with_chunk_tasks(CHUNK_TASKS)
+        .with_audit(true)
+        .with_sanitize(true);
+    if chaos_seed.is_some() {
+        cfg = cfg
+            .with_checkpoint(CheckpointPolicy::Memory)
+            .with_max_recoveries(10_000);
+    }
+    let start = Instant::now();
+    let run = run_app(app, ds, &cfg, &exec);
+    let secs = start.elapsed().as_secs_f64();
+    let mut image = Vec::new();
+    run.table.save(&mut image).expect("save table image");
+    Run {
+        image,
+        trajectory: run
+            .outcome
+            .iterations
+            .iter()
+            .map(|i| i.tasks_completed)
+            .collect(),
+        snapshot: metrics.snapshot(),
+        recovery: run.outcome.recovery,
+        iterations: run.iterations(),
+        secs,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut failed = false;
+    let mut total_recoveries = 0u32;
+    let mut total_replays = 0u32;
+
+    for app in App::ALL {
+        let ds = app.generate(0, SCALE);
+        let baseline = run_once(app, &ds, None);
+
+        // Sweep seeds until a hard fault actually kills the run at least
+        // once; an unkilled chaos run would prove nothing.
+        let mut chaos = None;
+        let mut seed_tries = 0u64;
+        for t in 0..MAX_SEED_TRIES {
+            let seed = BASE_SEED + t;
+            let run = run_once(app, &ds, Some(seed));
+            seed_tries = t + 1;
+            if run.recovery.recoveries >= 1 {
+                chaos = Some((seed, run));
+                break;
+            }
+        }
+        let Some((seed, chaos)) = chaos else {
+            eprintln!(
+                "FAIL: {}: no hard fault struck in {MAX_SEED_TRIES} seeds",
+                app.name()
+            );
+            failed = true;
+            continue;
+        };
+
+        let image_ok = chaos.image == baseline.image;
+        let traj_ok = chaos.trajectory == baseline.trajectory;
+        let metrics_ok = chaos.snapshot == baseline.snapshot;
+        if !image_ok {
+            eprintln!("FAIL: {}: resumed table image differs", app.name());
+        }
+        if !traj_ok {
+            eprintln!(
+                "FAIL: {}: trajectory differs (chaos {:?} vs baseline {:?})",
+                app.name(),
+                chaos.trajectory,
+                baseline.trajectory
+            );
+        }
+        if !metrics_ok {
+            eprintln!("FAIL: {}: metrics snapshot differs", app.name());
+        }
+        failed |= !(image_ok && traj_ok && metrics_ok);
+
+        let overhead = chaos.secs / baseline.secs.max(1e-9);
+        total_recoveries += chaos.recovery.recoveries;
+        total_replays += chaos.recovery.replayed_iterations;
+        println!(
+            "{:>15}: {:>2} recoveries, {:>2} iterations replayed ({} clean), \
+             {:>3} checkpoints ({} B latest), {:.2}x wall vs unkilled, seed {seed:#x}",
+            app.name(),
+            chaos.recovery.recoveries,
+            chaos.recovery.replayed_iterations,
+            chaos.iterations,
+            chaos.recovery.checkpoints_taken,
+            chaos.recovery.checkpoint_bytes,
+            overhead,
+        );
+        rows.push(serde_json::json!({
+            "app": app.name(),
+            "seed": seed,
+            "seed_tries": seed_tries,
+            "iterations": chaos.iterations,
+            "recoveries": chaos.recovery.recoveries,
+            "replayed_iterations": chaos.recovery.replayed_iterations,
+            "checkpoints_taken": chaos.recovery.checkpoints_taken,
+            "checkpoint_bytes": chaos.recovery.checkpoint_bytes,
+            "image_bytes": baseline.image.len(),
+            "baseline_secs": baseline.secs,
+            "chaos_secs": chaos.secs,
+            "wall_overhead": overhead,
+            "image_identical": image_ok,
+            "trajectory_identical": traj_ok,
+            "metrics_identical": metrics_ok,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "seeded chaos: hard-fault kill + checkpoint resume, all apps",
+        "scale": SCALE,
+        "heap_bytes": HEAP_BYTES,
+        "chunk_tasks": CHUNK_TASKS,
+        "device_loss_rate": DEVICE_LOSS_RATE,
+        "poisoned_launch_rate": POISONED_LAUNCH_RATE,
+        "checkpoint_policy": "memory, every iteration boundary",
+        "apps": rows,
+        "total_recoveries": total_recoveries,
+        "total_replayed_iterations": total_replays,
+        "all_identical": !failed,
+    });
+    sepo_bench::write_json_mirrored("BENCH_chaos", &report);
+    println!(
+        "\n{} recoveries across {} apps, {} iterations replayed; wrote BENCH_chaos.json",
+        total_recoveries,
+        App::ALL.len(),
+        total_replays
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

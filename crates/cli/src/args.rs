@@ -24,6 +24,12 @@ pub struct Flags {
     /// sanitizer, panicking on publish-discipline violations. Results are
     /// byte-identical either way.
     pub sanitize: bool,
+    /// Persist an iteration-boundary checkpoint to this path (`SEPOCKP1`),
+    /// enabling hard-fault recovery.
+    pub checkpoint: Option<String>,
+    /// Seed for hard-fault chaos injection (device loss, poisoned
+    /// launches). Turns on in-memory checkpointing so the run survives.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for Flags {
@@ -40,6 +46,8 @@ impl Default for Flags {
             faults: None,
             combiner: true,
             sanitize: false,
+            checkpoint: None,
+            chaos_seed: None,
         }
     }
 }
@@ -60,6 +68,8 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--audit" => f.audit = true,
             "--sanitize" => f.sanitize = true,
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
+            "--checkpoint" => f.checkpoint = Some(it.next()?.clone()),
+            "--chaos-seed" => f.chaos_seed = Some(it.next()?.parse().ok()?),
             "--combiner" => {
                 f.combiner = match it.next()?.as_str() {
                     "on" => true,
@@ -127,6 +137,10 @@ mod tests {
             "42",
             "--combiner",
             "off",
+            "--checkpoint",
+            "run.ckp",
+            "--chaos-seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -140,6 +154,8 @@ mod tests {
         assert!(f.sanitize);
         assert_eq!(f.faults, Some(42));
         assert!(!f.combiner);
+        assert_eq!(f.checkpoint.as_deref(), Some("run.ckp"));
+        assert_eq!(f.chaos_seed, Some(7));
     }
 
     #[test]
@@ -167,6 +183,9 @@ mod tests {
         assert!(parse_flags(&strs(&["--faults", "not-a-seed"])).is_none());
         assert!(parse_flags(&strs(&["--combiner"])).is_none());
         assert!(parse_flags(&strs(&["--combiner", "maybe"])).is_none());
+        assert!(parse_flags(&strs(&["--checkpoint"])).is_none());
+        assert!(parse_flags(&strs(&["--chaos-seed"])).is_none());
+        assert!(parse_flags(&strs(&["--chaos-seed", "not-a-seed"])).is_none());
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!                                        declared device access (panics on a
 //!                                        violation; results identical either
 //!                                        way)
+//!   --checkpoint <path>                  persist an iteration-boundary
+//!                                        checkpoint (SEPOCKP1) to <path>,
+//!                                        enabling hard-fault recovery
+//!   --chaos-seed <seed>                  inject hard device faults (device
+//!                                        loss, poisoned launches) at the
+//!                                        standard rates; runs recover from
+//!                                        checkpoints and finish identically
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -39,7 +46,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
          [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
-         [--combiner on|off] [--input FILE] [--save IMAGE]\n  \
+         [--combiner on|off] [--checkpoint PATH] [--chaos-seed SEED] \
+         [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -114,25 +122,62 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
     };
     let metrics = Arc::new(Metrics::new());
     let mut exec = Executor::new(mode, Arc::clone(&metrics));
-    if let Some(seed) = f.faults {
-        let plan = gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::standard(seed));
+    let mut plan = f.faults.map(|seed| {
         println!("fault injection: standard rates, seed {seed}");
+        gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::standard(seed))
+    });
+    if let Some(seed) = f.chaos_seed {
+        println!("chaos injection: hard device faults at standard rates, seed {seed}");
+        let base = plan
+            .take()
+            .unwrap_or_else(|| gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed)));
+        plan = Some(base.with_hard(gpu_sim::HardFaultConfig::standard(seed)));
+    }
+    if let Some(plan) = plan {
         exec = exec.with_faults(Arc::new(plan));
     }
     if f.sanitize {
         exec = exec.with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
         println!("shadow-memory sanitizer: on");
     }
-    let cfg = AppConfig::new(heap)
+    // --checkpoint persists boundary checkpoints; --chaos-seed without a
+    // path still needs somewhere to recover from, so it keeps one in memory.
+    let policy = match (&f.checkpoint, f.chaos_seed) {
+        (Some(path), _) => sepo_core::CheckpointPolicy::Disk(path.into()),
+        (None, Some(_)) => sepo_core::CheckpointPolicy::Memory,
+        (None, None) => sepo_core::CheckpointPolicy::Off,
+    };
+    let mut cfg = AppConfig::new(heap)
         .with_audit(f.audit)
         .with_combiner(f.combiner)
-        .with_sanitize(f.sanitize);
+        .with_sanitize(f.sanitize)
+        .with_checkpoint(policy.clone());
+    if f.chaos_seed.is_some() {
+        cfg = cfg.with_max_recoveries(32);
+    }
     let run = run_app(app, &ds, &cfg, &exec);
     if let Some(plan) = exec.faults() {
         println!(
             "  injected faults: {} lane aborts over {} draws",
             plan.injected(gpu_sim::FaultSite::Lane),
             plan.draws(gpu_sim::FaultSite::Lane)
+        );
+        if plan.has_hard_faults() {
+            println!(
+                "  hard faults: {} device losses, {} poisoned launches",
+                plan.hard_injected(gpu_sim::HardFaultKind::DeviceLost),
+                plan.hard_injected(gpu_sim::HardFaultKind::PoisonedLaunch)
+            );
+        }
+    }
+    if policy.is_enabled() {
+        let rec = &run.outcome.recovery;
+        println!(
+            "  checkpoints: {} taken (latest {}), {} recoveries, {} iterations replayed",
+            rec.checkpoints_taken,
+            fmt_bytes(rec.checkpoint_bytes),
+            rec.recoveries,
+            rec.replayed_iterations
         );
     }
     if f.audit {

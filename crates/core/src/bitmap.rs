@@ -101,6 +101,25 @@ impl Bitmap {
         out
     }
 
+    /// Raw word values, for checkpointing at a quiescent point.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            // lint: relaxed-ok (quiescent iteration boundary)
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overwrite the words with a checkpointed snapshot (hard-fault
+    /// recovery at a quiescent point). Panics on a length mismatch.
+    pub fn restore_words(&self, words: &[u64]) {
+        assert_eq!(words.len(), self.words.len(), "bitmap word count mismatch");
+        for (w, &v) in self.words.iter().zip(words) {
+            // lint: relaxed-ok (quiescent iteration boundary)
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+
     /// Are all bits set?
     pub fn all_set(&self) -> bool {
         self.count_set() == self.len
@@ -168,6 +187,28 @@ mod tests {
         b.clear_all();
         assert_eq!(b.count_set(), 0);
         assert_eq!(b.unset_indices().len(), 100);
+    }
+
+    #[test]
+    fn word_snapshot_restore_round_trips() {
+        let b = Bitmap::new(130);
+        for i in [0usize, 63, 64, 129] {
+            b.set(i);
+        }
+        let snap = b.snapshot_words();
+        b.set(10);
+        b.set(70);
+        b.restore_words(&snap);
+        assert_eq!(b.snapshot_words(), snap);
+        assert_eq!(b.count_set(), 4);
+        assert!(!b.get(10) && !b.get(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn restore_words_rejects_wrong_length() {
+        let b = Bitmap::new(130);
+        b.restore_words(&[0u64; 2]);
     }
 
     #[test]

@@ -1,0 +1,760 @@
+//! Iteration-boundary checkpoints for hard-fault recovery.
+//!
+//! An iteration boundary is the driver's quiescent frontier: every kernel
+//! of the iteration has retired, eviction has run, and no device work is in
+//! flight. Everything that distinguishes one boundary from another fits in
+//! a [`Checkpoint`] — the bucket heads (raw dual-pointer words), a
+//! bit-exact physical snapshot of the device heap ([`HeapSnapshot`]),
+//! shared references to the evicted host pages, the done bitmap and
+//! per-task pair progress, the per-iteration accounting gathered so far,
+//! and the statistics counters (metrics, touches, per-group allocation
+//! counts, transient fault-draw counters) that a resumed run must report
+//! identically to an unkilled one.
+//!
+//! Restoring a checkpoint into the *same* table shape reproduces the
+//! boundary exactly: pool order, raw page heads, host-id sequence, even
+//! the stale bytes a partially-executed killed iteration wrote past the
+//! checkpointed heads (replayed iterations rewrite them deterministically,
+//! so they are invisible). Hard-fault draw counters are deliberately *not*
+//! part of a checkpoint — restoring them would make a seeded
+//! `DeviceLost` re-fire at the same draw and kill the run forever.
+//!
+//! On-disk format (`SEPOCKP1`, little-endian):
+//!
+//! ```text
+//! magic        8 bytes  "SEPOCKP1"
+//! iteration    u32      completed iterations at capture
+//! fault_stalls u32      consecutive fault-stalled iterations
+//! n_tasks      u64
+//! done words   u32 count, count x u64
+//! progress     u32 count, count x u32
+//! heads        u32 count, count x u64   raw bucket words
+//! touches      u32 count, count x u32
+//! group allocs u32 count, count x u64
+//! metrics      17 x u64                 absolute counter snapshot
+//! transient    u8 flag; if 1: u32 site count, draws u64 x n, injected u64 x n
+//! iterations   u32 count, per entry:
+//!              iteration u32, chunks u32, halted u8,
+//!              attempted/completed/input_bytes u64, kernel 17 x u64,
+//!              evict 4 x u64
+//! device heap  page_size/next_host_id/wasted/acquired u64,
+//!              total_pages u32, pool u32 count + u32 x n,
+//!              resident u32 count, per page:
+//!              index/pending/head u32, host_id u64, kind u8, kept u8,
+//!              len u32, bytes
+//! host pages   u32 count, per page: id u64, kind u8, len u32, bytes
+//! ```
+
+use crate::bitmap::Bitmap;
+use crate::persist::{kind_from_tag, kind_tag, read_exact_field};
+use crate::sepo::IterationStats;
+use crate::table::SepoTable;
+use gpu_sim::metrics::Snapshot;
+use gpu_sim::{FaultPlan, TransientDrawState};
+use sepo_alloc::{HeapSnapshot, PageKind, ResidentPage};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"SEPOCKP1";
+const MAGIC_NAME: &str = "SEPOCKP1";
+const N_METRIC_WORDS: usize = 17;
+
+/// Where (and whether) the driver checkpoints at iteration boundaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// No checkpointing: a hard fault is fatal.
+    #[default]
+    Off,
+    /// Keep the latest checkpoint in memory (host pages are shared `Arc`s,
+    /// so the marginal cost is the resident device bytes).
+    Memory,
+    /// Keep the latest checkpoint in memory *and* persist it to this path
+    /// as a `SEPOCKP1` image after every boundary, so a separate process
+    /// can resume after the original one dies.
+    Disk(PathBuf),
+}
+
+impl CheckpointPolicy {
+    /// Is checkpointing enabled at all?
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, CheckpointPolicy::Off)
+    }
+}
+
+/// Everything needed to resume a SEPO run from an iteration boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    iteration: u32,
+    fault_stalls: u32,
+    n_tasks: u64,
+    done_words: Vec<u64>,
+    progress: Vec<u32>,
+    heads: Vec<u64>,
+    touches: Vec<u32>,
+    group_allocs: Vec<u64>,
+    metrics: Snapshot,
+    transient: Option<TransientDrawState>,
+    iterations: Vec<IterationStats>,
+    heap: HeapSnapshot,
+    host_pages: Vec<(u64, PageKind, Arc<[u8]>)>,
+}
+
+impl Checkpoint {
+    /// Capture the boundary state of a run over `table`. Quiescent callers
+    /// only — the driver calls this right after eviction, before launching
+    /// the next iteration.
+    pub fn capture(
+        table: &SepoTable,
+        done: &Bitmap,
+        progress: &[AtomicU32],
+        iterations: &[IterationStats],
+        fault_stalls: u32,
+        faults: Option<&FaultPlan>,
+    ) -> Checkpoint {
+        Checkpoint {
+            iteration: iterations.len() as u32,
+            fault_stalls,
+            n_tasks: done.len() as u64,
+            done_words: done.snapshot_words(),
+            progress: progress
+                .iter()
+                // lint: relaxed-ok (quiescent iteration boundary)
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+            heads: table
+                .heads
+                .iter()
+                // lint: relaxed-ok (quiescent iteration boundary)
+                .map(|h| h.load(Ordering::Relaxed))
+                .collect(),
+            touches: table.touch_counts(),
+            group_allocs: table.groups.alloc_counts(),
+            metrics: table.metrics().snapshot(),
+            transient: faults.map(|p| p.transient_snapshot()),
+            iterations: iterations.to_vec(),
+            heap: table.heap.snapshot(),
+            host_pages: table.host.pages_in_order(),
+        }
+    }
+
+    /// Rebuild the captured boundary on `table` and the driver's run state.
+    ///
+    /// The table must have the shape the checkpoint was captured from
+    /// (bucket count, heap geometry, group count) — recovery reuses the
+    /// same table, and cross-process resume builds one from the same
+    /// configuration. Panics on a shape mismatch.
+    ///
+    /// Transient fault-draw counters are rolled back (so replayed
+    /// iterations re-draw the same transient faults); hard-fault draw
+    /// counters are left alone (so the fault that killed the run is not
+    /// deterministically re-drawn at the same point forever).
+    pub fn restore(
+        &self,
+        table: &SepoTable,
+        done: &Bitmap,
+        progress: &[AtomicU32],
+        iterations: &mut Vec<IterationStats>,
+        fault_stalls: &mut u32,
+        faults: Option<&FaultPlan>,
+    ) {
+        assert_eq!(
+            self.heads.len(),
+            table.heads.len(),
+            "checkpoint bucket count mismatch"
+        );
+        assert_eq!(
+            self.progress.len(),
+            progress.len(),
+            "checkpoint task count mismatch"
+        );
+        for (h, &v) in table.heads.iter().zip(&self.heads) {
+            // lint: relaxed-ok (quiescent recovery point)
+            h.store(v, Ordering::Relaxed);
+        }
+        table.groups.reset_iteration();
+        table.groups.restore_alloc_counts(&self.group_allocs);
+        table.heap.restore(&self.heap);
+        table.host.restore_pages(&self.host_pages);
+        table.restore_touches(&self.touches);
+        table.metrics().restore(&self.metrics);
+        if let (Some(plan), Some(t)) = (faults, self.transient.as_ref()) {
+            plan.restore_transient(t);
+        }
+        done.restore_words(&self.done_words);
+        for (p, &v) in progress.iter().zip(&self.progress) {
+            // lint: relaxed-ok (quiescent recovery point)
+            p.store(v, Ordering::Relaxed);
+        }
+        *iterations = self.iterations.clone();
+        *fault_stalls = self.fault_stalls;
+    }
+
+    /// Number of completed iterations at capture time.
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// Total tasks of the run this checkpoint belongs to.
+    pub fn n_tasks(&self) -> u64 {
+        self.n_tasks
+    }
+
+    /// Exact size in bytes of the `SEPOCKP1` image [`Checkpoint::to_writer`]
+    /// produces — the checkpoint footprint the chaos benchmark reports.
+    pub fn encoded_size(&self) -> u64 {
+        let mut n = 8 + 4 + 4 + 8; // magic, iteration, stalls, n_tasks
+        n += 4 + 8 * self.done_words.len() as u64;
+        n += 4 + 4 * self.progress.len() as u64;
+        n += 4 + 8 * self.heads.len() as u64;
+        n += 4 + 4 * self.touches.len() as u64;
+        n += 4 + 8 * self.group_allocs.len() as u64;
+        n += 8 * N_METRIC_WORDS as u64;
+        n += 1;
+        if let Some(t) = &self.transient {
+            n += 4 + 8 * (t.draws.len() + t.injected.len()) as u64;
+        }
+        n += 4;
+        n += self.iterations.len() as u64 * (4 + 4 + 1 + 3 * 8 + 8 * N_METRIC_WORDS as u64 + 4 * 8);
+        n += self.heap.encoded_size();
+        n += 4;
+        for (_, _, data) in &self.host_pages {
+            n += 8 + 1 + 4 + data.len() as u64;
+        }
+        n
+    }
+
+    /// Serialize as a `SEPOCKP1` image.
+    pub fn to_writer<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.iteration.to_le_bytes())?;
+        w.write_all(&self.fault_stalls.to_le_bytes())?;
+        w.write_all(&self.n_tasks.to_le_bytes())?;
+        write_u64s(w, &self.done_words)?;
+        write_u32s(w, &self.progress)?;
+        write_u64s(w, &self.heads)?;
+        write_u32s(w, &self.touches)?;
+        write_u64s(w, &self.group_allocs)?;
+        for v in snapshot_words(&self.metrics) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        match &self.transient {
+            None => w.write_all(&[0u8])?,
+            Some(t) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&(t.draws.len() as u32).to_le_bytes())?;
+                for v in t.draws.iter().chain(t.injected.iter()) {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
+        w.write_all(&(self.iterations.len() as u32).to_le_bytes())?;
+        for it in &self.iterations {
+            w.write_all(&it.iteration.to_le_bytes())?;
+            w.write_all(&it.chunks.to_le_bytes())?;
+            w.write_all(&[it.halted_early as u8])?;
+            w.write_all(&it.tasks_attempted.to_le_bytes())?;
+            w.write_all(&it.tasks_completed.to_le_bytes())?;
+            w.write_all(&it.input_bytes.to_le_bytes())?;
+            for v in snapshot_words(&it.kernel) {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            w.write_all(&(it.evict.evicted_pages as u64).to_le_bytes())?;
+            w.write_all(&it.evict.evicted_bytes.to_le_bytes())?;
+            w.write_all(&(it.evict.kept_pages as u64).to_le_bytes())?;
+            w.write_all(&it.evict.kept_bytes.to_le_bytes())?;
+        }
+        w.write_all(&(self.heap.page_size as u64).to_le_bytes())?;
+        w.write_all(&self.heap.next_host_id.to_le_bytes())?;
+        w.write_all(&self.heap.wasted.to_le_bytes())?;
+        w.write_all(&self.heap.acquired_total.to_le_bytes())?;
+        w.write_all(&(self.heap.total_pages as u32).to_le_bytes())?;
+        write_u32s(w, &self.heap.pool)?;
+        w.write_all(&(self.heap.resident.len() as u32).to_le_bytes())?;
+        for p in &self.heap.resident {
+            w.write_all(&p.index.to_le_bytes())?;
+            w.write_all(&p.pending_keys.to_le_bytes())?;
+            w.write_all(&p.head.to_le_bytes())?;
+            w.write_all(&p.host_id.to_le_bytes())?;
+            w.write_all(&[kind_tag(p.kind), p.kept as u8])?;
+            w.write_all(&(p.data.len() as u32).to_le_bytes())?;
+            w.write_all(&p.data)?;
+        }
+        w.write_all(&(self.host_pages.len() as u32).to_le_bytes())?;
+        for (id, kind, data) in &self.host_pages {
+            w.write_all(&id.to_le_bytes())?;
+            w.write_all(&[kind_tag(*kind)])?;
+            w.write_all(&(data.len() as u32).to_le_bytes())?;
+            w.write_all(data)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a `SEPOCKP1` image. Truncated input is rejected with an
+    /// error naming the field that ended early.
+    pub fn from_reader<R: Read>(r: &mut R) -> io::Result<Checkpoint> {
+        let mut magic = [0u8; 8];
+        read_exact_field(r, &mut magic, "magic", MAGIC_NAME)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a SEPOCKP1 image",
+            ));
+        }
+        let iteration = read_u32(r, "iteration")?;
+        let fault_stalls = read_u32(r, "fault stalls")?;
+        let n_tasks = read_u64(r, "task count")?;
+        let done_words = read_u64s(r, "done bitmap")?;
+        let progress = read_u32s(r, "task progress")?;
+        let heads = read_u64s(r, "bucket heads")?;
+        let touches = read_u32s(r, "bucket touches")?;
+        let group_allocs = read_u64s(r, "group alloc counts")?;
+        let metrics = read_snapshot(r, "metrics")?;
+        let transient = match read_u8(r, "transient flag")? {
+            0 => None,
+            1 => {
+                let mut t = TransientDrawState::default();
+                let n = read_u32(r, "transient site count")? as usize;
+                if n != t.draws.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("transient site count {n} does not match this build"),
+                    ));
+                }
+                for v in t.draws.iter_mut() {
+                    *v = read_u64(r, "transient draws")?;
+                }
+                for v in t.injected.iter_mut() {
+                    *v = read_u64(r, "transient injections")?;
+                }
+                Some(t)
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad transient flag {other}"),
+                ))
+            }
+        };
+        let n_iters = read_u32(r, "iteration count")? as usize;
+        let mut iterations = Vec::with_capacity(n_iters.min(1 << 16));
+        for _ in 0..n_iters {
+            let iteration = read_u32(r, "iteration number")?;
+            let chunks = read_u32(r, "iteration chunks")?;
+            let halted_early = read_u8(r, "iteration halt flag")? != 0;
+            let tasks_attempted = read_u64(r, "iteration attempts")?;
+            let tasks_completed = read_u64(r, "iteration completions")?;
+            let input_bytes = read_u64(r, "iteration input bytes")?;
+            let kernel = read_snapshot(r, "iteration kernel delta")?;
+            let evict = crate::evict::EvictReport {
+                evicted_pages: read_u64(r, "evict pages")? as usize,
+                evicted_bytes: read_u64(r, "evict bytes")?,
+                kept_pages: read_u64(r, "kept pages")? as usize,
+                kept_bytes: read_u64(r, "kept bytes")?,
+            };
+            iterations.push(IterationStats {
+                iteration,
+                tasks_attempted,
+                tasks_completed,
+                input_bytes,
+                chunks,
+                kernel,
+                evict,
+                halted_early,
+            });
+        }
+        let page_size = read_u64(r, "heap page size")? as usize;
+        let next_host_id = read_u64(r, "heap next host id")?;
+        let wasted = read_u64(r, "heap wasted bytes")?;
+        let acquired_total = read_u64(r, "heap acquired total")?;
+        let total_pages = read_u32(r, "heap page count")? as usize;
+        let pool = read_u32s(r, "heap free pool")?;
+        let n_resident = read_u32(r, "resident page count")? as usize;
+        let mut resident = Vec::with_capacity(n_resident.min(1 << 16));
+        for _ in 0..n_resident {
+            let index = read_u32(r, "resident page index")?;
+            let pending_keys = read_u32(r, "resident pending keys")?;
+            let head = read_u32(r, "resident page head")?;
+            let host_id = read_u64(r, "resident host id")?;
+            let kind = kind_from_tag(read_u8(r, "resident page kind")?)?;
+            let kept = read_u8(r, "resident kept flag")? != 0;
+            let len = read_u32(r, "resident page length")? as usize;
+            let mut data = vec![0u8; len];
+            read_exact_field(r, &mut data, "resident page payload", MAGIC_NAME)?;
+            resident.push(ResidentPage {
+                index,
+                host_id,
+                kind,
+                kept,
+                pending_keys,
+                head,
+                data,
+            });
+        }
+        let n_host = read_u32(r, "host page count")? as usize;
+        let mut host_pages = Vec::with_capacity(n_host.min(1 << 16));
+        for _ in 0..n_host {
+            let id = read_u64(r, "host page id")?;
+            let kind = kind_from_tag(read_u8(r, "host page kind")?)?;
+            let len = read_u32(r, "host page length")? as usize;
+            let mut data = vec![0u8; len];
+            read_exact_field(r, &mut data, "host page payload", MAGIC_NAME)?;
+            host_pages.push((id, kind, Arc::from(data)));
+        }
+        Ok(Checkpoint {
+            iteration,
+            fault_stalls,
+            n_tasks,
+            done_words,
+            progress,
+            heads,
+            touches,
+            group_allocs,
+            metrics,
+            transient,
+            iterations,
+            heap: HeapSnapshot {
+                page_size,
+                total_pages,
+                pool,
+                next_host_id,
+                wasted,
+                acquired_total,
+                resident,
+            },
+            host_pages,
+        })
+    }
+
+    /// Persist as a `SEPOCKP1` file (the `--checkpoint <path>` flag).
+    pub fn write_to_path(&self, path: &Path) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        self.to_writer(&mut w)?;
+        w.flush()
+    }
+
+    /// Load a `SEPOCKP1` file.
+    pub fn read_from_path(path: &Path) -> io::Result<Checkpoint> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        Checkpoint::from_reader(&mut r)
+    }
+}
+
+fn write_u32s<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
+    w.write_all(&(vs.len() as u32).to_le_bytes())?;
+    for v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_u64s<W: Write>(w: &mut W, vs: &[u64]) -> io::Result<()> {
+    w.write_all(&(vs.len() as u32).to_le_bytes())?;
+    for v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u8<R: Read>(r: &mut R, what: &str) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    read_exact_field(r, &mut b, what, MAGIC_NAME)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    read_exact_field(r, &mut b, what, MAGIC_NAME)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    read_exact_field(r, &mut b, what, MAGIC_NAME)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32s<R: Read>(r: &mut R, what: &str) -> io::Result<Vec<u32>> {
+    let n = read_u32(r, what)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(read_u32(r, what)?);
+    }
+    Ok(out)
+}
+
+fn read_u64s<R: Read>(r: &mut R, what: &str) -> io::Result<Vec<u64>> {
+    let n = read_u32(r, what)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(read_u64(r, what)?);
+    }
+    Ok(out)
+}
+
+/// Flatten a metrics [`Snapshot`] to its serialization order. Field-by-field
+/// so adding a metric without extending the checkpoint format is a compile
+/// error at the matching [`snapshot_from_words`].
+fn snapshot_words(s: &Snapshot) -> [u64; N_METRIC_WORDS] {
+    [
+        s.tasks,
+        s.compute_units,
+        s.device_bytes,
+        s.stream_bytes,
+        s.chain_hops,
+        s.smem_bytes,
+        s.combiner_hits,
+        s.combiner_flushes,
+        s.combiner_overflows,
+        s.head_cas_retries,
+        s.divergence_events,
+        s.alloc_success,
+        s.alloc_postponed,
+        s.pcie_bulk_transfers,
+        s.pcie_bulk_bytes,
+        s.pcie_small_transactions,
+        s.pcie_small_bytes,
+    ]
+}
+
+fn snapshot_from_words(w: &[u64; N_METRIC_WORDS]) -> Snapshot {
+    Snapshot {
+        tasks: w[0],
+        compute_units: w[1],
+        device_bytes: w[2],
+        stream_bytes: w[3],
+        chain_hops: w[4],
+        smem_bytes: w[5],
+        combiner_hits: w[6],
+        combiner_flushes: w[7],
+        combiner_overflows: w[8],
+        head_cas_retries: w[9],
+        divergence_events: w[10],
+        alloc_success: w[11],
+        alloc_postponed: w[12],
+        pcie_bulk_transfers: w[13],
+        pcie_bulk_bytes: w[14],
+        pcie_small_transactions: w[15],
+        pcie_small_bytes: w[16],
+    }
+}
+
+fn read_snapshot<R: Read>(r: &mut R, what: &str) -> io::Result<Snapshot> {
+    let mut w = [0u64; N_METRIC_WORDS];
+    for v in w.iter_mut() {
+        *v = read_u64(r, what)?;
+    }
+    Ok(snapshot_from_words(&w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Combiner, Organization, TableConfig};
+    use crate::evict::EvictReport;
+    use gpu_sim::charge::NoCharge;
+    use gpu_sim::metrics::Metrics;
+    use std::collections::HashMap;
+
+    fn small_table() -> SepoTable {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(64)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()))
+    }
+
+    /// Insert `range` keys to completion, evicting at boundaries so host
+    /// pages exist.
+    fn fill(t: &SepoTable, range: std::ops::Range<usize>) {
+        let mut ch = NoCharge;
+        let mut pending: Vec<usize> = range.collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            pending.retain(|&i| {
+                !t.insert_combining(format!("key-{i:04}").as_bytes(), i as u64, &mut ch)
+                    .is_success()
+            });
+            t.end_iteration();
+            guard += 1;
+            assert!(guard < 100);
+        }
+    }
+
+    fn fake_iteration(i: u32) -> IterationStats {
+        IterationStats {
+            iteration: i,
+            tasks_attempted: 100 + i as u64,
+            tasks_completed: 90,
+            input_bytes: 1600,
+            chunks: 2,
+            kernel: Snapshot {
+                tasks: i as u64,
+                alloc_success: 7,
+                ..Snapshot::default()
+            },
+            evict: EvictReport {
+                evicted_pages: 3,
+                evicted_bytes: 3000,
+                kept_pages: 1,
+                kept_bytes: 64,
+            },
+            halted_early: i == 2,
+        }
+    }
+
+    fn mid_run_checkpoint(t: &SepoTable) -> (Checkpoint, Bitmap, Vec<AtomicU32>) {
+        fill(t, 0..150);
+        // A few more inserts *without* a boundary, so the snapshot carries
+        // resident device pages alongside the evicted host pages.
+        let mut ch = NoCharge;
+        for i in 150..155 {
+            assert!(t
+                .insert_combining(format!("key-{i:04}").as_bytes(), i as u64, &mut ch)
+                .is_success());
+        }
+        let done = Bitmap::new(200);
+        for i in 0..150 {
+            done.set(i);
+        }
+        let progress: Vec<AtomicU32> = (0..200).map(|i| AtomicU32::new(i % 3)).collect();
+        let iters = vec![fake_iteration(1), fake_iteration(2)];
+        let ckp = Checkpoint::capture(t, &done, &progress, &iters, 1, None);
+        (ckp, done, progress)
+    }
+
+    #[test]
+    fn capture_restore_recaptures_identically() {
+        let t = small_table();
+        let (ckp, done, progress) = mid_run_checkpoint(&t);
+        assert_eq!(ckp.iteration(), 2);
+        assert_eq!(ckp.n_tasks(), 200);
+
+        // Mutate everything a killed half-iteration could touch, and more.
+        fill(&t, 150..190);
+        for i in 150..190 {
+            done.set(i);
+        }
+        progress[199].store(9, Ordering::Relaxed);
+
+        let mut iters = Vec::new();
+        let mut stalls = 7;
+        ckp.restore(&t, &done, &progress, &mut iters, &mut stalls, None);
+        assert_eq!(iters.len(), 2);
+        assert_eq!(stalls, 1);
+        let again = Checkpoint::capture(&t, &done, &progress, &iters, stalls, None);
+        assert_eq!(again, ckp, "restore must reproduce the boundary exactly");
+
+        // The restored table serves the checkpointed contents — the 150
+        // evicted keys plus the 5 still on resident device pages.
+        t.finalize();
+        let got: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 155);
+        assert_eq!(got[&b"key-0007".to_vec()], 7);
+        assert_eq!(got[&b"key-0152".to_vec()], 152);
+    }
+
+    #[test]
+    fn restore_into_a_fresh_same_shape_table_works() {
+        let t = small_table();
+        let (ckp, done, progress) = mid_run_checkpoint(&t);
+        let fresh = small_table();
+        let mut iters = Vec::new();
+        let mut stalls = 0;
+        ckp.restore(&fresh, &done, &progress, &mut iters, &mut stalls, None);
+        let again = Checkpoint::capture(&fresh, &done, &progress, &iters, stalls, None);
+        assert_eq!(again, ckp);
+        fresh.finalize();
+        let got: HashMap<Vec<u8>, u64> = fresh.collect_combining().into_iter().collect();
+        assert_eq!(got.len(), 155);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count mismatch")]
+    fn restore_rejects_a_differently_shaped_table() {
+        let t = small_table();
+        let (ckp, done, progress) = mid_run_checkpoint(&t);
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(32)
+            .with_buckets_per_group(16)
+            .with_page_size(1024);
+        let other = SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()));
+        let mut iters = Vec::new();
+        let mut stalls = 0;
+        ckp.restore(&other, &done, &progress, &mut iters, &mut stalls, None);
+    }
+
+    #[test]
+    fn sepockp1_round_trips_and_sizes_exactly() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let mut buf = Vec::new();
+        ckp.to_writer(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, ckp.encoded_size());
+        let back = Checkpoint::from_reader(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, ckp);
+    }
+
+    #[test]
+    fn transient_draw_state_survives_serialization() {
+        let t = small_table();
+        fill(&t, 0..20);
+        let plan = FaultPlan::new(gpu_sim::FaultConfig {
+            seed: 5,
+            alloc_failure_rate: 0.5,
+            pcie_error_rate: 0.0,
+            lane_abort_rate: 0.0,
+        });
+        for _ in 0..10 {
+            let _ = plan.should_fault(gpu_sim::FaultSite::Alloc);
+        }
+        let done = Bitmap::new(4);
+        let progress: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let ckp = Checkpoint::capture(&t, &done, &progress, &[], 0, Some(&plan));
+        let mut buf = Vec::new();
+        ckp.to_writer(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, ckp.encoded_size());
+        let back = Checkpoint::from_reader(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, ckp);
+        // Restoring rolls the plan's transient counters back.
+        for _ in 0..5 {
+            let _ = plan.should_fault(gpu_sim::FaultSite::Alloc);
+        }
+        let mut iters = Vec::new();
+        let mut stalls = 0;
+        back.restore(&t, &done, &progress, &mut iters, &mut stalls, Some(&plan));
+        assert_eq!(plan.transient_snapshot().draws[0], 10);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let path = std::env::temp_dir().join(format!("sepo-ckp-test-{}.bin", std::process::id()));
+        ckp.write_to_path(&path).unwrap();
+        let back = Checkpoint::read_from_path(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, ckp);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_rejected_with_the_field_name() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let mut buf = Vec::new();
+        ckp.to_writer(&mut buf).unwrap();
+        for len in 0..buf.len() {
+            let err = Checkpoint::from_reader(&mut &buf[..len]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix of {len}");
+            assert!(
+                err.to_string().contains("truncated SEPOCKP1 image"),
+                "prefix of {len}: unexpected message {:?}",
+                err.to_string()
+            );
+        }
+        // Garbage magic is a distinct, equally clean rejection.
+        let err = Checkpoint::from_reader(&mut &b"GARBAGE!________"[..]).unwrap_err();
+        assert!(err.to_string().contains("not a SEPOCKP1 image"));
+    }
+}

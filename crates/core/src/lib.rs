@@ -45,6 +45,7 @@
 
 pub mod audit;
 pub mod bitmap;
+pub mod checkpoint;
 pub mod combiner;
 pub mod config;
 pub mod entry;
@@ -60,12 +61,15 @@ pub mod table;
 
 pub use audit::{AuditViolation, TableAudit};
 pub use bitmap::Bitmap;
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use combiner::{CombinerConfig, WarpCombiner};
 pub use config::{Combiner, Organization, TableConfig};
 pub use evict::EvictReport;
 pub use hostquery::HostIndex;
 pub use lookup::{LookupOutcome, LookupRound};
 pub use results::GroupedPair;
-pub use sepo::{DriverConfig, IterationStats, SepoDriver, SepoError, SepoOutcome, TaskResult};
+pub use sepo::{
+    DriverConfig, IterationStats, RecoveryStats, SepoDriver, SepoError, SepoOutcome, TaskResult,
+};
 pub use stats::TableStats;
 pub use table::{InsertStatus, SepoTable};

@@ -62,7 +62,7 @@ fn org_from_tag(tag: u8) -> io::Result<Organization> {
     })
 }
 
-fn kind_tag(kind: PageKind) -> u8 {
+pub(crate) fn kind_tag(kind: PageKind) -> u8 {
     match kind {
         PageKind::Free => 0,
         PageKind::Mixed => 1,
@@ -71,7 +71,7 @@ fn kind_tag(kind: PageKind) -> u8 {
     }
 }
 
-fn kind_from_tag(tag: u8) -> io::Result<PageKind> {
+pub(crate) fn kind_from_tag(tag: u8) -> io::Result<PageKind> {
     Ok(match tag {
         1 => PageKind::Mixed,
         2 => PageKind::Key,
@@ -82,6 +82,26 @@ fn kind_from_tag(tag: u8) -> io::Result<PageKind> {
                 format!("unknown page kind tag {other}"),
             ))
         }
+    })
+}
+
+/// `read_exact` with truncation mapped to a descriptive [`io::ErrorKind::InvalidData`]
+/// error naming the field that ended early — a truncated image reports
+/// *where* it was cut, not a bare "unexpected end of file". Shared by the
+/// `SEPOHST1` loader here and the `SEPOCKP1` checkpoint reader
+/// ([`crate::checkpoint`]).
+pub(crate) fn read_exact_field<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &str,
+    magic: &str,
+) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("truncated {magic} image: unexpected end of input reading {what}"),
+        ),
+        _ => e,
     })
 }
 
@@ -112,7 +132,7 @@ impl SepoTable {
     /// past every stored id, so further SEPO insert iterations are safe.
     pub fn load<R: Read>(r: &mut R, heap_bytes: u64, metrics: Arc<Metrics>) -> io::Result<Self> {
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        read_exact_field(r, &mut magic, "magic", "SEPOHST1")?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -120,10 +140,10 @@ impl SepoTable {
             ));
         }
         let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
+        read_exact_field(r, &mut tag, "organization tag", "SEPOHST1")?;
         let organization = org_from_tag(tag[0])?;
         let mut n = [0u8; 4];
-        r.read_exact(&mut n)?;
+        read_exact_field(r, &mut n, "page count", "SEPOHST1")?;
         let n_pages = u32::from_le_bytes(n);
 
         let cfg = TableConfig::tuned(organization, heap_bytes);
@@ -132,16 +152,16 @@ impl SepoTable {
         let mut max_id = 0u64;
         for _ in 0..n_pages {
             let mut id = [0u8; 8];
-            r.read_exact(&mut id)?;
+            read_exact_field(r, &mut id, "page host id", "SEPOHST1")?;
             let id = u64::from_le_bytes(id);
             let mut k = [0u8; 1];
-            r.read_exact(&mut k)?;
+            read_exact_field(r, &mut k, "page kind", "SEPOHST1")?;
             let kind = kind_from_tag(k[0])?;
             let mut len = [0u8; 4];
-            r.read_exact(&mut len)?;
+            read_exact_field(r, &mut len, "page length", "SEPOHST1")?;
             let len = u32::from_le_bytes(len) as usize;
             let mut data = vec![0u8; len];
-            r.read_exact(&mut data)?;
+            read_exact_field(r, &mut data, "page payload", "SEPOHST1")?;
             host.store(id, kind, data);
             max_id = max_id.max(id);
         }
@@ -244,12 +264,23 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        // Truncated image.
+        // Truncation at *every* byte offset — and therefore at every field
+        // boundary (magic, organization tag, page count, per-page id, kind,
+        // length, payload) — must be rejected with the descriptive
+        // truncation error, never a bare EOF and never a partial table.
         let t = build(20);
         let mut buf = Vec::new();
         t.save(&mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(SepoTable::load(&mut buf.as_slice(), 4 * 1024, Arc::new(Metrics::new())).is_err());
+        for len in 0..buf.len() {
+            let err =
+                SepoTable::load(&mut &buf[..len], 4 * 1024, Arc::new(Metrics::new())).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix of {len}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("truncated SEPOHST1 image"),
+                "prefix of {len}: unexpected message {msg:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::audit::TableAudit;
 use crate::bitmap::Bitmap;
+use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::combiner::{CombinerConfig, WarpCombiner};
 use crate::config::Organization;
 use crate::evict::EvictReport;
@@ -26,8 +27,10 @@ use crate::table::SepoTable;
 use gpu_sim::charge::Charge;
 use gpu_sim::executor::{Executor, LaneCtx, WarpScratch};
 use gpu_sim::metrics::Snapshot;
+use gpu_sim::{FaultPlan, HardFaultError};
 use std::any::Any;
 use std::fmt;
+use std::io;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of processing one task (input record) in a kernel.
@@ -44,7 +47,7 @@ pub enum TaskResult {
 }
 
 /// Per-iteration accounting, consumed by the benchmark harness.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationStats {
     /// 1-based iteration number.
     pub iteration: u32,
@@ -64,6 +67,21 @@ pub struct IterationStats {
     pub halted_early: bool,
 }
 
+/// Hard-fault recovery accounting for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Hard device faults survived by restoring a checkpoint.
+    pub recoveries: u32,
+    /// Iterations whose partial work was discarded and re-run after a
+    /// restore (each recovery replays exactly the killed iteration).
+    pub replayed_iterations: u32,
+    /// Checkpoints captured over the run (one per iteration boundary plus
+    /// the pre-run baseline when checkpointing is on).
+    pub checkpoints_taken: u32,
+    /// `SEPOCKP1` footprint of the latest checkpoint, in bytes.
+    pub checkpoint_bytes: u64,
+}
+
 /// Complete accounting for one SEPO run.
 #[derive(Debug, Clone)]
 pub struct SepoOutcome {
@@ -78,6 +96,9 @@ pub struct SepoOutcome {
     /// iteration cap was reached — how the MapCG baseline's out-of-memory
     /// failure surfaces.
     pub pending_tasks: u64,
+    /// Hard-fault recovery accounting ([`DriverConfig::checkpoint`]). All
+    /// zero when checkpointing is off and no hard fault struck.
+    pub recovery: RecoveryStats,
 }
 
 impl SepoOutcome {
@@ -140,6 +161,30 @@ pub enum SepoError {
         /// Consecutive zero-progress, fault-afflicted iterations seen.
         stalled_iterations: u32,
     },
+    /// A hard device fault ([`gpu_sim::HardFaultKind`]) killed a launch and
+    /// the run could not recover: checkpointing was off
+    /// ([`DriverConfig::checkpoint`]), or the fault struck more than
+    /// [`DriverConfig::max_recoveries`] times. The underlying
+    /// [`HardFaultError`] is exposed through [`std::error::Error::source`].
+    DeviceLost {
+        /// 1-based iteration whose launch was killed.
+        at_iteration: u32,
+        /// Tasks still pending at that point.
+        pending: u64,
+        /// Recoveries performed before giving up.
+        recoveries: u32,
+        /// The fault that killed the launch.
+        source: HardFaultError,
+    },
+    /// Writing the iteration-boundary checkpoint to the
+    /// [`CheckpointPolicy::Disk`] path failed. The underlying
+    /// [`io::Error`] is exposed through [`std::error::Error::source`].
+    CheckpointIo {
+        /// Completed iterations at the failed checkpoint.
+        at_iteration: u32,
+        /// The failed filesystem operation.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for SepoError {
@@ -166,11 +211,36 @@ impl fmt::Display for SepoError {
                  {stalled_iterations} consecutive fault-stalled iterations \
                  ({pending} tasks pending)"
             ),
+            SepoError::DeviceLost {
+                at_iteration,
+                pending,
+                recoveries,
+                source,
+            } => write!(
+                f,
+                "device lost at iteration {at_iteration} ({pending} tasks \
+                 pending, {recoveries} recoveries used): {source}"
+            ),
+            SepoError::CheckpointIo {
+                at_iteration,
+                source,
+            } => write!(
+                f,
+                "checkpoint after iteration {at_iteration} failed: {source}"
+            ),
         }
     }
 }
 
-impl std::error::Error for SepoError {}
+impl std::error::Error for SepoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SepoError::DeviceLost { source, .. } => Some(source),
+            SepoError::CheckpointIo { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -210,6 +280,18 @@ pub struct DriverConfig {
     /// byte-identical with this on or off. Off by default; enabled by the
     /// CLI's `--sanitize` flag and unconditionally in tests.
     pub sanitize: bool,
+    /// Iteration-boundary checkpointing for hard-fault recovery. With a
+    /// policy other than [`CheckpointPolicy::Off`], the driver captures a
+    /// [`Checkpoint`] at every quiescent boundary; a hard device fault
+    /// ([`gpu_sim::HardFaultKind`]) then restores the last checkpoint and
+    /// replays the killed iteration instead of failing the run. Restored
+    /// runs are byte-identical to unkilled ones. Off by default; the CLI's
+    /// `--checkpoint <path>` / `--chaos-seed` flags turn it on.
+    pub checkpoint: CheckpointPolicy,
+    /// Hard faults survived per run before the driver gives up with
+    /// [`SepoError::DeviceLost`]. Irrelevant while `checkpoint` is off (the
+    /// first hard fault is then fatal).
+    pub max_recoveries: u32,
 }
 
 impl Default for DriverConfig {
@@ -221,6 +303,8 @@ impl Default for DriverConfig {
             audit: false,
             combiner: None,
             sanitize: false,
+            checkpoint: CheckpointPolicy::Off,
+            max_recoveries: 8,
         }
     }
 }
@@ -267,6 +351,31 @@ impl<'a> SepoDriver<'a> {
         }
     }
 
+    /// Capture a boundary checkpoint per [`DriverConfig::checkpoint`],
+    /// writing it through to disk under [`CheckpointPolicy::Disk`].
+    #[allow(clippy::too_many_arguments)]
+    fn take_checkpoint(
+        &self,
+        done: &Bitmap,
+        progress: &[AtomicU32],
+        iterations: &[IterationStats],
+        fault_stalls: u32,
+        faults: Option<&FaultPlan>,
+        recovery: &mut RecoveryStats,
+    ) -> Result<Checkpoint, SepoError> {
+        let ckp = Checkpoint::capture(self.table, done, progress, iterations, fault_stalls, faults);
+        if let CheckpointPolicy::Disk(path) = &self.config.checkpoint {
+            ckp.write_to_path(path)
+                .map_err(|source| SepoError::CheckpointIo {
+                    at_iteration: ckp.iteration(),
+                    source,
+                })?;
+        }
+        recovery.checkpoints_taken += 1;
+        recovery.checkpoint_bytes = ckp.encoded_size();
+        Ok(ckp)
+    }
+
     /// Process `n_tasks` tasks to completion, reporting unrecoverable
     /// conditions as a typed [`SepoError`] instead of panicking.
     ///
@@ -281,6 +390,14 @@ impl<'a> SepoDriver<'a> {
     /// work. Only when [`DriverConfig::max_fault_retries`] consecutive
     /// iterations stall with fault activity does the run give up with
     /// [`SepoError::FaultBudgetExhausted`].
+    ///
+    /// Hard injected faults (device loss, poisoned launches) kill a whole
+    /// launch and are **not** retried in place. With
+    /// [`DriverConfig::checkpoint`] enabled the driver restores the last
+    /// iteration-boundary checkpoint and replays the killed iteration —
+    /// producing an outcome byte-identical to an unkilled run — up to
+    /// [`DriverConfig::max_recoveries`] times; otherwise (or beyond that
+    /// budget) the run fails with [`SepoError::DeviceLost`].
     pub fn try_run<B, K>(
         &self,
         n_tasks: usize,
@@ -299,6 +416,23 @@ impl<'a> SepoDriver<'a> {
         let halt_threshold = self.table.config().halt_threshold;
         let mut audit = self.config.audit.then(|| TableAudit::begin(self.table));
         let mut fault_stalls = 0u32;
+
+        // Hard-fault recovery: capture a checkpoint at every quiescent
+        // boundary (including the empty pre-run state, so a kill during
+        // iteration 1 recovers too) and roll back to it when a launch dies.
+        let faults = self.executor.faults().map(|p| p.as_ref());
+        let mut recovery = RecoveryStats::default();
+        let mut checkpoint: Option<Checkpoint> = None;
+        if self.config.checkpoint.is_enabled() {
+            checkpoint = Some(self.take_checkpoint(
+                &done,
+                &progress,
+                &iterations,
+                fault_stalls,
+                faults,
+                &mut recovery,
+            )?);
+        }
 
         // Shadow-memory sanitizer: kernels declare their logical accesses
         // through the lane's charge sink; the executor forwards them to the
@@ -353,6 +487,7 @@ impl<'a> SepoDriver<'a> {
             let mut halted_early = false;
             let mut attempted = 0u64;
             let mut lanes_aborted = 0u64;
+            let mut hard_hit: Option<HardFaultError> = None;
 
             for chunk in pending.chunks(self.config.chunk_tasks.max(1)) {
                 // Stream the chunk's records to the device.
@@ -364,10 +499,12 @@ impl<'a> SepoDriver<'a> {
                 // One kernel launch over the chunk's pending tasks. A lane
                 // aborted by the fault plan never runs its task, so the
                 // task's done bit stays clear and it retries next
-                // iteration.
-                let stats =
+                // iteration. A *hard* fault kills the whole launch before
+                // any lane runs; recovery below rolls back to the last
+                // boundary checkpoint.
+                let outcome =
                     self.executor
-                        .launch_scoped(chunk.len(), scratch_hooks.as_ref(), |lane| {
+                        .try_launch_scoped(chunk.len(), scratch_hooks.as_ref(), |lane| {
                             let t = chunk[lane.task()] as usize;
                             lane.read_stream(task_bytes(t));
                             let start = progress[t].load(Ordering::Relaxed);
@@ -378,6 +515,18 @@ impl<'a> SepoDriver<'a> {
                                 }
                             }
                         });
+                let stats = match outcome {
+                    Ok(stats) => stats,
+                    Err(e) => match e.hard_fault() {
+                        Some(fault) => {
+                            hard_hit = Some(fault);
+                            break;
+                        }
+                        // Kernel panics keep their historical unwinding
+                        // behaviour; only hard device faults are recovered.
+                        None => std::panic::resume_unwind(e.into_panic()),
+                    },
+                };
                 lanes_aborted += stats.lanes_aborted;
                 if is_basic && self.table.fraction_failed() >= halt_threshold {
                     // §IV-C: halt, evict, restart from the first postponed
@@ -385,6 +534,44 @@ impl<'a> SepoDriver<'a> {
                     halted_early = true;
                     break;
                 }
+            }
+
+            if let Some(fault) = hard_hit {
+                let recoverable =
+                    checkpoint.is_some() && recovery.recoveries < self.config.max_recoveries;
+                if !recoverable {
+                    return Err(SepoError::DeviceLost {
+                        at_iteration: iter_no,
+                        pending: pending.len() as u64,
+                        recoveries: recovery.recoveries,
+                        source: fault,
+                    });
+                }
+                let Some(ckp) = checkpoint.as_ref() else {
+                    unreachable!("recoverable implies a checkpoint");
+                };
+                // Rebuild the device (and driver) state of the last
+                // quiescent boundary. The killed iteration's partial writes
+                // are a strict prefix of what its replay will write, so the
+                // resumed run is byte-identical to an unkilled one.
+                ckp.restore(
+                    self.table,
+                    &done,
+                    &progress,
+                    &mut iterations,
+                    &mut fault_stalls,
+                    faults,
+                );
+                if let Some(sz) = &shadow {
+                    // The replay re-publishes the device cells the killed
+                    // iteration touched; forget their shadow history (the
+                    // evicted set and finding counts survive).
+                    sz.device_reset();
+                }
+                recovery.recoveries += 1;
+                recovery.replayed_iterations += 1;
+                pending = done.unset_indices().into_iter().map(|t| t as u32).collect();
+                continue;
             }
 
             let used_before_evict = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
@@ -456,6 +643,16 @@ impl<'a> SepoDriver<'a> {
                 halted_early,
             });
             pending = next_pending;
+            if self.config.checkpoint.is_enabled() {
+                checkpoint = Some(self.take_checkpoint(
+                    &done,
+                    &progress,
+                    &iterations,
+                    fault_stalls,
+                    faults,
+                    &mut recovery,
+                )?);
+            }
         }
 
         let used_before_final = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
@@ -479,6 +676,7 @@ impl<'a> SepoDriver<'a> {
             total_tasks: n_tasks as u64,
             final_evict,
             pending_tasks: pending.len() as u64,
+            recovery,
         };
         if outcome.pending_tasks > 0 {
             return Err(SepoError::IterationCapExceeded {
@@ -874,5 +1072,190 @@ mod tests {
         assert_eq!(iteration, 4, "3 retries then the 4th stall gives up");
         assert_eq!(pending, 50, "no task may be lost");
         assert_eq!(stalled_iterations, 4);
+    }
+
+    fn hard_plan(device_loss_rate: f64, poisoned_launch_rate: f64, seed: u64) -> Arc<FaultPlan> {
+        use gpu_sim::{FaultConfig, HardFaultConfig};
+        Arc::new(
+            FaultPlan::new(FaultConfig::quiet(seed)).with_hard(HardFaultConfig {
+                seed,
+                device_loss_rate,
+                poisoned_launch_rate,
+            }),
+        )
+    }
+
+    #[test]
+    fn device_lost_without_checkpointing_is_fatal_and_source_chained() {
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_faults(hard_plan(1.0, 0.0, 3))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        let err = SepoDriver::new(&t, &e)
+            .with_config(audited())
+            .try_run(
+                50,
+                |_| 16,
+                |task, _start, lane| {
+                    let key = format!("key-{task}");
+                    match t.insert_combining(key.as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    }
+                },
+            )
+            .unwrap_err();
+        let SepoError::DeviceLost {
+            at_iteration,
+            pending,
+            recoveries,
+            ..
+        } = &err
+        else {
+            panic!("expected DeviceLost, got {err}");
+        };
+        assert_eq!(*at_iteration, 1);
+        assert_eq!(*pending, 50, "no task may be lost");
+        assert_eq!(*recoveries, 0);
+        assert!(err.to_string().contains("iteration 1"));
+        let source = std::error::Error::source(&err).expect("DeviceLost chains its hard fault");
+        assert!(
+            source.to_string().contains("hard-fault draw"),
+            "unexpected source: {source}"
+        );
+    }
+
+    #[test]
+    fn certain_hard_faults_exhaust_the_recovery_budget() {
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_faults(hard_plan(1.0, 0.0, 4))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        let err = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                checkpoint: CheckpointPolicy::Memory,
+                max_recoveries: 3,
+                audit: true,
+                sanitize: true,
+                ..DriverConfig::default()
+            })
+            .try_run(
+                50,
+                |_| 16,
+                |task, _start, lane| {
+                    let key = format!("key-{task}");
+                    match t.insert_combining(key.as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    }
+                },
+            )
+            .unwrap_err();
+        let SepoError::DeviceLost { recoveries, .. } = err else {
+            panic!("expected DeviceLost");
+        };
+        assert_eq!(recoveries, 3, "all three recoveries used before giving up");
+    }
+
+    #[test]
+    fn checkpoint_io_failures_are_typed_and_source_chained() {
+        let t = small_table(Organization::Combining(Combiner::Add), 64);
+        let e = exec(t.metrics());
+        let err = SepoDriver::new(&t, &e)
+            .with_config(DriverConfig {
+                checkpoint: CheckpointPolicy::Disk("/nonexistent-sepo-dir/run.ckp".into()),
+                audit: true,
+                sanitize: true,
+                ..DriverConfig::default()
+            })
+            .try_run(
+                10,
+                |_| 16,
+                |task, _start, lane| {
+                    let key = format!("key-{task}");
+                    match t.insert_combining(key.as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    }
+                },
+            )
+            .unwrap_err();
+        let SepoError::CheckpointIo { at_iteration, .. } = &err else {
+            panic!("expected CheckpointIo, got {err}");
+        };
+        assert_eq!(*at_iteration, 0, "the pre-run baseline checkpoint fails");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn killed_and_resumed_runs_match_unkilled_byte_for_byte() {
+        fn insert(
+            t: &SepoTable,
+        ) -> impl Fn(usize, u32, &mut LaneCtx<'_>) -> TaskResult + Sync + '_ {
+            move |task, _start, lane| {
+                let key = format!("key-{task:05}");
+                match t.insert_combining(key.as_bytes(), 1, lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                }
+            }
+        }
+
+        // Baseline: no hard faults, no checkpointing.
+        let t1 = small_table(Organization::Combining(Combiner::Add), 4);
+        let e1 = exec(t1.metrics());
+        let base = SepoDriver::new(&t1, &e1)
+            .with_config(DriverConfig {
+                chunk_tasks: 64,
+                audit: true,
+                sanitize: true,
+                ..DriverConfig::default()
+            })
+            .try_run(400, |_| 16, insert(&t1))
+            .unwrap();
+
+        // Chaos: seeded hard faults kill launches mid-run; checkpoints
+        // resume them.
+        let t2 = small_table(Organization::Combining(Combiner::Add), 4);
+        let e2 = Executor::new(ExecMode::Deterministic, Arc::clone(t2.metrics()))
+            .with_faults(hard_plan(0.15, 0.05, 0xC0FFEE))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        let chaos = SepoDriver::new(&t2, &e2)
+            .with_config(DriverConfig {
+                chunk_tasks: 64,
+                audit: true,
+                sanitize: true,
+                checkpoint: CheckpointPolicy::Memory,
+                max_recoveries: 10_000,
+                ..DriverConfig::default()
+            })
+            .try_run(400, |_| 16, insert(&t2))
+            .unwrap();
+
+        assert!(
+            chaos.recovery.recoveries > 0,
+            "the seed must kill at least one launch for this test to bite"
+        );
+        assert_eq!(
+            base.iterations, chaos.iterations,
+            "resumed trajectory must be identical to the unkilled one"
+        );
+        assert_eq!(base.final_evict, chaos.final_evict);
+        assert_eq!(
+            t1.metrics().snapshot(),
+            t2.metrics().snapshot(),
+            "metrics must not double-count replayed work"
+        );
+        let mut img1 = Vec::new();
+        let mut img2 = Vec::new();
+        t1.save(&mut img1).unwrap();
+        t2.save(&mut img2).unwrap();
+        assert_eq!(img1, img2, "result images must be byte-identical");
     }
 }

@@ -161,6 +161,26 @@ impl SepoTable {
         }
     }
 
+    /// Raw per-bucket touch counters, for checkpoint capture at a
+    /// quiescent point.
+    pub fn touch_counts(&self) -> Vec<u32> {
+        self.touches
+            .iter()
+            // lint: relaxed-ok (statistics counter, read quiescently)
+            .map(|t| t.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Roll the per-bucket touch counters back to a checkpointed state
+    /// (hard-fault recovery), so contention histograms of a resumed run
+    /// match an unkilled one. Panics on a bucket-count mismatch.
+    pub fn restore_touches(&self, counts: &[u32]) {
+        assert_eq!(counts.len(), self.touches.len(), "bucket count mismatch");
+        for (t, &c) in self.touches.iter().zip(counts) {
+            t.store(c, Ordering::Relaxed); // lint: relaxed-ok (statistics reset at recovery)
+        }
+    }
+
     // ------------------------------------------------------------------
     // Shared chain machinery
     // ------------------------------------------------------------------

@@ -30,7 +30,7 @@
 //! [`Metrics`] **once per launch**, so the shared counters see a handful of
 //! atomic adds per launch instead of five per warp.
 
-use crate::faults::{FaultPlan, FaultSite};
+use crate::faults::{FaultPlan, FaultSite, HardFaultError};
 use crate::metrics::Metrics;
 use crate::pool::{self, Work, WorkerPool};
 use crate::shadow::{AccessKind, ShadowAddr, ShadowEvent, ShadowSanitizer, WARP_LEVEL_LANE};
@@ -290,44 +290,99 @@ pub struct LaunchStats {
     pub lanes_aborted: u64,
 }
 
-/// A kernel panicked during a launch. The launch still drained (every
-/// remaining warp ran) and the pool is unaffected; this carries the first
-/// panic payload.
+/// Why a launch failed.
+enum LaunchFailure {
+    /// A kernel lane panicked; carries the first panic payload. The launch
+    /// still drained (every remaining warp ran) and the pool is unaffected.
+    Panic(Box<dyn Any + Send + 'static>),
+    /// A hard fault ([`HardFaultError`]) killed the launch before it
+    /// started: no lane ran, no state was touched, no metrics were charged.
+    Hard(HardFaultError),
+}
+
+/// A launch failed: either a kernel panicked mid-launch, or a hard device
+/// fault killed the launch before it started (see
+/// [`LaunchError::hard_fault`]).
 pub struct LaunchError {
-    payload: Box<dyn Any + Send + 'static>,
+    failure: LaunchFailure,
 }
 
 impl LaunchError {
-    /// Best-effort view of the panic message.
-    pub fn message(&self) -> &str {
-        if let Some(s) = self.payload.downcast_ref::<&str>() {
-            s
-        } else if let Some(s) = self.payload.downcast_ref::<String>() {
-            s
-        } else {
-            "kernel panicked with a non-string payload"
+    fn panic(payload: Box<dyn Any + Send + 'static>) -> Self {
+        LaunchError {
+            failure: LaunchFailure::Panic(payload),
         }
     }
 
-    /// The original panic payload, for re-raising.
+    fn hard(fault: HardFaultError) -> Self {
+        LaunchError {
+            failure: LaunchFailure::Hard(fault),
+        }
+    }
+
+    /// Best-effort view of the failure message.
+    pub fn message(&self) -> &str {
+        match &self.failure {
+            LaunchFailure::Panic(payload) => {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "kernel panicked with a non-string payload"
+                }
+            }
+            LaunchFailure::Hard(fault) => fault.kind.label(),
+        }
+    }
+
+    /// The hard fault that killed this launch, when the failure was a hard
+    /// fault rather than a kernel panic. A hard-faulted launch never ran:
+    /// callers holding a checkpoint can rebuild device state and retry.
+    pub fn hard_fault(&self) -> Option<HardFaultError> {
+        match &self.failure {
+            LaunchFailure::Hard(fault) => Some(*fault),
+            LaunchFailure::Panic(_) => None,
+        }
+    }
+
+    /// A payload for re-raising: the original panic payload, or for hard
+    /// faults a descriptive message (hard faults should normally be handled
+    /// through [`LaunchError::hard_fault`] instead of re-raised).
     pub fn into_panic(self) -> Box<dyn Any + Send + 'static> {
-        self.payload
+        match self.failure {
+            LaunchFailure::Panic(payload) => payload,
+            LaunchFailure::Hard(fault) => Box::new(format!("unrecovered hard fault: {fault}")),
+        }
     }
 }
 
 impl fmt::Debug for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LaunchError({:?})", self.message())
+        match &self.failure {
+            LaunchFailure::Panic(_) => write!(f, "LaunchError(panic: {:?})", self.message()),
+            LaunchFailure::Hard(fault) => write!(f, "LaunchError(hard: {fault})"),
+        }
     }
 }
 
 impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel panicked: {}", self.message())
+        match &self.failure {
+            LaunchFailure::Panic(_) => write!(f, "kernel panicked: {}", self.message()),
+            LaunchFailure::Hard(fault) => write!(f, "hard device fault: {fault}"),
+        }
     }
 }
 
-impl std::error::Error for LaunchError {}
+impl std::error::Error for LaunchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.failure {
+            LaunchFailure::Hard(fault) => Some(fault),
+            LaunchFailure::Panic(_) => None,
+        }
+    }
+}
 
 /// Per-participant event accumulator: one per pool slot, written without
 /// synchronization, flushed to [`Metrics`] once per launch.
@@ -578,6 +633,14 @@ impl Executor {
                 lanes_aborted: 0,
             });
         }
+        // Hard faults strike before the launch starts: a killed launch runs
+        // no lane, charges no metrics, and touches no shared state, so the
+        // caller's last iteration-boundary checkpoint is still exact.
+        if let Some(plan) = self.faults.as_deref() {
+            if let Some(fault) = plan.draw_hard() {
+                return Err(LaunchError::hard(fault));
+            }
+        }
         let n_warps = n_tasks.div_ceil(WARP_SIZE);
         let (max_slots, chunk) = match self.mode {
             ExecMode::Deterministic | ExecMode::ParallelDeterministic => (1, n_warps),
@@ -626,7 +689,7 @@ impl Executor {
         self.metrics.add_head_cas_retries(total.head_cas_retries);
         self.metrics.add_divergence_events(total.divergence_events);
 
-        outcome.map_err(|payload| LaunchError { payload })?;
+        outcome.map_err(LaunchError::panic)?;
         // Aborted lanes never ran their task; only executed tasks count.
         let executed = n_tasks as u64 - total.lanes_aborted;
         self.metrics.add_tasks(executed);
@@ -852,6 +915,40 @@ mod tests {
         // Same seed => identical abort pattern; different seed => different.
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn hard_fault_kills_the_launch_before_anything_runs() {
+        use crate::faults::{FaultConfig, FaultPlan, HardFaultConfig, HardFaultKind};
+        let m = Arc::new(Metrics::new());
+        let plan = Arc::new(
+            FaultPlan::new(FaultConfig::quiet(1)).with_hard(HardFaultConfig {
+                seed: 3,
+                device_loss_rate: 1.0,
+                poisoned_launch_rate: 0.0,
+            }),
+        );
+        let e =
+            Executor::new(ExecMode::Deterministic, Arc::clone(&m)).with_faults(Arc::clone(&plan));
+        let ran = AtomicU64::new(0);
+        let err = e
+            .try_launch(100, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        let fault = err.hard_fault().expect("must be a hard fault");
+        assert_eq!(fault.kind, HardFaultKind::DeviceLost);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no lane may run");
+        assert_eq!(m.snapshot(), crate::metrics::Snapshot::default());
+        assert_eq!(plan.hard_injected(HardFaultKind::DeviceLost), 1);
+    }
+
+    #[test]
+    fn kernel_panics_are_not_hard_faults() {
+        let (e, _) = exec(ExecMode::Deterministic);
+        let err = e.try_launch(10, |_| panic!("plain panic")).unwrap_err();
+        assert!(err.hard_fault().is_none());
+        assert_eq!(err.message(), "plain panic");
     }
 
     #[test]

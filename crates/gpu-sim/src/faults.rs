@@ -56,6 +56,146 @@ impl FaultSite {
 
 const N_SITES: usize = 3;
 
+/// A *hard* fault kind: unlike the transient [`FaultSite`]s, these are not
+/// retried in place. They kill the in-flight launch before it touches any
+/// state and surface to the driver, which either resumes from its last
+/// iteration-boundary checkpoint or aborts the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardFaultKind {
+    /// The simulated device is lost (ECC double-bit error, bus drop,
+    /// external reset). All device memory contents are gone.
+    DeviceLost,
+    /// The launch itself is poisoned (corrupted kernel image, sticky
+    /// uncorrectable error): it never starts, and the device context must
+    /// be rebuilt before anything else can run.
+    PoisonedLaunch,
+}
+
+const N_HARD_KINDS: usize = 2;
+
+impl HardFaultKind {
+    fn index(self) -> usize {
+        match self {
+            HardFaultKind::DeviceLost => 0,
+            HardFaultKind::PoisonedLaunch => 1,
+        }
+    }
+
+    /// Per-kind salt; distinct from every transient-site salt so the hard
+    /// streams never correlate with the transient ones.
+    fn salt(self) -> u64 {
+        match self {
+            HardFaultKind::DeviceLost => 0xDE51_CE10_0000_0004,
+            HardFaultKind::PoisonedLaunch => 0x9015_0ED0_0000_0005,
+        }
+    }
+
+    /// Human-readable name used in error messages and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HardFaultKind::DeviceLost => "device lost",
+            HardFaultKind::PoisonedLaunch => "poisoned launch",
+        }
+    }
+}
+
+/// The error value a hard fault surfaces as: which kind struck, and the
+/// per-kind draw index that produced it (useful to correlate a failure with
+/// a seed when reproducing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardFaultError {
+    /// Which hard fault struck.
+    pub kind: HardFaultKind,
+    /// The 0-based draw index (for this kind) that hit.
+    pub draw: u64,
+}
+
+impl std::fmt::Display for HardFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (hard-fault draw #{})", self.kind.label(), self.draw)
+    }
+}
+
+impl std::error::Error for HardFaultError {}
+
+/// Per-kind hard-fault rates in `[0.0, 1.0]`, plus their own seed. Kept
+/// separate from [`FaultConfig`] so existing transient plans are untouched:
+/// an unkilled comparison run simply never attaches a hard config, and its
+/// transient draw streams stay byte-identical to a chaos run's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardFaultConfig {
+    /// Seed for the hard-fault draw streams (independent of the transient
+    /// seed).
+    pub seed: u64,
+    /// Probability that a launch is killed by device loss.
+    pub device_loss_rate: f64,
+    /// Probability that a launch is poisoned before it starts.
+    pub poisoned_launch_rate: f64,
+}
+
+impl HardFaultConfig {
+    /// Every rate zero (a base to tweak).
+    pub fn quiet(seed: u64) -> Self {
+        HardFaultConfig {
+            seed,
+            device_loss_rate: 0.0,
+            poisoned_launch_rate: 0.0,
+        }
+    }
+
+    /// The chaos mix used by `--chaos-seed <seed>`: per-launch kill
+    /// probabilities high enough that multi-iteration runs see recoveries.
+    pub fn standard(seed: u64) -> Self {
+        HardFaultConfig {
+            seed,
+            device_loss_rate: 0.01,
+            poisoned_launch_rate: 0.005,
+        }
+    }
+
+    fn rate(&self, kind: HardFaultKind) -> f64 {
+        match kind {
+            HardFaultKind::DeviceLost => self.device_loss_rate,
+            HardFaultKind::PoisonedLaunch => self.poisoned_launch_rate,
+        }
+    }
+}
+
+/// Scale a `[0,1]` rate to the u64 threshold space (draw < threshold →
+/// inject); saturates at `u64::MAX` because `u64::MAX as f64` rounds up.
+fn threshold_for(rate: f64) -> u64 {
+    let r = rate.clamp(0.0, 1.0);
+    if r >= 1.0 {
+        u64::MAX
+    } else {
+        (r * u64::MAX as f64) as u64
+    }
+}
+
+/// Hard-fault state attached to a [`FaultPlan`] via
+/// [`FaultPlan::with_hard`].
+#[derive(Debug)]
+struct HardFaults {
+    config: HardFaultConfig,
+    thresholds: [u64; N_HARD_KINDS],
+    draws: [AtomicU64; N_HARD_KINDS],
+    injected: [AtomicU64; N_HARD_KINDS],
+}
+
+/// Point-in-time copy of the three *transient* sites' draw/injection
+/// counters, captured into iteration-boundary checkpoints so a resumed run
+/// replays the exact same transient fault decisions as an unkilled run.
+/// Hard-fault counters are deliberately **not** part of this: restoring
+/// them would make the replayed launch re-draw the very kill that triggered
+/// recovery, looping forever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransientDrawState {
+    /// Per-site decisions drawn, indexed like [`FaultSite`].
+    pub draws: [u64; N_SITES],
+    /// Per-site faults injected, indexed like [`FaultSite`].
+    pub injected: [u64; N_SITES],
+}
+
 /// Per-site injection rates in `[0.0, 1.0]`, plus the seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -119,30 +259,121 @@ pub struct FaultPlan {
     thresholds: [u64; N_SITES],
     draws: [AtomicU64; N_SITES],
     injected: [AtomicU64; N_SITES],
+    /// Hard (non-retryable) fault streams; absent unless
+    /// [`FaultPlan::with_hard`] attached them.
+    hard: Option<HardFaults>,
 }
 
 impl FaultPlan {
     pub fn new(config: FaultConfig) -> Self {
-        let thresholds = [FaultSite::Alloc, FaultSite::Pcie, FaultSite::Lane].map(|s| {
-            let r = config.rate(s).clamp(0.0, 1.0);
-            // `u64::MAX as f64 * 1.0` rounds up past MAX; saturate there.
-            if r >= 1.0 {
-                u64::MAX
-            } else {
-                (r * u64::MAX as f64) as u64
-            }
-        });
+        let thresholds = [FaultSite::Alloc, FaultSite::Pcie, FaultSite::Lane]
+            .map(|s| threshold_for(config.rate(s)));
         FaultPlan {
             config,
             thresholds,
             draws: Default::default(),
             injected: Default::default(),
+            hard: None,
         }
+    }
+
+    /// Attach hard-fault streams (device loss, poisoned launches) to this
+    /// plan. Hard faults draw once per kernel launch, *before* the launch
+    /// touches any state, so a killed launch mutates nothing.
+    pub fn with_hard(mut self, config: HardFaultConfig) -> Self {
+        let thresholds = [HardFaultKind::DeviceLost, HardFaultKind::PoisonedLaunch]
+            .map(|k| threshold_for(config.rate(k)));
+        self.hard = Some(HardFaults {
+            config,
+            thresholds,
+            draws: Default::default(),
+            injected: Default::default(),
+        });
+        self
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// The hard-fault configuration, when attached.
+    pub fn hard_config(&self) -> Option<&HardFaultConfig> {
+        self.hard.as_ref().map(|h| &h.config)
+    }
+
+    /// Whether any hard-fault stream is attached with a nonzero rate.
+    pub fn has_hard_faults(&self) -> bool {
+        self.hard
+            .as_ref()
+            .is_some_and(|h| h.thresholds.iter().any(|&t| t != 0))
+    }
+
+    /// Draw the hard-fault decisions for one launch; `Some` means the
+    /// launch is killed before it starts. Kinds are drawn in a fixed order
+    /// (device loss first) and the first hit short-circuits, so the draw
+    /// sequence is deterministic under a seed. Hard draw counters are never
+    /// rolled back by checkpoint recovery — a replayed launch draws the
+    /// *next* decision and therefore cannot deterministically re-kill
+    /// itself.
+    pub fn draw_hard(&self) -> Option<HardFaultError> {
+        let h = self.hard.as_ref()?;
+        for kind in [HardFaultKind::DeviceLost, HardFaultKind::PoisonedLaunch] {
+            let i = kind.index();
+            if h.thresholds[i] == 0 {
+                continue; // rate 0: don't burn a counter increment
+            }
+            let n = h.draws[i].fetch_add(1, Ordering::Relaxed);
+            let hash =
+                splitmix64(h.config.seed ^ kind.salt() ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            if hash < h.thresholds[i] {
+                h.injected[i].fetch_add(1, Ordering::Relaxed);
+                return Some(HardFaultError { kind, draw: n });
+            }
+        }
+        None
+    }
+
+    /// Hard-fault decisions drawn so far for `kind` (0 when no hard config
+    /// is attached).
+    pub fn hard_draws(&self, kind: HardFaultKind) -> u64 {
+        self.hard
+            .as_ref()
+            .map_or(0, |h| h.draws[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Hard faults injected so far for `kind` (0 when no hard config is
+    /// attached).
+    pub fn hard_injected(&self, kind: HardFaultKind) -> u64 {
+        self.hard
+            .as_ref()
+            .map_or(0, |h| h.injected[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total hard faults injected across both kinds.
+    pub fn total_hard_injected(&self) -> u64 {
+        self.hard.as_ref().map_or(0, |h| {
+            h.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    /// Capture the transient draw/injection counters for a checkpoint.
+    /// Only meaningful at quiescent points (iteration boundaries).
+    pub fn transient_snapshot(&self) -> TransientDrawState {
+        TransientDrawState {
+            draws: std::array::from_fn(|i| self.draws[i].load(Ordering::Relaxed)),
+            injected: std::array::from_fn(|i| self.injected[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Roll the transient draw/injection counters back to a checkpointed
+    /// state, so a resumed iteration replays the exact transient fault
+    /// decisions the killed attempt drew. Hard counters are untouched.
+    pub fn restore_transient(&self, s: &TransientDrawState) {
+        for i in 0..N_SITES {
+            self.draws[i].store(s.draws[i], Ordering::Relaxed);
+            self.injected[i].store(s.injected[i], Ordering::Relaxed);
+        }
     }
 
     /// Draw the next decision for `site`: `true` means "inject a fault
@@ -254,6 +485,117 @@ mod tests {
             .map(|_| p.should_fault(FaultSite::Pcie))
             .collect();
         assert_ne!(alloc, pcie, "sites must not share a stream");
+    }
+
+    #[test]
+    fn plans_without_hard_config_never_draw_hard() {
+        let p = FaultPlan::new(FaultConfig::standard(3));
+        assert!(!p.has_hard_faults());
+        for _ in 0..1_000 {
+            assert!(p.draw_hard().is_none());
+        }
+        assert_eq!(p.total_hard_injected(), 0);
+        assert_eq!(p.hard_draws(HardFaultKind::DeviceLost), 0);
+    }
+
+    #[test]
+    fn quiet_hard_rates_never_kill() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_hard(HardFaultConfig::quiet(2));
+        assert!(!p.has_hard_faults());
+        for _ in 0..10_000 {
+            assert!(p.draw_hard().is_none());
+        }
+        assert_eq!(p.total_hard_injected(), 0);
+    }
+
+    #[test]
+    fn hard_rate_one_kills_every_launch() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_hard(HardFaultConfig {
+            seed: 9,
+            device_loss_rate: 1.0,
+            poisoned_launch_rate: 0.0,
+        });
+        for n in 0..1_000u64 {
+            let hit = p.draw_hard().expect("rate 1.0 must kill");
+            assert_eq!(hit.kind, HardFaultKind::DeviceLost);
+            assert_eq!(hit.draw, n);
+        }
+        assert_eq!(p.hard_injected(HardFaultKind::DeviceLost), 1_000);
+        // Device loss short-circuits: the poisoned-launch stream never drew.
+        assert_eq!(p.hard_draws(HardFaultKind::PoisonedLaunch), 0);
+    }
+
+    #[test]
+    fn same_hard_seed_reproduces_the_same_kill_points() {
+        let mk = || {
+            FaultPlan::new(FaultConfig::quiet(7)).with_hard(HardFaultConfig {
+                seed: 0xC0FFEE,
+                device_loss_rate: 0.05,
+                poisoned_launch_rate: 0.02,
+            })
+        };
+        let (a, b) = (mk(), mk());
+        let seq_a: Vec<Option<HardFaultKind>> =
+            (0..5_000).map(|_| a.draw_hard().map(|e| e.kind)).collect();
+        let seq_b: Vec<Option<HardFaultKind>> =
+            (0..5_000).map(|_| b.draw_hard().map(|e| e.kind)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(a.total_hard_injected() > 0, "rates should produce kills");
+    }
+
+    #[test]
+    fn hard_draws_do_not_perturb_transient_streams() {
+        let cfg = FaultConfig::standard(0xFEED);
+        let plain = FaultPlan::new(cfg);
+        let chaotic = FaultPlan::new(cfg).with_hard(HardFaultConfig::standard(0xFEED));
+        let seq_plain: Vec<bool> = (0..5_000)
+            .map(|_| plain.should_fault(FaultSite::Lane))
+            .collect();
+        let seq_chaos: Vec<bool> = (0..5_000)
+            .map(|_| {
+                let _ = chaotic.draw_hard();
+                chaotic.should_fault(FaultSite::Lane)
+            })
+            .collect();
+        assert_eq!(
+            seq_plain, seq_chaos,
+            "attaching hard faults must not shift transient draws"
+        );
+    }
+
+    #[test]
+    fn transient_snapshot_round_trips_and_replays() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 11,
+            alloc_failure_rate: 0.3,
+            pcie_error_rate: 0.3,
+            lane_abort_rate: 0.3,
+        });
+        for _ in 0..100 {
+            p.should_fault(FaultSite::Alloc);
+            p.should_fault(FaultSite::Pcie);
+            p.should_fault(FaultSite::Lane);
+        }
+        let snap = p.transient_snapshot();
+        let first: Vec<bool> = (0..200).map(|_| p.should_fault(FaultSite::Lane)).collect();
+        p.restore_transient(&snap);
+        assert_eq!(p.transient_snapshot(), snap);
+        let replay: Vec<bool> = (0..200).map(|_| p.should_fault(FaultSite::Lane)).collect();
+        assert_eq!(first, replay, "restored counters must replay identically");
+    }
+
+    #[test]
+    fn restore_transient_leaves_hard_counters_alone() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_hard(HardFaultConfig {
+            seed: 5,
+            device_loss_rate: 1.0,
+            poisoned_launch_rate: 0.0,
+        });
+        let snap = p.transient_snapshot();
+        assert!(p.draw_hard().is_some());
+        p.restore_transient(&snap);
+        // The next hard draw advances — recovery cannot re-draw the kill.
+        assert_eq!(p.draw_hard().expect("still rate 1.0").draw, 1);
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub use cost::{CpuCostModel, GpuCostModel};
 pub use executor::{
     ExecMode, Executor, LaneCtx, LaunchError, LaunchStats, WarpCharge, WarpScratch,
 };
-pub use faults::{FaultConfig, FaultPlan, FaultSite};
+pub use faults::{
+    FaultConfig, FaultPlan, FaultSite, HardFaultConfig, HardFaultError, HardFaultKind,
+    TransientDrawState,
+};
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};
 pub use paging::{AccessTrace, LruSimulator, PagingOutcome};

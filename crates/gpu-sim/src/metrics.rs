@@ -122,6 +122,38 @@ impl Metrics {
         }
     }
 
+    /// Overwrite every counter with the values captured in `s`, rolling
+    /// the sink back to a checkpointed state. Only meaningful at quiescent
+    /// points (iteration boundaries during hard-fault recovery).
+    pub fn restore(&self, s: &Snapshot) {
+        self.tasks.store(s.tasks, Ordering::Relaxed);
+        self.compute_units.store(s.compute_units, Ordering::Relaxed);
+        self.device_bytes.store(s.device_bytes, Ordering::Relaxed);
+        self.stream_bytes.store(s.stream_bytes, Ordering::Relaxed);
+        self.chain_hops.store(s.chain_hops, Ordering::Relaxed);
+        self.smem_bytes.store(s.smem_bytes, Ordering::Relaxed);
+        self.combiner_hits.store(s.combiner_hits, Ordering::Relaxed);
+        self.combiner_flushes
+            .store(s.combiner_flushes, Ordering::Relaxed);
+        self.combiner_overflows
+            .store(s.combiner_overflows, Ordering::Relaxed);
+        self.head_cas_retries
+            .store(s.head_cas_retries, Ordering::Relaxed);
+        self.divergence_events
+            .store(s.divergence_events, Ordering::Relaxed);
+        self.alloc_success.store(s.alloc_success, Ordering::Relaxed);
+        self.alloc_postponed
+            .store(s.alloc_postponed, Ordering::Relaxed);
+        self.pcie_bulk_transfers
+            .store(s.pcie_bulk_transfers, Ordering::Relaxed);
+        self.pcie_bulk_bytes
+            .store(s.pcie_bulk_bytes, Ordering::Relaxed);
+        self.pcie_small_transactions
+            .store(s.pcie_small_transactions, Ordering::Relaxed);
+        self.pcie_small_bytes
+            .store(s.pcie_small_bytes, Ordering::Relaxed);
+    }
+
     /// Reset all counters to zero. Only meaningful at quiescent points.
     pub fn reset(&self) {
         self.tasks.store(0, Ordering::Relaxed);
@@ -300,6 +332,19 @@ mod tests {
         assert_eq!(s.chain_hops, 2);
         m.reset();
         assert_eq!(m.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn restore_rolls_counters_back_to_a_snapshot() {
+        let m = Metrics::new();
+        m.add_tasks(10);
+        m.add_device_bytes(640);
+        m.add_alloc_success(4);
+        let checkpoint = m.snapshot();
+        m.add_tasks(99);
+        m.add_pcie_bulk_bytes(1 << 20);
+        m.restore(&checkpoint);
+        assert_eq!(m.snapshot(), checkpoint);
     }
 
     #[test]

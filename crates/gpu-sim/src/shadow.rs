@@ -448,6 +448,17 @@ impl ShadowSanitizer {
         }
     }
 
+    /// Model a device reset during hard-fault recovery: the simulated
+    /// device's memory (and hence all per-word shadow state) is rebuilt
+    /// from the last iteration-boundary checkpoint, so every cell's
+    /// ownership/publication history is dropped. The evicted-page identity
+    /// set is kept — host identities are never reused, and pages evicted
+    /// before the checkpoint stay evicted across the reset — as are the
+    /// cumulative event and finding counters.
+    pub fn device_reset(&self) {
+        self.inner.lock().cells.clear();
+    }
+
     /// Declare one host-side access at the current epoch (race rules do not
     /// apply; see [`HOST_WARP`]).
     pub fn record_host(&self, addr: ShadowAddr, kind: AccessKind) {
@@ -634,6 +645,32 @@ mod tests {
         assert_eq!(s.finding_count(), 0);
         s.ingest(vec![dev(ENTRY, AccessKind::PlainWrite, 2, 2)]);
         assert_eq!(s.report().mixed_plain_atomic, 1);
+    }
+
+    #[test]
+    fn device_reset_drops_cell_history_but_keeps_evictions() {
+        let s = ShadowSanitizer::new();
+        // Pre-reset: a published entry and an evicted page.
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 0),
+            dev(ENTRY, AccessKind::CasPublish, 0, 0),
+        ]);
+        s.record_host(ShadowAddr::Page(9), AccessKind::Evicted);
+        let events_before = s.report().events_checked;
+        s.device_reset();
+        // Replaying the insert's plain write to the (previously published)
+        // entry is legal on the rebuilt device — no MixedPlainAtomic.
+        s.ingest(vec![
+            dev(ENTRY, AccessKind::PlainWrite, 0, 0),
+            dev(ENTRY, AccessKind::CasPublish, 0, 0),
+        ]);
+        assert_eq!(s.finding_count(), 0);
+        // But a device touch of a page evicted before the reset still fires.
+        let gone = ShadowAddr::Entry { page: 9, offset: 0 };
+        s.ingest(vec![dev(gone, AccessKind::PlainRead, 1, 1)]);
+        assert_eq!(s.report().use_after_evict, 1);
+        // Cumulative counters survived the reset.
+        assert!(s.report().events_checked > events_before);
     }
 
     #[test]

@@ -22,3 +22,13 @@ fn direct_metrics_mutation(table: &SepoTable) {
 fn direct_metrics_mutation_through_binding(metrics: &Metrics) {
     metrics.add_device_bytes(64);
 }
+
+fn unwrap_on_the_io_path(mut w: impl std::io::Write) {
+    w.write_all(b"SEPOCKP1").unwrap();
+}
+
+fn expect_on_the_io_path(mut r: impl std::io::Read) -> [u8; 8] {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).expect("read checkpoint magic");
+    magic
+}

@@ -14,3 +14,9 @@ fn annotated_metrics_mutation(table: &SepoTable) {
     // lint: metrics-direct-ok (host-side bulk upload, no kernel in flight)
     table.metrics().add_pcie_bulk_transfers(1);
 }
+
+fn annotated_unwrap_on_the_io_path(buf: &mut Vec<u8>) {
+    use std::io::Write;
+    // lint: unwrap-ok (Vec<u8> writes are infallible)
+    buf.write_all(b"SEPOCKP1").unwrap();
+}

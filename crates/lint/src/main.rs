@@ -23,6 +23,13 @@
 //!    method missing there silently falls back to the trait default behind
 //!    `&mut dyn Charge`, discarding charges (or sanitizer accesses) on the
 //!    warp-scratch path.
+//! 5. **io-unwrap** — `.unwrap()` / `.expect(` on the persistence and
+//!    checkpoint IO paths (`persist.rs`, `checkpoint.rs`). Those routines
+//!    are the recovery machinery: a panic there turns a reportable
+//!    [`SepoError::CheckpointIo`] into an abort mid-recovery. Everything
+//!    must propagate `io::Result`; a deliberate infallible case needs a
+//!    `// lint: unwrap-ok (<why>)` comment. Code after the trailing
+//!    `#[cfg(test)]` module marker is exempt (tests unwrap freely).
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported.
 
@@ -59,6 +66,14 @@ const RELAXED_SCOPED_FILES: [&str; 3] = [
     "crates/core/src/evict.rs",
 ];
 
+/// Files that implement durable-image IO (table persistence, checkpoint
+/// write/read): panicking there aborts the very recovery path the caller
+/// invoked, so `.unwrap()` / `.expect(` need an allowlist comment.
+const IO_UNWRAP_SCOPED_FILES: [&str; 2] = [
+    "crates/core/src/persist.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
 /// Crates whose code runs on (or next to) the simulated device: no
 /// wall-clock reads, no direct metrics mutation without an annotation.
 const SIMULATED_CRATES: [&str; 4] = [
@@ -90,9 +105,31 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     let lines: Vec<&str> = content.lines().collect();
     let in_simulated = SIMULATED_CRATES.iter().any(|c| rel.starts_with(c));
     let relaxed_scoped = RELAXED_SCOPED_FILES.contains(&rel);
+    let io_scoped = IO_UNWRAP_SCOPED_FILES.contains(&rel);
+    // Workspace convention: one trailing `#[cfg(test)] mod tests` per
+    // file; everything after the marker is test code.
+    let mut in_tests = false;
 
     for (i, &line) in lines.iter().enumerate() {
         let code = code_of(line);
+        if code.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if io_scoped
+            && !in_tests
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowlisted(&lines, i, "lint: unwrap-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "io-unwrap",
+                message: "panic on the persistence/checkpoint IO path; \
+                          propagate io::Result (or annotate a deliberate \
+                          infallible case with `// lint: unwrap-ok (<why>)`)"
+                    .to_string(),
+            });
+        }
         if relaxed_scoped
             && code.contains("Ordering::Relaxed")
             && !allowlisted(&lines, i, "lint: relaxed-ok")
@@ -390,6 +427,47 @@ mod tests {
             vec!["relaxed-ordering"],
             "an annotation two lines up must not count"
         );
+    }
+
+    #[test]
+    fn io_unwrap_flagged_only_in_scoped_files_outside_tests() {
+        // The bad fixture carries both an `.unwrap()` and an `.expect(`.
+        for rel in [
+            "crates/core/src/persist.rs",
+            "crates/core/src/checkpoint.rs",
+        ] {
+            let hits = rules_of(&check_file(rel, FIXTURE))
+                .iter()
+                .filter(|r| **r == "io-unwrap")
+                .count();
+            assert_eq!(hits, 2, "{rel}: both panicking calls must be flagged");
+        }
+        // Elsewhere the rule does not apply — unwraps are table.rs business.
+        assert!(!rules_of(&check_file("crates/core/src/table.rs", FIXTURE)).contains(&"io-unwrap"));
+        // Annotated unwraps pass.
+        assert!(
+            !rules_of(&check_file("crates/core/src/persist.rs", GOOD_FIXTURE))
+                .contains(&"io-unwrap")
+        );
+    }
+
+    #[test]
+    fn io_unwrap_exempts_the_trailing_test_module() {
+        let src = "\
+fn save(w: &mut impl std::io::Write) {
+    w.write_all(b\"x\").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn round_trip() {
+        save(&mut Vec::new()).unwrap();
+    }
+}
+";
+        let findings = check_file("crates/core/src/checkpoint.rs", src);
+        assert_eq!(rules_of(&findings), vec!["io-unwrap"], "{findings:?}");
+        assert_eq!(findings[0].line, 2, "only the pre-test unwrap counts");
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! End-to-end hard-fault recovery properties over the seven paper
+//! applications: a run killed mid-flight by seeded device loss or launch
+//! poisoning and resumed from its last iteration-boundary checkpoint must
+//! be **indistinguishable** from a run that was never killed — saved table
+//! image, per-iteration completion trajectory, and full metrics snapshot,
+//! all byte-for-byte — under the parallel-deterministic executor with the
+//! cross-layer audit and the shadow sanitizer on.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::{Metrics, Snapshot};
+use gpu_sim::{FaultConfig, FaultPlan, HardFaultConfig, ShadowSanitizer};
+use proptest::prelude::*;
+use sepo_apps::{run_app, AppConfig};
+use sepo_core::{CheckpointPolicy, RecoveryStats};
+use sepo_datagen::App;
+use std::sync::Arc;
+
+/// Tasks per launch: small, so every iteration holds many kill-points and
+/// a kill routinely lands mid-iteration with partial progress to discard.
+const CHUNK_TASKS: usize = 32;
+/// Per-launch kill rates for the chaos runs (device loss / poisoning).
+const HARD_RATES: (f64, f64) = (0.05, 0.02);
+
+/// Run `app` once. `transient_seed` arms the standard transient fault mix
+/// (shared by both runs of a comparison); `hard_seed` additionally arms
+/// hard kills plus in-memory checkpointing so the run survives them.
+fn run_once(
+    app: App,
+    heap: u64,
+    transient_seed: Option<u64>,
+    hard_seed: Option<u64>,
+) -> (Vec<u8>, Vec<u64>, Snapshot, RecoveryStats) {
+    let ds = app.generate(0, 16_384);
+    let metrics = Arc::new(Metrics::new());
+    let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
+    let base = match transient_seed {
+        Some(seed) => FaultConfig::standard(seed),
+        None => FaultConfig::quiet(0),
+    };
+    if let Some(seed) = hard_seed {
+        exec = exec.with_faults(Arc::new(FaultPlan::new(base).with_hard(HardFaultConfig {
+            seed,
+            device_loss_rate: HARD_RATES.0,
+            poisoned_launch_rate: HARD_RATES.1,
+        })));
+    } else if transient_seed.is_some() {
+        exec = exec.with_faults(Arc::new(FaultPlan::new(base)));
+    }
+    exec = exec.with_shadow(Arc::new(ShadowSanitizer::new()));
+    let mut cfg = AppConfig::new(heap)
+        .with_chunk_tasks(CHUNK_TASKS)
+        .with_audit(true)
+        .with_sanitize(true);
+    if hard_seed.is_some() {
+        cfg = cfg
+            .with_checkpoint(CheckpointPolicy::Memory)
+            .with_max_recoveries(10_000);
+    }
+    let run = run_app(app, &ds, &cfg, &exec);
+    let mut image = Vec::new();
+    run.table.save(&mut image).expect("save table image");
+    let trajectory: Vec<u64> = run
+        .outcome
+        .iterations
+        .iter()
+        .map(|i| i.tasks_completed)
+        .collect();
+    (image, trajectory, metrics.snapshot(), run.outcome.recovery)
+}
+
+/// All seven apps on a heap small enough for several iterations: sweep
+/// chaos seeds until the run is actually killed at least once, then demand
+/// the recovered run matches the unkilled one byte for byte.
+#[test]
+fn all_apps_resume_byte_identical_after_hard_kills() {
+    for app in App::ALL {
+        let (image, traj, snapshot, base_rec) = run_once(app, 96 << 10, None, None);
+        assert_eq!(base_rec, RecoveryStats::default(), "{}", app.name());
+        let mut killed = false;
+        for seed in 0xC0DE..0xC0DE + 10u64 {
+            let (c_image, c_traj, c_snapshot, rec) = run_once(app, 96 << 10, None, Some(seed));
+            assert_eq!(
+                c_image,
+                image,
+                "{}: resumed image differs (seed {seed:#x}, {} recoveries)",
+                app.name(),
+                rec.recoveries
+            );
+            assert_eq!(c_traj, traj, "{}: trajectory differs", app.name());
+            assert_eq!(c_snapshot, snapshot, "{}: metrics differ", app.name());
+            assert!(rec.checkpoints_taken > 0, "{}", app.name());
+            if rec.recoveries >= 1 {
+                killed = true;
+                break;
+            }
+        }
+        assert!(
+            killed,
+            "{}: no hard fault struck in 10 seeds — chaos harness unplugged",
+            app.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The same property with transient faults (standard rates) layered
+    /// under the hard kills: the checkpointed transient draw streams make
+    /// the resumed run replay the killed attempt's lane aborts and alloc
+    /// failures exactly, so it still matches a never-killed run that drew
+    /// the same transient plan — however many kills struck.
+    #[test]
+    fn resume_matches_unkilled_under_transient_faults(
+        seed in any::<u64>(),
+        heap_kb in 64u64..192,
+    ) {
+        for app in App::ALL {
+            let heap = heap_kb << 10;
+            let (image, traj, snapshot, _) = run_once(app, heap, Some(seed), None);
+            let (c_image, c_traj, c_snapshot, rec) =
+                run_once(app, heap, Some(seed), Some(seed));
+            prop_assert_eq!(
+                &c_image,
+                &image,
+                "{}: resumed image differs ({} recoveries)",
+                app.name(),
+                rec.recoveries
+            );
+            prop_assert_eq!(&c_traj, &traj, "{}: trajectory differs", app.name());
+            prop_assert_eq!(&c_snapshot, &snapshot, "{}: metrics differ", app.name());
+        }
+    }
+}
