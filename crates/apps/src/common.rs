@@ -114,6 +114,15 @@ impl AppConfig {
         self.driver.max_recoveries = n;
         self
     }
+
+    /// Evict through the asynchronous double-buffered pipe (the CLI's
+    /// `--evict-overlap`): eviction DMA drains behind the next iteration's
+    /// kernels instead of stalling the boundary. Results are byte-identical
+    /// either way; only the simulated-time pricing changes.
+    pub fn with_evict_overlap(mut self, on: bool) -> Self {
+        self.driver.evict_overlap = on;
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -155,6 +164,7 @@ mod tests {
             .with_sanitize(true)
             .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
             .with_max_recoveries(42)
+            .with_evict_overlap(true)
             .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
@@ -162,6 +172,7 @@ mod tests {
         assert!(c.driver.sanitize);
         assert_eq!(c.driver.checkpoint, sepo_core::CheckpointPolicy::Memory);
         assert_eq!(c.driver.max_recoveries, 42);
+        assert!(c.driver.evict_overlap);
         assert_eq!(
             c.driver.combiner,
             Some(sepo_core::CombinerConfig::default())

@@ -6,6 +6,12 @@
 //! sizes, quantifying what the pipelining buys and how the chunk size
 //! moves the trade-off (tiny chunks amortize poorly over per-transfer
 //! latency; huge chunks leave nothing to overlap).
+//!
+//! A second section prices the *eviction* direction the same way: each
+//! iteration's pipelined upload/kernel segment composed with its boundary
+//! eviction DMA, either strictly alternating (the synchronous boundary) or
+//! with each eviction draining behind the next segment (the
+//! `--evict-overlap` pipe) — the same recurrence, run device→host.
 
 use gpu_sim::clock::SimTime;
 use gpu_sim::cost::GpuCostModel;
@@ -37,7 +43,18 @@ fn main() {
             "Saved",
         ],
     );
+    let mut evict_table = Table::new(
+        "Ablation D2 (SS V): eviction-direction overlap benefit (PVC dataset #4)",
+        &[
+            "Chunk (tasks)",
+            "Boundaries",
+            "Overlapped (sim)",
+            "Serial (sim)",
+            "Saved",
+        ],
+    );
     let mut json = Vec::new();
+    let mut evict_json = Vec::new();
     for chunk_tasks in [1usize << 10, 1 << 12, 1 << 14, 1 << 16] {
         let metrics = Arc::new(Metrics::new());
         let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
@@ -75,12 +92,70 @@ fn main() {
             "serial_seconds": serial.as_secs_f64(),
         }));
     }
+
+    // Eviction direction: a heap tight enough to force several eviction
+    // boundaries mid-run (a heap that fits everything only evicts at the
+    // final boundary, which has no following segment to hide behind). The
+    // recurrence is the same one, with whole iteration segments as the
+    // "transfer" lane and boundary evictions as the "compute" lane.
+    let tight_heap = heap / 64;
+    for chunk_tasks in [1usize << 10, 1 << 12, 1 << 14, 1 << 16] {
+        let metrics = Arc::new(Metrics::new());
+        let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
+        let mut cfg = AppConfig::new(tight_heap);
+        cfg.driver.chunk_tasks = chunk_tasks;
+        let run = pvc::run(&ds, &cfg, &exec);
+        let mut segments = Vec::new();
+        let mut evictions = Vec::new();
+        for iter in &run.outcome.iterations {
+            let k = gpu.kernel_time(&iter.kernel, &empty);
+            let chunks = iter.chunks.max(1) as usize;
+            let uploads = vec![bus.bulk_transfer_time(iter.input_bytes / chunks as u64); chunks];
+            let kernels = vec![k / chunks as u64; chunks];
+            segments.push(pipelined_total(&uploads, &kernels));
+            evictions.push(if iter.evict.evicted_bytes > 0 {
+                bus.bulk_transfer_time(iter.evict.evicted_bytes)
+            } else {
+                SimTime::ZERO
+            });
+        }
+        let boundaries = evictions.iter().filter(|e| **e > SimTime::ZERO).count();
+        let evict_piped = pipelined_total(&segments, &evictions);
+        let evict_serial = serial_total(&segments, &evictions);
+        let evict_saved = evict_serial - evict_piped;
+        evict_table.row(vec![
+            chunk_tasks.to_string(),
+            boundaries.to_string(),
+            evict_piped.to_string(),
+            evict_serial.to_string(),
+            format!(
+                "{evict_saved} ({:.0}%)",
+                100.0 * evict_saved.as_secs_f64() / evict_serial.as_secs_f64().max(1e-12)
+            ),
+        ]);
+        evict_json.push(serde_json::json!({
+            "chunk_tasks": chunk_tasks,
+            "eviction_boundaries": boundaries,
+            "pipelined_seconds": evict_piped.as_secs_f64(),
+            "serial_seconds": evict_serial.as_secs_f64(),
+        }));
+    }
     table.note(format!(
         "scale = 1/{scale}; transfer/kernel schedule re-priced with and without overlap"
     ));
     table.print();
-    sepo_bench::write_json(
+    evict_table.note(format!(
+        "heap tightened to 1/64 to force mid-run boundaries; eviction DMA \
+         drained behind the next iteration's segment (the --evict-overlap \
+         pipe) vs strictly alternating; heap = {tight_heap} B"
+    ));
+    evict_table.print();
+    sepo_bench::write_json_mirrored(
         "ablation_pipeline",
-        &serde_json::json!({ "scale": scale, "rows": json }),
+        &serde_json::json!({
+            "scale": scale,
+            "rows": json,
+            "eviction_rows": evict_json,
+        }),
     );
 }

@@ -151,6 +151,13 @@ fn main() {
     table.print();
     sepo_bench::write_json(
         "figure6",
-        &serde_json::json!({ "scale": scale, "average_speedup": avg, "rows": json }),
+        &serde_json::json!({
+            "scale": scale,
+            "average_speedup": avg,
+            "available_parallelism": std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            "rows": json,
+        }),
     );
 }

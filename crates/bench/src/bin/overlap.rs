@@ -1,0 +1,153 @@
+//! Async eviction/compute overlap bench: per-app simulated-time savings
+//! from draining eviction DMA behind the next iteration's kernels.
+//!
+//! For each of the seven §VI applications this runs the same workload
+//! twice — synchronous boundaries and the double-buffered eviction pipe
+//! (`--evict-overlap`) — under the parallel-deterministic executor with
+//! the cross-layer audit, the shadow sanitizer, and seeded transient
+//! faults all on. The two runs must be **byte-identical** in results:
+//! saved table image, per-iteration completion trajectory, and iteration
+//! count. Only the simulated-time pricing may differ: the overlapped run
+//! composes each iteration's pipelined upload/kernel segment with the
+//! previous boundary's eviction DMA via the BigKernel makespan recurrence
+//! instead of strictly alternating them.
+//!
+//! Writes `BENCH_overlap.json` (repo root and `results/`) recording, per
+//! app, the serial and overlapped simulated totals and the saving, and
+//! exits non-zero if any app's results diverge between the two modes.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use gpu_sim::spec::SystemSpec;
+use gpu_sim::{FaultConfig, FaultPlan, ShadowSanitizer};
+use sepo_apps::{run_app, AppConfig};
+use sepo_bench::gpu_total_time;
+use sepo_datagen::{App, Dataset};
+use std::sync::Arc;
+
+/// Records per app — small enough to run in CI, large enough that the
+/// tight heap below forces several eviction boundaries per app.
+const SCALE: u64 = 16_384;
+/// Device heap small enough that every app needs several iterations, so
+/// every run has eviction DMA worth hiding.
+const HEAP_BYTES: u64 = 48 << 10;
+/// Tasks per kernel launch (several chunks per iteration at this scale).
+const CHUNK_TASKS: usize = 512;
+/// Seed for the standard transient fault mix (alloc failures, PCIe
+/// errors, lane aborts) — the identity claim must hold under fire.
+const FAULT_SEED: u64 = 0x00EE_71A9;
+
+struct Run {
+    image: Vec<u8>,
+    trajectory: Vec<u64>,
+    iterations: u32,
+    total_secs: f64,
+    transfer_secs: f64,
+    evicted_bytes: u64,
+}
+
+fn run_once(app: App, ds: &Dataset, spec: &SystemSpec, overlap: bool) -> Run {
+    let metrics = Arc::new(Metrics::new());
+    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics))
+        .with_faults(Arc::new(FaultPlan::new(FaultConfig::standard(FAULT_SEED))))
+        .with_shadow(Arc::new(ShadowSanitizer::new()));
+    let cfg = AppConfig::new(HEAP_BYTES)
+        .with_chunk_tasks(CHUNK_TASKS)
+        .with_audit(true)
+        .with_sanitize(true)
+        .with_evict_overlap(overlap);
+    let run = run_app(app, ds, &cfg, &exec);
+    let timing = gpu_total_time(&run.outcome, &run.table.contention_histogram(), spec);
+    let mut image = Vec::new();
+    run.table.save(&mut image).expect("save table image");
+    Run {
+        image,
+        trajectory: run
+            .outcome
+            .iterations
+            .iter()
+            .map(|i| i.tasks_completed)
+            .collect(),
+        iterations: run.iterations(),
+        total_secs: timing.total.as_secs_f64(),
+        transfer_secs: timing.transfers.as_secs_f64(),
+        evicted_bytes: run.outcome.total_evicted_bytes(),
+    }
+}
+
+fn main() {
+    let spec = SystemSpec::scaled(SCALE);
+    let mut rows = Vec::new();
+    let mut failed = false;
+
+    for app in App::ALL {
+        let ds = app.generate(0, SCALE);
+        let serial = run_once(app, &ds, &spec, false);
+        let overlap = run_once(app, &ds, &spec, true);
+
+        let image_ok = overlap.image == serial.image;
+        let traj_ok = overlap.trajectory == serial.trajectory;
+        let iters_ok = overlap.iterations == serial.iterations;
+        if !image_ok {
+            eprintln!("FAIL: {}: overlapped table image differs", app.name());
+        }
+        if !traj_ok {
+            eprintln!(
+                "FAIL: {}: trajectory differs (overlap {:?} vs serial {:?})",
+                app.name(),
+                overlap.trajectory,
+                serial.trajectory
+            );
+        }
+        if !iters_ok {
+            eprintln!(
+                "FAIL: {}: iteration count differs ({} vs {})",
+                app.name(),
+                overlap.iterations,
+                serial.iterations
+            );
+        }
+        failed |= !(image_ok && traj_ok && iters_ok);
+
+        let saved = serial.total_secs - overlap.total_secs;
+        let saved_pct = 100.0 * saved / serial.total_secs.max(1e-12);
+        println!(
+            "{:>15}: {:>2} iterations, {:>9} B evicted, serial {:.6}s \
+             -> overlapped {:.6}s ({saved_pct:.1}% saved)",
+            app.name(),
+            serial.iterations,
+            serial.evicted_bytes,
+            serial.total_secs,
+            overlap.total_secs,
+        );
+        rows.push(serde_json::json!({
+            "app": app.name(),
+            "iterations": serial.iterations,
+            "evicted_bytes": serial.evicted_bytes,
+            "serial_seconds": serial.total_secs,
+            "overlap_seconds": overlap.total_secs,
+            "serial_transfer_seconds": serial.transfer_secs,
+            "overlap_transfer_seconds": overlap.transfer_secs,
+            "saved_seconds": saved,
+            "saved_pct": saved_pct,
+            "image_identical": image_ok,
+            "trajectory_identical": traj_ok,
+            "iterations_identical": iters_ok,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "async eviction/compute overlap: serial vs pipelined boundary DMA",
+        "scale": SCALE,
+        "heap_bytes": HEAP_BYTES,
+        "chunk_tasks": CHUNK_TASKS,
+        "fault_seed": FAULT_SEED,
+        "apps": rows,
+        "all_identical": !failed,
+    });
+    sepo_bench::write_json_mirrored("BENCH_overlap", &report);
+    println!("\nwrote BENCH_overlap.json");
+    if failed {
+        std::process::exit(1);
+    }
+}

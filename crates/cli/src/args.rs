@@ -30,6 +30,11 @@ pub struct Flags {
     /// Seed for hard-fault chaos injection (device loss, poisoned
     /// launches). Turns on in-memory checkpointing so the run survives.
     pub chaos_seed: Option<u64>,
+    /// Asynchronous double-buffered eviction (`--evict-overlap on|off`):
+    /// iteration-boundary eviction DMA drains behind the next iteration's
+    /// kernels. Default off (the paper's synchronous boundary); results
+    /// are byte-identical either way.
+    pub evict_overlap: bool,
 }
 
 impl Default for Flags {
@@ -48,6 +53,7 @@ impl Default for Flags {
             sanitize: false,
             checkpoint: None,
             chaos_seed: None,
+            evict_overlap: false,
         }
     }
 }
@@ -72,6 +78,13 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--chaos-seed" => f.chaos_seed = Some(it.next()?.parse().ok()?),
             "--combiner" => {
                 f.combiner = match it.next()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return None,
+                }
+            }
+            "--evict-overlap" => {
+                f.evict_overlap = match it.next()?.as_str() {
                     "on" => true,
                     "off" => false,
                     _ => return None,
@@ -141,6 +154,8 @@ mod tests {
             "run.ckp",
             "--chaos-seed",
             "7",
+            "--evict-overlap",
+            "on",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -156,6 +171,22 @@ mod tests {
         assert!(!f.combiner);
         assert_eq!(f.checkpoint.as_deref(), Some("run.ckp"));
         assert_eq!(f.chaos_seed, Some(7));
+        assert!(f.evict_overlap);
+    }
+
+    #[test]
+    fn evict_overlap_defaults_off_and_parses_both_states() {
+        assert!(!parse_flags(&[]).unwrap().evict_overlap);
+        assert!(
+            parse_flags(&strs(&["--evict-overlap", "on"]))
+                .unwrap()
+                .evict_overlap
+        );
+        assert!(
+            !parse_flags(&strs(&["--evict-overlap", "off"]))
+                .unwrap()
+                .evict_overlap
+        );
     }
 
     #[test]
@@ -183,6 +214,8 @@ mod tests {
         assert!(parse_flags(&strs(&["--faults", "not-a-seed"])).is_none());
         assert!(parse_flags(&strs(&["--combiner"])).is_none());
         assert!(parse_flags(&strs(&["--combiner", "maybe"])).is_none());
+        assert!(parse_flags(&strs(&["--evict-overlap"])).is_none());
+        assert!(parse_flags(&strs(&["--evict-overlap", "maybe"])).is_none());
         assert!(parse_flags(&strs(&["--checkpoint"])).is_none());
         assert!(parse_flags(&strs(&["--chaos-seed"])).is_none());
         assert!(parse_flags(&strs(&["--chaos-seed", "not-a-seed"])).is_none());

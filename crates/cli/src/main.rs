@@ -15,6 +15,10 @@
 //!   --combiner on|off                    per-warp software combiner in front
 //!                                        of combining tables (default on;
 //!                                        results identical either way)
+//!   --evict-overlap on|off               asynchronous double-buffered eviction
+//!                                        DMA behind the next iteration's
+//!                                        kernels (default off; results
+//!                                        identical either way)
 //!   --sanitize                           shadow-memory sanitizer over every
 //!                                        declared device access (panics on a
 //!                                        violation; results identical either
@@ -46,8 +50,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
          [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
-         [--combiner on|off] [--checkpoint PATH] [--chaos-seed SEED] \
-         [--input FILE] [--save IMAGE]\n  \
+         [--combiner on|off] [--evict-overlap on|off] [--checkpoint PATH] \
+         [--chaos-seed SEED] [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -151,6 +155,7 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         .with_audit(f.audit)
         .with_combiner(f.combiner)
         .with_sanitize(f.sanitize)
+        .with_evict_overlap(f.evict_overlap)
         .with_checkpoint(policy.clone());
     if f.chaos_seed.is_some() {
         cfg = cfg.with_max_recoveries(32);

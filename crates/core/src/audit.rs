@@ -20,7 +20,11 @@
 //!   remain resident afterwards.
 //! * **host-heap growth** — the CPU-side store gains exactly one page and
 //!   exactly `evicted_bytes` bytes per evicted page (host ids are unique
-//!   per acquisition, so nothing is silently replaced).
+//!   per acquisition, so nothing is silently replaced). With the async
+//!   eviction pipe, pages whose DMA is still in flight are neither
+//!   device-resident nor host-adopted; the driver reports them via
+//!   [`InFlightEviction`] and the growth checks count them as evicted but
+//!   not yet arrived.
 //! * **device ledger** (when a [`DeviceMemory`] is attached) — the
 //!   capacity ledger's used total equals the sum of its live reservations.
 //!
@@ -51,6 +55,18 @@ impl fmt::Display for AuditViolation {
 }
 
 impl std::error::Error for AuditViolation {}
+
+/// Evicted pages whose DMA has not yet completed: already off the device,
+/// not yet adopted by the host heap. The driver snapshots the eviction
+/// pipe's ledger here at each audit point; both fields are zero when the
+/// pipe is disabled or quiesced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InFlightEviction {
+    /// Page images in flight.
+    pub pages: usize,
+    /// Bytes across those images.
+    pub bytes: u64,
+}
 
 macro_rules! ensure {
     ($cond:expr, $check:expr, $($fmt:tt)+) => {
@@ -151,7 +167,9 @@ impl TableAudit {
     ///   it derived from it;
     /// * `used_before_evict` — `heap().stats().used_bytes` captured
     ///   immediately before `end_iteration()`;
-    /// * `evict` — that eviction's report.
+    /// * `evict` — that eviction's report;
+    /// * `in_flight` — the eviction pipe's unadopted pages at this
+    ///   boundary (zeroes when overlap is off).
     pub fn check_iteration(
         &mut self,
         table: &SepoTable,
@@ -159,6 +177,7 @@ impl TableAudit {
         pending_after: usize,
         used_before_evict: u64,
         evict: &EvictReport,
+        in_flight: InFlightEviction,
     ) -> Result<(), AuditViolation> {
         let set = done.count_set();
         ensure!(
@@ -173,20 +192,23 @@ impl TableAudit {
             "{set} done bits + {pending_after} pending tasks != {} tasks",
             done.len()
         );
-        self.check_eviction(table, used_before_evict, evict)?;
+        self.check_eviction(table, used_before_evict, evict, in_flight)?;
         self.iterations_checked += 1;
         Ok(())
     }
 
     /// Check the run-ending `finalize()` eviction (no bitmap check: the
     /// run may have stopped at the iteration cap with tasks pending).
+    /// The driver quiesces the pipe before finalizing, so `in_flight` is
+    /// normally zero here.
     pub fn check_final(
         &mut self,
         table: &SepoTable,
         used_before_evict: u64,
         evict: &EvictReport,
+        in_flight: InFlightEviction,
     ) -> Result<(), AuditViolation> {
-        self.check_eviction(table, used_before_evict, evict)
+        self.check_eviction(table, used_before_evict, evict, in_flight)
     }
 
     fn check_eviction(
@@ -194,6 +216,7 @@ impl TableAudit {
         table: &SepoTable,
         used_before_evict: u64,
         evict: &EvictReport,
+        in_flight: InFlightEviction,
     ) -> Result<(), AuditViolation> {
         ensure!(
             evict.evicted_bytes + evict.kept_bytes == used_before_evict,
@@ -213,16 +236,18 @@ impl TableAudit {
         self.cum_evicted_bytes += evict.evicted_bytes;
         let host_pages = table.host_heap().len() - self.host_pages_baseline;
         ensure!(
-            host_pages == self.cum_evicted_pages,
+            host_pages + in_flight.pages == self.cum_evicted_pages,
             "host-heap-page-growth",
-            "host heap grew by {host_pages} pages but {} were evicted",
+            "host heap grew by {host_pages} pages + {} in flight, but {} were evicted",
+            in_flight.pages,
             self.cum_evicted_pages
         );
         let host_bytes = table.host_heap().total_bytes() - self.host_bytes_baseline;
         ensure!(
-            host_bytes == self.cum_evicted_bytes,
+            host_bytes + in_flight.bytes == self.cum_evicted_bytes,
             "host-heap-byte-growth",
-            "host heap grew by {host_bytes} bytes but {} were evicted",
+            "host heap grew by {host_bytes} bytes + {} in flight, but {} were evicted",
+            in_flight.bytes,
             self.cum_evicted_bytes
         );
         self.check_structure(table)
@@ -263,12 +288,21 @@ mod tests {
         assert!(used_before > 0);
         let evict = t.end_iteration();
         audit
-            .check_iteration(&t, &done, 0, used_before, &evict)
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                used_before,
+                &evict,
+                InFlightEviction::default(),
+            )
             .unwrap();
         assert_eq!(audit.iterations_checked(), 1);
         let used = t.heap().stats().used_bytes;
         let fin = t.finalize();
-        audit.check_final(&t, used, &fin).unwrap();
+        audit
+            .check_final(&t, used, &fin, InFlightEviction::default())
+            .unwrap();
     }
 
     #[test]
@@ -279,7 +313,9 @@ mod tests {
         done.set(0);
         // 1 done + 5 pending != 10 tasks.
         let evict = EvictReport::default();
-        let v = audit.check_iteration(&t, &done, 5, 0, &evict).unwrap_err();
+        let v = audit
+            .check_iteration(&t, &done, 5, 0, &evict, InFlightEviction::default())
+            .unwrap_err();
         assert_eq!(v.check, "bitmap-vs-pending");
         assert_eq!(audit.iterations_checked(), 0);
     }
@@ -295,7 +331,7 @@ mod tests {
         // Claim 100 bytes were resident, but report nothing moved or kept.
         let evict = EvictReport::default();
         let v = audit
-            .check_iteration(&t, &done, 0, 100, &evict)
+            .check_iteration(&t, &done, 0, 100, &evict, InFlightEviction::default())
             .unwrap_err();
         assert_eq!(v.check, "eviction-byte-conservation");
         assert!(v.to_string().contains("eviction-byte-conservation"));
@@ -310,7 +346,14 @@ mod tests {
             .store(999, sepo_alloc::PageKind::Mixed, vec![0u8; 16]);
         let done = Bitmap::new(0);
         let v = audit
-            .check_iteration(&t, &done, 0, 0, &EvictReport::default())
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                0,
+                &EvictReport::default(),
+                InFlightEviction::default(),
+            )
             .unwrap_err();
         assert_eq!(v.check, "host-heap-page-growth");
     }
@@ -324,7 +367,14 @@ mod tests {
         let mut audit = TableAudit::begin(&t);
         let done = Bitmap::new(0);
         audit
-            .check_iteration(&t, &done, 0, 0, &EvictReport::default())
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                0,
+                &EvictReport::default(),
+                InFlightEviction::default(),
+            )
             .unwrap();
     }
 
@@ -357,10 +407,80 @@ mod tests {
         let evict = t.end_iteration();
         assert!(evict.kept_pages > 0, "pending key page must be kept");
         audit
-            .check_iteration(&t, &done, 0, used_before, &evict)
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                used_before,
+                &evict,
+                InFlightEviction::default(),
+            )
             .unwrap();
         let used = t.heap().stats().used_bytes;
         let fin = t.finalize();
-        audit.check_final(&t, used, &fin).unwrap();
+        audit
+            .check_final(&t, used, &fin, InFlightEviction::default())
+            .unwrap();
+    }
+
+    /// With the eviction pipe armed, pages sit between device and host
+    /// while their DMA drains: the growth checks must accept them when the
+    /// driver reports them in flight, and still catch the books being
+    /// cooked (claiming zero in flight while adoption is deferred).
+    #[test]
+    fn in_flight_pages_reconcile_host_growth() {
+        use gpu_sim::{DeviceMemory, EvictionPipe, PcieBus, PcieSpec};
+        let t = table(Organization::Combining(Combiner::Add), 8);
+        let mut audit = TableAudit::begin(&t);
+        let mut c = NoCharge;
+        for i in 0..40 {
+            assert!(t
+                .insert_combining(format!("k{i}").as_bytes(), 1, &mut c)
+                .is_success());
+        }
+        let done = Bitmap::new(0);
+        let dev = DeviceMemory::new(4 * 1024);
+        let bus = PcieBus::new(PcieSpec::default(), Arc::new(Metrics::new()));
+        let mut pipe = EvictionPipe::new(&dev, bus, 1024).unwrap();
+        let used_before = t.heap().stats().used_bytes;
+        let evict = t.end_iteration_piped(&mut NoCharge, &mut pipe);
+        // Claiming the pipe is empty while adoption is deferred must trip
+        // the page-growth check.
+        let v = audit
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                used_before,
+                &evict,
+                InFlightEviction::default(),
+            )
+            .unwrap_err();
+        assert_eq!(v.check, "host-heap-page-growth");
+        // Reporting the true ledger reconciles the books...
+        let mut honest = TableAudit::begin(&t);
+        honest
+            .check_iteration(
+                &t,
+                &done,
+                0,
+                used_before,
+                &evict,
+                InFlightEviction {
+                    pages: pipe.in_flight(),
+                    bytes: pipe.in_flight_bytes(),
+                },
+            )
+            .unwrap();
+        // ...and so does adopting everything with a drained pipe.
+        t.adopt_evicted(pipe.quiesce());
+        let mut adopted = TableAudit::begin(&t);
+        adopted.host_pages_baseline = 0;
+        adopted.host_bytes_baseline = 0;
+        adopted.cum_evicted_pages = evict.evicted_pages;
+        adopted.cum_evicted_bytes = evict.evicted_bytes;
+        adopted
+            .check_final(&t, 0, &EvictReport::default(), InFlightEviction::default())
+            .unwrap();
     }
 }

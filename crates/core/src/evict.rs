@@ -26,9 +26,11 @@ use crate::entry::{self, key_entry};
 use crate::hash::bucket_of;
 use crate::table::SepoTable;
 use gpu_sim::charge::{Charge, NoCharge};
+use gpu_sim::evict_pipe::EvictionPipe;
 use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use sepo_alloc::{DevHandle, HostLink, Link, PageKind};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// What an eviction moved and kept.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +54,27 @@ impl EvictReport {
     }
 }
 
+/// An evicted page image travelling through the driver's eviction pipe:
+/// the stamped host identity, the page kind, and the `Arc`-shared data the
+/// host heap adopts without copying once the DMA completes.
+#[derive(Debug, Clone)]
+pub struct EvictedPage {
+    /// Never-reused host identity stamped at page acquisition.
+    pub host_id: u64,
+    /// Key or value page.
+    pub kind: PageKind,
+    /// The page image as copied off the device at enqueue time.
+    pub data: Arc<[u8]>,
+}
+
+/// Where evicted page images land: directly in the host heap (the
+/// synchronous model) or on the eviction pipe for deferred, asynchronous
+/// adoption.
+enum EvictDest<'a> {
+    Host,
+    Pipe(&'a mut EvictionPipe<EvictedPage>),
+}
+
 impl SepoTable {
     /// End-of-iteration eviction per the table's organization. Quiescent
     /// callers only.
@@ -67,8 +90,35 @@ impl SepoTable {
     /// stay exempt from race rules (the device is quiescent).
     pub fn end_iteration_charged<C: Charge>(&self, charge: &mut C) -> EvictReport {
         match self.cfg.organization {
-            Organization::Basic | Organization::Combining(_) => self.evict_all(charge),
-            Organization::MultiValued => self.evict_multivalued(false, charge),
+            Organization::Basic | Organization::Combining(_) => {
+                self.evict_all(charge, &mut EvictDest::Host)
+            }
+            Organization::MultiValued => {
+                self.evict_multivalued(false, charge, &mut EvictDest::Host)
+            }
+        }
+    }
+
+    /// [`SepoTable::end_iteration_charged`] with **deferred** host
+    /// adoption: evicted page images are enqueued on `pipe` (their DMA
+    /// issued on the bus ledger) instead of being stored in the host heap
+    /// inline. The device-side effects — page release, head resets, chain
+    /// rebuilds — and the returned report are identical to the synchronous
+    /// path; the shadow use-after-evict epoch is stamped at enqueue. The
+    /// caller adopts the images at transfer-completion points via
+    /// [`SepoTable::adopt_evicted`].
+    pub fn end_iteration_piped<C: Charge>(
+        &self,
+        charge: &mut C,
+        pipe: &mut EvictionPipe<EvictedPage>,
+    ) -> EvictReport {
+        match self.cfg.organization {
+            Organization::Basic | Organization::Combining(_) => {
+                self.evict_all(charge, &mut EvictDest::Pipe(pipe))
+            }
+            Organization::MultiValued => {
+                self.evict_multivalued(false, charge, &mut EvictDest::Pipe(pipe))
+            }
         }
     }
 
@@ -83,31 +133,62 @@ impl SepoTable {
     /// [`SepoTable::end_iteration_charged`]).
     pub fn finalize_charged<C: Charge>(&self, charge: &mut C) -> EvictReport {
         match self.cfg.organization {
-            Organization::Basic | Organization::Combining(_) => self.evict_all(charge),
-            Organization::MultiValued => self.evict_multivalued(true, charge),
+            Organization::Basic | Organization::Combining(_) => {
+                self.evict_all(charge, &mut EvictDest::Host)
+            }
+            Organization::MultiValued => self.evict_multivalued(true, charge, &mut EvictDest::Host),
+        }
+    }
+
+    /// Store pipe-drained page images in the host heap under their stamped
+    /// identities. The `Arc`-shared payloads make this copy-free.
+    pub fn adopt_evicted(&self, pages: impl IntoIterator<Item = EvictedPage>) {
+        for pg in pages {
+            self.host.store(pg.host_id, pg.kind, pg.data);
         }
     }
 
     /// Copy every resident page out and free it; clear all bucket heads.
-    fn evict_all<C: Charge>(&self, charge: &mut C) -> EvictReport {
+    fn evict_all<C: Charge>(&self, charge: &mut C, dest: &mut EvictDest<'_>) -> EvictReport {
         let mut report = EvictReport::default();
         for p in self.heap.resident_pages() {
-            report.absorb(self.evict_page(p, charge));
+            report.absorb(self.evict_page(p, charge, dest));
         }
         self.reset_heads();
         self.groups.reset_iteration();
         report
     }
 
-    /// Copy one page to the host heap under its stamped identity and
-    /// release it. Declares the page's logical identity evicted *before*
-    /// the release, while the identity is still readable.
-    fn evict_page<C: Charge>(&self, p: u32, charge: &mut C) -> EvictReport {
+    /// Copy one page off the device under its stamped identity and release
+    /// it — into the host heap directly, or onto the eviction pipe for
+    /// deferred adoption. Declares the page's logical identity evicted
+    /// *before* the release, while the identity is still readable: with a
+    /// pipe destination this is the enqueue-time epoch stamp (the page is
+    /// logically dead to the device the moment it is selected, even though
+    /// its DMA completes later).
+    fn evict_page<C: Charge>(
+        &self,
+        p: u32,
+        charge: &mut C,
+        dest: &mut EvictDest<'_>,
+    ) -> EvictReport {
         charge.access(ShadowAddr::Page(self.heap.host_id(p)), AccessKind::Evicted);
         let data = self.heap.page_data(p);
         let bytes = data.len() as u64;
-        self.host
-            .store(self.heap.host_id(p), self.heap.page_kind(p), data);
+        match dest {
+            EvictDest::Host => {
+                self.host
+                    .store(self.heap.host_id(p), self.heap.page_kind(p), data);
+            }
+            EvictDest::Pipe(pipe) => {
+                let page = EvictedPage {
+                    host_id: self.heap.host_id(p),
+                    kind: self.heap.page_kind(p),
+                    data: Arc::from(data),
+                };
+                pipe.enqueue(page, bytes);
+            }
+        }
         self.heap.release_page(p);
         EvictReport {
             evicted_pages: 1,
@@ -118,7 +199,12 @@ impl SepoTable {
 
     /// The multi-valued policy (Fig. 5b). `force` evicts kept pages too
     /// (finalize).
-    fn evict_multivalued<C: Charge>(&self, force: bool, charge: &mut C) -> EvictReport {
+    fn evict_multivalued<C: Charge>(
+        &self,
+        force: bool,
+        charge: &mut C,
+        dest: &mut EvictDest<'_>,
+    ) -> EvictReport {
         let mut report = EvictReport::default();
         let resident = self.heap.resident_pages();
         let key_pages: Vec<u32> = resident
@@ -154,7 +240,7 @@ impl SepoTable {
 
         // 2. Value pages always leave.
         for &p in &value_pages {
-            report.absorb(self.evict_page(p, charge));
+            report.absorb(self.evict_page(p, charge, dest));
         }
 
         // 3. Key pages leave unless they hold pending keys (or we are
@@ -183,7 +269,7 @@ impl SepoTable {
                 report.kept_pages += 1;
                 report.kept_bytes += self.heap.page_used(p) as u64;
             } else {
-                report.absorb(self.evict_page(p, charge));
+                report.absorb(self.evict_page(p, charge, dest));
             }
         }
 
@@ -438,6 +524,77 @@ mod tests {
         assert_eq!(w.warp, 1, "task 38 runs in the second warp");
         assert_eq!(w.lane, 6, "task 38 is lane 6 of its warp");
         assert_eq!(w.iteration, 2);
+    }
+
+    fn test_pipe() -> EvictionPipe<EvictedPage> {
+        use gpu_sim::{DeviceMemory, PcieBus, PcieSpec};
+        let dev = DeviceMemory::new(4 * 1024);
+        let bus = PcieBus::new(PcieSpec::default(), Arc::new(Metrics::new()));
+        EvictionPipe::new(&dev, bus, 1024).unwrap()
+    }
+
+    /// Piped eviction must be observationally identical to the synchronous
+    /// path — same report, same device state — with host adoption simply
+    /// deferred until the pipe drains.
+    #[test]
+    fn piped_eviction_defers_adoption_but_matches_synchronous_results() {
+        let sync = table(Organization::Combining(Combiner::Add), 8);
+        let piped = table(Organization::Combining(Combiner::Add), 8);
+        let mut c = NoCharge;
+        for i in 0..20 {
+            let k = format!("k{i}");
+            assert!(sync.insert_combining(k.as_bytes(), 1, &mut c).is_success());
+            assert!(piped.insert_combining(k.as_bytes(), 1, &mut c).is_success());
+        }
+        let mut pipe = test_pipe();
+        let r_sync = sync.end_iteration();
+        let r_piped = piped.end_iteration_piped(&mut NoCharge, &mut pipe);
+        assert_eq!(r_sync, r_piped, "reports must not depend on the path");
+        assert_eq!(piped.heap().free_pages(), piped.heap().total_pages());
+        // Adoption is deferred: nothing host-side until the pipe drains.
+        assert_eq!(piped.host_heap().len(), 0);
+        assert_eq!(pipe.in_flight(), r_piped.evicted_pages);
+        assert_eq!(pipe.in_flight_bytes(), r_piped.evicted_bytes);
+        piped.adopt_evicted(pipe.quiesce());
+        assert_eq!(
+            piped.host_heap().pages_in_order(),
+            sync.host_heap().pages_in_order()
+        );
+    }
+
+    /// Same parity property for the multi-valued policy, whose eviction
+    /// rewrites continuations and keeps pending key pages resident.
+    #[test]
+    fn piped_multivalued_eviction_matches_synchronous_results() {
+        let sync = table(Organization::MultiValued, 2);
+        let piped = table(Organization::MultiValued, 2);
+        let mut c = NoCharge;
+        for t in [&sync, &piped] {
+            assert!(t.insert_multivalued(b"key", b"v0", &mut c).is_success());
+            for i in 0..60 {
+                let v = format!("value-{i:03}-padding-padding");
+                if !t
+                    .insert_multivalued(b"key", v.as_bytes(), &mut c)
+                    .is_success()
+                {
+                    break;
+                }
+            }
+        }
+        let mut pipe = test_pipe();
+        let r_sync = sync.end_iteration();
+        let r_piped = piped.end_iteration_piped(&mut NoCharge, &mut pipe);
+        assert_eq!(r_sync, r_piped);
+        assert_eq!(r_piped.kept_pages, 1, "pending key page stays either way");
+        piped.adopt_evicted(pipe.quiesce());
+        assert_eq!(
+            piped.host_heap().pages_in_order(),
+            sync.host_heap().pages_in_order()
+        );
+        // The kept key remains appendable after the piped boundary too.
+        assert!(piped
+            .insert_multivalued(b"key", b"v-next", &mut c)
+            .is_success());
     }
 
     /// The host is allowed to keep touching evicted identities (that is the

@@ -59,12 +59,12 @@ pub mod sepo;
 pub mod stats;
 pub mod table;
 
-pub use audit::{AuditViolation, TableAudit};
+pub use audit::{AuditViolation, InFlightEviction, TableAudit};
 pub use bitmap::Bitmap;
 pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use combiner::{CombinerConfig, WarpCombiner};
 pub use config::{Combiner, Organization, TableConfig};
-pub use evict::EvictReport;
+pub use evict::{EvictReport, EvictedPage};
 pub use hostquery::HostIndex;
 pub use lookup::{LookupOutcome, LookupRound};
 pub use results::GroupedPair;

@@ -17,21 +17,23 @@
 //!   in place; multi-valued must see the full pass to know which keys are
 //!   pending).
 
-use crate::audit::TableAudit;
+use crate::audit::{InFlightEviction, TableAudit};
 use crate::bitmap::Bitmap;
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::combiner::{CombinerConfig, WarpCombiner};
 use crate::config::Organization;
-use crate::evict::EvictReport;
+use crate::evict::{EvictReport, EvictedPage};
 use crate::table::SepoTable;
 use gpu_sim::charge::Charge;
 use gpu_sim::executor::{Executor, LaneCtx, WarpScratch};
-use gpu_sim::metrics::Snapshot;
-use gpu_sim::{FaultPlan, HardFaultError};
+use gpu_sim::metrics::{Metrics, Snapshot};
+use gpu_sim::spec::PcieSpec;
+use gpu_sim::{DeviceMemory, EvictionPipe, FaultPlan, HardFaultError, NoCharge, PcieBus};
 use std::any::Any;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Result of processing one task (input record) in a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +101,10 @@ pub struct SepoOutcome {
     /// Hard-fault recovery accounting ([`DriverConfig::checkpoint`]). All
     /// zero when checkpointing is off and no hard fault struck.
     pub recovery: RecoveryStats,
+    /// Did this run evict through the asynchronous pipe
+    /// ([`DriverConfig::evict_overlap`])? The benchmark layer keys its
+    /// overlapped-vs-serial eviction pricing off this flag.
+    pub evict_overlap: bool,
 }
 
 impl SepoOutcome {
@@ -292,6 +298,17 @@ pub struct DriverConfig {
     /// [`SepoError::DeviceLost`]. Irrelevant while `checkpoint` is off (the
     /// first hard fault is then fatal).
     pub max_recoveries: u32,
+    /// Evict asynchronously: iteration-boundary evictions enqueue their
+    /// page images on a double-buffered eviction pipe
+    /// ([`gpu_sim::EvictionPipe`]) whose DMA drains behind the next
+    /// iteration's kernels, and the host heap adopts the images at the next
+    /// quiescent point instead of inline. Results — table images, iteration
+    /// trajectories, iteration counts — are byte-identical with this on or
+    /// off; only the simulated-time pricing changes (the benchmark layer
+    /// overlaps eviction DMA with compute via
+    /// [`gpu_sim::pipelined_total`]). Off by default; the CLI's
+    /// `--evict-overlap on` turns it on.
+    pub evict_overlap: bool,
 }
 
 impl Default for DriverConfig {
@@ -305,6 +322,7 @@ impl Default for DriverConfig {
             sanitize: false,
             checkpoint: CheckpointPolicy::Off,
             max_recoveries: 8,
+            evict_overlap: false,
         }
     }
 }
@@ -434,6 +452,28 @@ impl<'a> SepoDriver<'a> {
             )?);
         }
 
+        // Asynchronous eviction: a dedicated two-buffer staging pair and an
+        // in-flight DMA ledger of its own. The pipe's bus counts its wire
+        // traffic on a private Metrics instance so the table's metrics —
+        // and with them every IterationStats snapshot — stay byte-identical
+        // with overlap on or off; the executor's fault plan (if any) still
+        // injects transient PCIe errors into the eviction transfers, which
+        // cost retries in simulated time but never lose a page.
+        let mut pipe: Option<EvictionPipe<EvictedPage>> = if self.config.evict_overlap {
+            let page = self.table.heap().page_size();
+            let dev = DeviceMemory::new(2 * page as u64);
+            let mut bus = PcieBus::new(PcieSpec::default(), Arc::new(Metrics::new()));
+            if let Some(plan) = self.executor.faults() {
+                bus = bus.with_faults(Arc::clone(plan));
+            }
+            Some(
+                EvictionPipe::new(&dev, bus, page)
+                    .expect("a fresh two-page device always fits its own staging pair"),
+            )
+        } else {
+            None
+        };
+
         // Shadow-memory sanitizer: kernels declare their logical accesses
         // through the lane's charge sink; the executor forwards them to the
         // sanitizer attached via `Executor::with_shadow`. The driver only
@@ -550,6 +590,17 @@ impl<'a> SepoDriver<'a> {
                 let Some(ckp) = checkpoint.as_ref() else {
                     unreachable!("recoverable implies a checkpoint");
                 };
+                // Checkpointing quiesces the pipe at every boundary before
+                // capture, so a kill mid-launch can never strand an
+                // in-flight eviction: the restore below rebuilds the exact
+                // adopted host heap the checkpoint saw.
+                if let Some(p) = pipe.as_ref() {
+                    debug_assert_eq!(
+                        p.in_flight(),
+                        0,
+                        "checkpointed boundaries leave the eviction pipe empty"
+                    );
+                }
                 // Rebuild the device (and driver) state of the last
                 // quiescent boundary. The killed iteration's partial writes
                 // are a strict prefix of what its replay will write, so the
@@ -574,10 +625,20 @@ impl<'a> SepoDriver<'a> {
                 continue;
             }
 
+            // Adopt the previous boundary's evicted pages first: their DMA
+            // has been draining behind this iteration's kernels, and the
+            // device is quiescent again, so wait out any exposed remainder
+            // and re-home the images in the host heap before evicting more.
+            if let Some(p) = pipe.as_mut() {
+                let adopted = p.quiesce();
+                self.table.adopt_evicted(adopted);
+            }
             let used_before_evict = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
-            let evict = match &shadow {
-                Some(sz) => self.table.end_iteration_charged(&mut sz.host_charge()),
-                None => self.table.end_iteration(),
+            let evict = match (&shadow, pipe.as_mut()) {
+                (Some(sz), Some(p)) => self.table.end_iteration_piped(&mut sz.host_charge(), p),
+                (Some(sz), None) => self.table.end_iteration_charged(&mut sz.host_charge()),
+                (None, Some(p)) => self.table.end_iteration_piped(&mut NoCharge, p),
+                (None, None) => self.table.end_iteration(),
             };
             let after = self.table.metrics().snapshot();
             let next_pending: Vec<u32> = pending
@@ -587,12 +648,22 @@ impl<'a> SepoDriver<'a> {
                 .collect();
             let tasks_completed = pending.len() as u64 - next_pending.len() as u64;
             if let Some(a) = audit.as_mut() {
+                // The audit reconciles host-heap growth against cumulative
+                // evictions; pages still on the eviction pipe's wire are
+                // declared so the books balance before adoption.
+                let in_flight =
+                    pipe.as_ref()
+                        .map_or_else(InFlightEviction::default, |p| InFlightEviction {
+                            pages: p.in_flight(),
+                            bytes: p.in_flight_bytes(),
+                        });
                 if let Err(v) = a.check_iteration(
                     self.table,
                     &done,
                     next_pending.len(),
                     used_before_evict.unwrap_or(0),
                     &evict,
+                    in_flight,
                 ) {
                     panic!("SEPO audit failed at iteration {iter_no}: {v}");
                 }
@@ -644,6 +715,14 @@ impl<'a> SepoDriver<'a> {
             });
             pending = next_pending;
             if self.config.checkpoint.is_enabled() {
+                // A checkpoint must capture a *quiescent* host heap: wait
+                // out this boundary's in-flight eviction DMA and adopt the
+                // images first, so the `SEPOCKP1` image matches what a
+                // synchronous run captures and a restore rebuilds it.
+                if let Some(p) = pipe.as_mut() {
+                    let adopted = p.quiesce();
+                    self.table.adopt_evicted(adopted);
+                }
                 checkpoint = Some(self.take_checkpoint(
                     &done,
                     &progress,
@@ -655,14 +734,25 @@ impl<'a> SepoDriver<'a> {
             }
         }
 
+        // Drain the pipe before the final flush: finalize's evictions go
+        // straight to the host heap, and result collection walks it in
+        // eviction order, so every piped image must be home first.
+        if let Some(p) = pipe.as_mut() {
+            let adopted = p.quiesce();
+            self.table.adopt_evicted(adopted);
+        }
         let used_before_final = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
         let final_evict = match &shadow {
             Some(sz) => self.table.finalize_charged(&mut sz.host_charge()),
             None => self.table.finalize(),
         };
         if let Some(a) = audit.as_mut() {
-            if let Err(v) = a.check_final(self.table, used_before_final.unwrap_or(0), &final_evict)
-            {
+            if let Err(v) = a.check_final(
+                self.table,
+                used_before_final.unwrap_or(0),
+                &final_evict,
+                InFlightEviction::default(),
+            ) {
                 panic!("SEPO audit failed at finalize: {v}");
             }
         }
@@ -677,6 +767,7 @@ impl<'a> SepoDriver<'a> {
             final_evict,
             pending_tasks: pending.len() as u64,
             recovery,
+            evict_overlap: self.config.evict_overlap,
         };
         if outcome.pending_tasks > 0 {
             return Err(SepoError::IterationCapExceeded {
@@ -1191,6 +1282,120 @@ mod tests {
         };
         assert_eq!(*at_iteration, 0, "the pre-run baseline checkpoint fails");
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    /// Run the 400-key combining workload with the given config and return
+    /// (outcome, final table image, metrics snapshot).
+    fn overlap_fixture(config: DriverConfig) -> (SepoOutcome, Vec<u8>, Snapshot) {
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let e = exec(t.metrics());
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let outcome = SepoDriver::new(&t, &e)
+            .with_config(config)
+            .try_run(
+                keys.len(),
+                |_| 16,
+                |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                },
+            )
+            .unwrap();
+        let mut img = Vec::new();
+        t.save(&mut img).unwrap();
+        (outcome, img, t.metrics().snapshot())
+    }
+
+    #[test]
+    fn overlapped_eviction_matches_synchronous_byte_for_byte() {
+        let (sync, sync_img, sync_metrics) = overlap_fixture(audited());
+        let (piped, piped_img, piped_metrics) = overlap_fixture(DriverConfig {
+            evict_overlap: true,
+            ..audited()
+        });
+        assert!(sync.n_iterations() > 1, "the fixture must force evictions");
+        assert!(!sync.evict_overlap);
+        assert!(piped.evict_overlap);
+        assert_eq!(
+            sync.iterations, piped.iterations,
+            "piped eviction must not change the iteration trajectory"
+        );
+        assert_eq!(sync.final_evict, piped.final_evict);
+        assert_eq!(sync_img, piped_img, "result images must be byte-identical");
+        assert_eq!(
+            sync_metrics, piped_metrics,
+            "the pipe's bus counts on a private Metrics instance"
+        );
+    }
+
+    #[test]
+    fn overlapped_eviction_matches_under_checkpointing() {
+        // Per-boundary checkpoints quiesce the pipe; the trajectory must
+        // still match a synchronous checkpointed run.
+        let ckp = DriverConfig {
+            checkpoint: CheckpointPolicy::Memory,
+            ..audited()
+        };
+        let (sync, sync_img, _) = overlap_fixture(ckp.clone());
+        let (piped, piped_img, _) = overlap_fixture(DriverConfig {
+            evict_overlap: true,
+            ..ckp
+        });
+        assert!(sync.recovery.checkpoints_taken > 1);
+        assert_eq!(sync.iterations, piped.iterations);
+        assert_eq!(sync.recovery, piped.recovery);
+        assert_eq!(sync_img, piped_img);
+    }
+
+    #[test]
+    fn killed_and_resumed_overlapped_runs_match_unkilled_byte_for_byte() {
+        // The chaos test below with the pipe on: a hard kill can strike
+        // while the previous boundary's pages were adopted at checkpoint
+        // time, and the resumed run must still be byte-identical.
+        fn run(with_faults: bool) -> (SepoOutcome, Vec<u8>) {
+            let t = small_table(Organization::Combining(Combiner::Add), 4);
+            let mut e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+                .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+            if with_faults {
+                e = e.with_faults(hard_plan(0.15, 0.05, 0xC0FFEE));
+            }
+            let outcome = SepoDriver::new(&t, &e)
+                .with_config(DriverConfig {
+                    chunk_tasks: 64,
+                    audit: true,
+                    sanitize: true,
+                    evict_overlap: true,
+                    checkpoint: CheckpointPolicy::Memory,
+                    max_recoveries: 10_000,
+                    ..DriverConfig::default()
+                })
+                .try_run(
+                    400,
+                    |_| 16,
+                    |task, _start, lane| {
+                        let key = format!("key-{task:05}");
+                        match t.insert_combining(key.as_bytes(), 1, lane) {
+                            crate::table::InsertStatus::Success => TaskResult::Done,
+                            crate::table::InsertStatus::Postponed => {
+                                TaskResult::Postponed { next_pair: 0 }
+                            }
+                        }
+                    },
+                )
+                .unwrap();
+            let mut img = Vec::new();
+            t.save(&mut img).unwrap();
+            (outcome, img)
+        }
+        let (base, base_img) = run(false);
+        let (chaos, chaos_img) = run(true);
+        assert!(
+            chaos.recovery.recoveries > 0,
+            "the seed must kill at least one launch for this test to bite"
+        );
+        assert_eq!(base.iterations, chaos.iterations);
+        assert_eq!(base.final_evict, chaos.final_evict);
+        assert_eq!(base_img, chaos_img, "result images must be byte-identical");
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Double-buffered asynchronous eviction pipe.
+//!
+//! Input staging ([`crate::staging`]) already overlaps host→device uploads
+//! with compute; eviction is the same pipeline run in the device→host
+//! direction. At an iteration boundary the driver packs each evicted page
+//! into one of a pair of eviction staging buffers and hands it to the DMA
+//! engine; the transfer then drains *behind the next iteration's kernels*,
+//! and the host heap adopts the page only once the transfer has completed
+//! in simulated time. The makespan effect is the mirror image of
+//! BigKernel's upload pipeline and is priced with the same
+//! [`crate::pipeline::pipelined_total`] model.
+//!
+//! The pipe is generic over the payload it carries: the simulator layer
+//! tracks reservations, bytes, and completion times, while the caller
+//! (the SEPO driver) attaches whatever it needs to re-home a page —
+//! typically an `Arc`-shared page image, making deferred adoption
+//! copy-free.
+
+use crate::clock::{SimClock, SimTime};
+use crate::memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
+use crate::pcie::PcieBus;
+use std::collections::VecDeque;
+
+/// A pair of device-side eviction staging buffers plus the in-flight
+/// payloads whose DMA has been issued on the bus ledger but has not yet
+/// completed. See the module docs for the schedule it models.
+#[derive(Debug)]
+pub struct EvictionPipe<T> {
+    /// Capacity of one staging buffer in bytes.
+    capacity: usize,
+    /// Which buffer the *next* enqueue packs into; the other one is being
+    /// drained by the DMA engine.
+    front: usize,
+    /// Simulated clock the completion model runs against. Advanced by the
+    /// driver as compute elapses; `quiesce` fast-forwards it to the bus's
+    /// idle point.
+    clock: SimClock,
+    /// Issued-but-not-adopted payloads keyed by their bus transfer id, in
+    /// issue (= completion) order.
+    in_flight: VecDeque<(u64, u64, T)>,
+    /// Payloads enqueued over the pipe's lifetime.
+    enqueued: u64,
+    /// Total DMA time of every issued transfer (failed attempts included).
+    transfer_time: SimTime,
+    /// Time `quiesce` spent waiting for the engine — the exposed (not
+    /// hidden behind compute) portion of the eviction DMA.
+    exposed_wait: SimTime,
+    bus: PcieBus,
+    device: DeviceMemory,
+    reservations: [Option<Reservation>; 2],
+}
+
+impl<T> EvictionPipe<T> {
+    /// Reserve two `buffer_capacity`-byte eviction staging buffers from
+    /// `device`; transfers are issued on `bus`'s in-flight ledger. Like
+    /// [`crate::staging::StagingBuffers::new`], a failed second reservation
+    /// rolls back the first.
+    pub fn new(
+        device: &DeviceMemory,
+        bus: PcieBus,
+        buffer_capacity: usize,
+    ) -> Result<Self, OutOfDeviceMemory> {
+        let a = device.reserve("eviction staging A", buffer_capacity as u64)?;
+        let b = match device.reserve("eviction staging B", buffer_capacity as u64) {
+            Ok(b) => b,
+            Err(e) => {
+                device.release(a);
+                return Err(e);
+            }
+        };
+        Ok(EvictionPipe {
+            capacity: buffer_capacity,
+            front: 0,
+            clock: SimClock::new(),
+            in_flight: VecDeque::new(),
+            enqueued: 0,
+            transfer_time: SimTime::ZERO,
+            exposed_wait: SimTime::ZERO,
+            bus,
+            device: device.clone(),
+            reservations: [Some(a), Some(b)],
+        })
+    }
+
+    /// Return both staging reservations to the device (idempotent;
+    /// dropping does the same).
+    pub fn release(&mut self) {
+        for slot in &mut self.reservations {
+            if let Some(r) = slot.take() {
+                self.device.release(r);
+            }
+        }
+    }
+
+    /// Capacity of one staging buffer.
+    pub fn buffer_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pack `bytes` of evicted page data into the back staging buffer and
+    /// issue its DMA on the bus ledger at the pipe's current simulated
+    /// time. A payload larger than one buffer is split at capacity
+    /// boundaries into back-to-back transfers (alternating buffers); the
+    /// payload completes with its last piece. Returns the completion time.
+    pub fn enqueue(&mut self, payload: T, bytes: u64) -> SimTime {
+        let cap = self.capacity.max(1) as u64;
+        let mut left = bytes;
+        let last = loop {
+            let piece = left.min(cap);
+            let ticket = self.bus.begin_transfer(piece, self.clock.now());
+            self.transfer_time += self.bus.bulk_transfer_time(piece);
+            self.front = 1 - self.front;
+            if left <= cap {
+                break ticket;
+            }
+            left -= cap;
+        };
+        self.in_flight.push_back((last.id, bytes, payload));
+        self.enqueued += 1;
+        last.completion
+    }
+
+    /// Current simulated time of the pipe's completion model.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advance the completion clock by `dt` (compute elapsing on the
+    /// device while the DMA drains) and return the new time.
+    pub fn advance(&mut self, dt: SimTime) -> SimTime {
+        self.clock.advance(dt)
+    }
+
+    /// Collect every payload whose DMA has completed by simulated time
+    /// `t`, in completion order. Payloads still on the wire stay queued.
+    pub fn drain_until(&mut self, t: SimTime) -> Vec<T> {
+        let done = self.bus.drain_until(t);
+        let mut out = Vec::new();
+        for c in done {
+            // Intermediate pieces of a split payload have no entry of
+            // their own; the payload rides its final piece.
+            if self.in_flight.front().is_some_and(|(id, _, _)| *id == c.id) {
+                let (_, _, payload) = self.in_flight.pop_front().expect("checked front");
+                out.push(payload);
+            }
+        }
+        out
+    }
+
+    /// Wait (in simulated time) for the DMA engine to go idle and adopt
+    /// everything still in flight: fast-forwards the clock to the bus's
+    /// busy horizon, accumulating the gap as exposed wait time, and
+    /// returns the remaining payloads in completion order.
+    pub fn quiesce(&mut self) -> Vec<T> {
+        let horizon = self.bus.busy_until();
+        let now = self.clock.now();
+        if horizon > now {
+            self.exposed_wait += horizon - now;
+            self.clock.advance(horizon - now);
+        }
+        self.drain_until(self.clock.now())
+    }
+
+    /// Payloads issued but not yet adopted.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Bytes across issued-but-not-adopted payloads.
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.in_flight.iter().map(|(_, b, _)| b).sum()
+    }
+
+    /// Payloads enqueued over the pipe's lifetime.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total DMA time of every issued transfer.
+    pub fn transfer_time(&self) -> SimTime {
+        self.transfer_time
+    }
+
+    /// Simulated time `quiesce` spent stalled on the engine — the portion
+    /// of the eviction DMA that compute did not hide.
+    pub fn exposed_wait(&self) -> SimTime {
+        self.exposed_wait
+    }
+}
+
+impl<T> Drop for EvictionPipe<T> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::spec::PcieSpec;
+    use std::sync::Arc;
+
+    fn bus() -> PcieBus {
+        PcieBus::new(PcieSpec::default(), Arc::new(Metrics::new()))
+    }
+
+    fn pipe(dev: &DeviceMemory, cap: usize) -> EvictionPipe<u32> {
+        EvictionPipe::new(dev, bus(), cap).unwrap()
+    }
+
+    #[test]
+    fn reserves_and_releases_two_buffers() {
+        let dev = DeviceMemory::new(10_000);
+        {
+            let p = pipe(&dev, 3_000);
+            assert_eq!(dev.used(), 6_000);
+            assert_eq!(p.buffer_capacity(), 3_000);
+        }
+        assert_eq!(dev.free(), 10_000, "drop must return the capacity");
+        dev.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn failed_second_reservation_rolls_back_the_first() {
+        let dev = DeviceMemory::new(5_000);
+        assert!(EvictionPipe::<u32>::new(&dev, bus(), 3_000).is_err());
+        assert_eq!(dev.free(), 5_000);
+    }
+
+    #[test]
+    fn payloads_drain_in_completion_order() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut p = pipe(&dev, 4_096);
+        let c1 = p.enqueue(1, 1_000);
+        let c2 = p.enqueue(2, 1_000);
+        assert!(c2 > c1, "one DMA engine: completions are serialized");
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.in_flight_bytes(), 2_000);
+        assert!(p.drain_until(SimTime::ZERO).is_empty());
+        assert_eq!(p.drain_until(c1), vec![1]);
+        assert_eq!(p.in_flight(), 1);
+        assert_eq!(p.drain_until(c2), vec![2]);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn advancing_past_completions_makes_them_ready() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut p = pipe(&dev, 4_096);
+        let done = p.enqueue(7, 2_048);
+        p.advance(done);
+        assert_eq!(p.drain_until(p.now()), vec![7]);
+    }
+
+    #[test]
+    fn quiesce_adopts_everything_and_records_exposed_wait() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut p = pipe(&dev, 4_096);
+        p.enqueue(1, 4_096);
+        p.enqueue(2, 4_096);
+        assert_eq!(p.quiesce(), vec![1, 2]);
+        assert_eq!(p.in_flight(), 0);
+        // Nothing overlapped the DMA, so the whole drain was exposed.
+        assert!(p.exposed_wait() > SimTime::ZERO);
+        assert_eq!(p.now(), p.exposed_wait());
+        // Idempotent once empty.
+        assert!(p.quiesce().is_empty());
+    }
+
+    #[test]
+    fn compute_overlap_hides_the_dma() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut p = pipe(&dev, 4_096);
+        let done = p.enqueue(9, 4_096);
+        // An iteration of compute longer than the transfer elapses.
+        p.advance(done + SimTime::from_millis(1));
+        assert_eq!(p.quiesce(), vec![9]);
+        assert_eq!(p.exposed_wait(), SimTime::ZERO, "fully hidden DMA");
+    }
+
+    #[test]
+    fn oversized_payload_splits_at_capacity_boundaries() {
+        let dev = DeviceMemory::new(1 << 20);
+        let m = Arc::new(Metrics::new());
+        let b = PcieBus::new(PcieSpec::default(), Arc::clone(&m));
+        let mut p: EvictionPipe<u32> = EvictionPipe::new(&dev, b.clone(), 1_000).unwrap();
+        p.enqueue(1, 2_500); // 3 pieces: 1000 + 1000 + 500
+        assert_eq!(m.snapshot().pcie_bulk_transfers, 3);
+        assert_eq!(m.snapshot().pcie_bulk_bytes, 2_500);
+        assert_eq!(p.in_flight(), 1, "split pieces carry one payload");
+        assert_eq!(p.quiesce(), vec![1]);
+    }
+
+    #[test]
+    fn enqueued_and_transfer_time_accumulate() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut p = pipe(&dev, 4_096);
+        p.enqueue(1, 1_024);
+        p.enqueue(2, 1_024);
+        assert_eq!(p.enqueued(), 2);
+        assert!(p.transfer_time() > SimTime::ZERO);
+    }
+}

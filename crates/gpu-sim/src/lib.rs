@@ -19,7 +19,8 @@
 //!   durations apart from wall-clock ones.
 //! * [`pipeline`] — BigKernel-style double-buffered transfer/compute
 //!   overlap (the analytic makespan model); [`staging`] — the buffer
-//!   mechanism itself.
+//!   mechanism itself; [`evict_pipe`] — the same pipeline run in the
+//!   device→host eviction direction, with deferred host adoption.
 //! * [`paging`] — the LRU demand-paging replay used for Table III.
 //! * [`faults`] — seeded, deterministic fault injection (transient
 //!   allocation failures, PCIe transfer errors, lane aborts) used to prove
@@ -37,6 +38,7 @@
 pub mod charge;
 pub mod clock;
 pub mod cost;
+pub mod evict_pipe;
 pub mod executor;
 pub mod faults;
 pub mod memory;
@@ -52,6 +54,7 @@ pub mod staging;
 pub use charge::{Charge, MetricsCharge, NoCharge};
 pub use clock::{SimClock, SimTime};
 pub use cost::{CpuCostModel, GpuCostModel};
+pub use evict_pipe::EvictionPipe;
 pub use executor::{
     ExecMode, Executor, LaneCtx, LaunchError, LaunchStats, WarpCharge, WarpScratch,
 };
@@ -62,7 +65,7 @@ pub use faults::{
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};
 pub use paging::{AccessTrace, LruSimulator, PagingOutcome};
-pub use pcie::{PcieBus, PcieTransferError};
+pub use pcie::{CompletedTransfer, InFlightTransfer, PcieBus, PcieTransferError};
 pub use pipeline::{pipelined_total, serial_total};
 pub use pool::WorkerPool;
 pub use shadow::{

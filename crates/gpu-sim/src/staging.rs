@@ -138,6 +138,35 @@ impl StagingBuffers {
         }
     }
 
+    /// Stage `chunk`, splitting it at capacity boundaries when it exceeds
+    /// one buffer instead of failing with [`ChunkTooLarge`]. Each piece is
+    /// staged, swapped in, and handed to `consume` in order, so the caller
+    /// sees the whole chunk exactly once. Returns the number of pieces
+    /// staged (1 when the chunk fits, including an exact-capacity fit).
+    pub fn stage_split<F>(&mut self, chunk: &[u8], bus: &PcieBus, mut consume: F) -> u64
+    where
+        F: FnMut(&[u8]),
+    {
+        match self.try_stage(chunk, bus) {
+            Ok(()) => {
+                self.swap();
+                consume(self.front());
+                1
+            }
+            Err(_) => {
+                let cap = self.chunk_capacity().max(1);
+                let mut pieces = 0u64;
+                for piece in chunk.chunks(cap) {
+                    self.stage(piece, bus);
+                    self.swap();
+                    consume(self.front());
+                    pieces += 1;
+                }
+                pieces
+            }
+        }
+    }
+
     /// Swap buffers: the freshly staged chunk becomes readable by the
     /// kernel, and the previous front becomes the next fill target.
     pub fn swap(&mut self) {
@@ -289,6 +318,40 @@ mod tests {
         // The pair is still usable after the rejection.
         s.try_stage(&[0u8; 8], &bus()).unwrap();
         assert_eq!(s.chunks_staged(), 1);
+    }
+
+    #[test]
+    fn stage_split_exact_capacity_is_one_piece() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut s = StagingBuffers::new(&dev, 8).unwrap();
+        let mut seen = Vec::new();
+        let n = s.stage_split(&[7u8; 8], &bus(), |c| seen.extend_from_slice(c));
+        assert_eq!(n, 1, "an exact-capacity chunk must not split");
+        assert_eq!(seen, [7u8; 8]);
+        assert_eq!(s.chunks_staged(), 1);
+    }
+
+    #[test]
+    fn stage_split_capacity_plus_one_splits_into_two() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut s = StagingBuffers::new(&dev, 8).unwrap();
+        let input: Vec<u8> = (0..9u8).collect();
+        let mut seen = Vec::new();
+        let n = s.stage_split(&input, &bus(), |c| seen.extend_from_slice(c));
+        assert_eq!(n, 2, "capacity+1 splits into a full piece plus one byte");
+        assert_eq!(seen, input, "pieces reassemble the oversized chunk");
+        assert_eq!(s.chunks_staged(), 2);
+    }
+
+    #[test]
+    fn stage_split_handles_multi_capacity_chunks() {
+        let dev = DeviceMemory::new(1 << 20);
+        let mut s = StagingBuffers::new(&dev, 8).unwrap();
+        let input: Vec<u8> = (0..30u8).collect();
+        let mut seen = Vec::new();
+        let n = s.stage_split(&input, &bus(), |c| seen.extend_from_slice(c));
+        assert_eq!(n, 4);
+        assert_eq!(seen, input);
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //!    must propagate `io::Result`; a deliberate infallible case needs a
 //!    `// lint: unwrap-ok (<why>)` comment. Code after the trailing
 //!    `#[cfg(test)]` module marker is exempt (tests unwrap freely).
+//! 6. **evict-direct-dma** — direct `.bulk_transfer(` /
+//!    `.try_bulk_transfer(` charges on the eviction paths (`evict.rs`,
+//!    `sepo.rs`). Eviction DMA must be issued through the
+//!    `EvictionPipe`'s in-flight ledger so the completion model, the
+//!    audit's in-flight reconciliation, and the checkpoint-quiesce
+//!    invariant all see it; an inline charge would silently fall outside
+//!    the overlap accounting. A deliberate direct charge needs a
+//!    `// lint: evict-dma-ok (<why>)` comment; trailing test modules are
+//!    exempt.
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported.
 
@@ -74,6 +83,11 @@ const IO_UNWRAP_SCOPED_FILES: [&str; 2] = [
     "crates/core/src/checkpoint.rs",
 ];
 
+/// Files that implement iteration-boundary eviction: every eviction DMA
+/// charge must flow through the `EvictionPipe` ledger, not an inline
+/// `PcieBus` call.
+const EVICT_DMA_SCOPED_FILES: [&str; 2] = ["crates/core/src/evict.rs", "crates/core/src/sepo.rs"];
+
 /// Crates whose code runs on (or next to) the simulated device: no
 /// wall-clock reads, no direct metrics mutation without an annotation.
 const SIMULATED_CRATES: [&str; 4] = [
@@ -106,6 +120,7 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     let in_simulated = SIMULATED_CRATES.iter().any(|c| rel.starts_with(c));
     let relaxed_scoped = RELAXED_SCOPED_FILES.contains(&rel);
     let io_scoped = IO_UNWRAP_SCOPED_FILES.contains(&rel);
+    let evict_scoped = EVICT_DMA_SCOPED_FILES.contains(&rel);
     // Workspace convention: one trailing `#[cfg(test)] mod tests` per
     // file; everything after the marker is test code.
     let mut in_tests = false;
@@ -127,6 +142,22 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
                 message: "panic on the persistence/checkpoint IO path; \
                           propagate io::Result (or annotate a deliberate \
                           infallible case with `// lint: unwrap-ok (<why>)`)"
+                    .to_string(),
+            });
+        }
+        if evict_scoped
+            && !in_tests
+            && (code.contains(".bulk_transfer(") || code.contains(".try_bulk_transfer("))
+            && !allowlisted(&lines, i, "lint: evict-dma-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "evict-direct-dma",
+                message: "inline PcieBus charge on an eviction path; issue the \
+                          DMA through the EvictionPipe ledger (or annotate a \
+                          deliberate direct charge with \
+                          `// lint: evict-dma-ok (<why>)`)"
                     .to_string(),
             });
         }
@@ -523,5 +554,61 @@ impl<C: Charge + ?Sized> Charge for &mut C {
         let trait_only = "pub trait Charge {\n    fn compute(&mut self, u: u64);\n}\n";
         let findings = check_charge_forwarding("x.rs", trait_only);
         assert!(findings[0].message.contains("blanket"));
+    }
+
+    #[test]
+    fn direct_dma_flagged_only_on_eviction_paths() {
+        let direct = "let t = self.bus.bulk_transfer(page_bytes);\n";
+        for rel in EVICT_DMA_SCOPED_FILES {
+            assert_eq!(
+                rules_of(&check_file(rel, direct)),
+                vec!["evict-direct-dma"],
+                "{rel}: a direct bus charge on an eviction path must be flagged"
+            );
+        }
+        // Elsewhere direct charges are fine — the bus is the pricing API.
+        assert!(check_file("crates/core/src/table.rs", direct).is_empty());
+        assert!(check_file("crates/gpu-sim/src/pcie.rs", direct).is_empty());
+        // The fallible variant is scoped too.
+        let fallible = "let t = bus.try_bulk_transfer(page_bytes)?;\n";
+        assert_eq!(
+            rules_of(&check_file("crates/core/src/evict.rs", fallible)),
+            vec!["evict-direct-dma"]
+        );
+    }
+
+    #[test]
+    fn pricing_calls_and_annotated_charges_pass_the_dma_rule() {
+        // `bulk_transfer_time` prices without charging the ledger — allowed.
+        let pricing = "let t = bus.bulk_transfer_time(page_bytes);\n";
+        assert!(check_file("crates/core/src/sepo.rs", pricing).is_empty());
+        // An annotated deliberate charge passes, same line or line above.
+        let same = "let t = bus.bulk_transfer(b); // lint: evict-dma-ok (final drain)\n";
+        assert!(check_file("crates/core/src/evict.rs", same).is_empty());
+        let above = "// lint: evict-dma-ok (final drain)\nlet t = bus.bulk_transfer(b);\n";
+        assert!(check_file("crates/core/src/evict.rs", above).is_empty());
+    }
+
+    #[test]
+    fn dma_rule_exempts_the_trailing_test_module() {
+        let src = "\
+fn evict(bus: &PcieBus) {
+    bus.bulk_transfer(64);
+}
+
+#[cfg(test)]
+mod tests {
+    fn charges() {
+        bus().bulk_transfer(64);
+    }
+}
+";
+        let findings = check_file("crates/core/src/evict.rs", src);
+        assert_eq!(
+            rules_of(&findings),
+            vec!["evict-direct-dma"],
+            "{findings:?}"
+        );
+        assert_eq!(findings[0].line, 2, "only the pre-test charge counts");
     }
 }

@@ -30,6 +30,17 @@ fn run_once(
     transient_seed: Option<u64>,
     hard_seed: Option<u64>,
 ) -> (Vec<u8>, Vec<u64>, Snapshot, RecoveryStats) {
+    run_once_cfg(app, heap, transient_seed, hard_seed, false)
+}
+
+/// [`run_once`] with the asynchronous eviction pipe optionally on.
+fn run_once_cfg(
+    app: App,
+    heap: u64,
+    transient_seed: Option<u64>,
+    hard_seed: Option<u64>,
+    evict_overlap: bool,
+) -> (Vec<u8>, Vec<u64>, Snapshot, RecoveryStats) {
     let ds = app.generate(0, 16_384);
     let metrics = Arc::new(Metrics::new());
     let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
@@ -50,7 +61,8 @@ fn run_once(
     let mut cfg = AppConfig::new(heap)
         .with_chunk_tasks(CHUNK_TASKS)
         .with_audit(true)
-        .with_sanitize(true);
+        .with_sanitize(true)
+        .with_evict_overlap(evict_overlap);
     if hard_seed.is_some() {
         cfg = cfg
             .with_checkpoint(CheckpointPolicy::Memory)
@@ -102,6 +114,43 @@ fn all_apps_resume_byte_identical_after_hard_kills() {
     }
 }
 
+/// Device loss with the asynchronous eviction pipe on: kills land in
+/// iterations whose previous boundary enqueued eviction DMA, and the
+/// resumed run must still match an unkilled overlap-enabled run byte for
+/// byte. Checkpoint capture quiesces the pipe at every boundary, so the
+/// restore rebuilds exactly the adopted host heap the checkpoint saw —
+/// this test is the end-to-end proof.
+#[test]
+fn device_lost_with_eviction_dma_in_flight_resumes_byte_identical() {
+    for app in [App::WordCount, App::InvertedIndex, App::PageViewCount] {
+        let (image, traj, snapshot, base_rec) = run_once_cfg(app, 96 << 10, None, None, true);
+        assert_eq!(base_rec, RecoveryStats::default(), "{}", app.name());
+        let mut killed = false;
+        for seed in 0xD0A..0xD0A + 10u64 {
+            let (c_image, c_traj, c_snapshot, rec) =
+                run_once_cfg(app, 96 << 10, None, Some(seed), true);
+            assert_eq!(
+                c_image,
+                image,
+                "{}: resumed overlap image differs (seed {seed:#x}, {} recoveries)",
+                app.name(),
+                rec.recoveries
+            );
+            assert_eq!(c_traj, traj, "{}: trajectory differs", app.name());
+            assert_eq!(c_snapshot, snapshot, "{}: metrics differ", app.name());
+            if rec.recoveries >= 1 {
+                killed = true;
+                break;
+            }
+        }
+        assert!(
+            killed,
+            "{}: no hard fault struck in 10 seeds — chaos harness unplugged",
+            app.name()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -129,6 +178,34 @@ proptest! {
             );
             prop_assert_eq!(&c_traj, &traj, "{}: trajectory differs", app.name());
             prop_assert_eq!(&c_snapshot, &snapshot, "{}: metrics differ", app.name());
+        }
+    }
+
+    /// Transient PCIe faults layered under the eviction pipe: the pipe's
+    /// bus draws from the shared plan's PCIe stream, so its transfers eat
+    /// seeded retries — which may only ever cost simulated time. Results
+    /// (image, trajectory, iteration count) and the table's own metrics
+    /// must be byte-identical with the pipe on or off.
+    #[test]
+    fn overlap_matches_synchronous_under_transient_faults(
+        seed in any::<u64>(),
+        heap_kb in 64u64..192,
+    ) {
+        for app in App::ALL {
+            let heap = heap_kb << 10;
+            let (image, traj, snapshot, _) =
+                run_once_cfg(app, heap, Some(seed), None, false);
+            let (o_image, o_traj, o_snapshot, _) =
+                run_once_cfg(app, heap, Some(seed), None, true);
+            prop_assert_eq!(&o_image, &image, "{}: overlap image differs", app.name());
+            prop_assert_eq!(
+                o_traj.len(),
+                traj.len(),
+                "{}: iteration count differs",
+                app.name()
+            );
+            prop_assert_eq!(&o_traj, &traj, "{}: trajectory differs", app.name());
+            prop_assert_eq!(&o_snapshot, &snapshot, "{}: metrics differ", app.name());
         }
     }
 }
