@@ -123,6 +123,15 @@ impl AppConfig {
         self.driver.evict_overlap = on;
         self
     }
+
+    /// Publish epoch snapshots through `publisher` at every iteration
+    /// boundary (the CLI's `--serve`): online point lookups and grouped
+    /// scans read against them while the run progresses, without
+    /// perturbing the run's results or metrics.
+    pub fn with_serving(mut self, publisher: std::sync::Arc<sepo_core::EpochPublisher>) -> Self {
+        self.driver.serving = Some(publisher);
+        self
+    }
 }
 
 /// View a generated [`Dataset`]'s record boundaries as a MapReduce
@@ -165,6 +174,7 @@ mod tests {
             .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
             .with_max_recoveries(42)
             .with_evict_overlap(true)
+            .with_serving(std::sync::Arc::new(sepo_core::EpochPublisher::default()))
             .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
         assert_eq!(c.driver.chunk_tasks, 7);
@@ -173,6 +183,7 @@ mod tests {
         assert_eq!(c.driver.checkpoint, sepo_core::CheckpointPolicy::Memory);
         assert_eq!(c.driver.max_recoveries, 42);
         assert!(c.driver.evict_overlap);
+        assert!(c.driver.serving.is_some());
         assert_eq!(
             c.driver.combiner,
             Some(sepo_core::CombinerConfig::default())

@@ -35,6 +35,12 @@ pub struct Flags {
     /// kernels. Default off (the paper's synchronous boundary); results
     /// are byte-identical either way.
     pub evict_overlap: bool,
+    /// Mixed-workload serving (`--serve`): publish an epoch snapshot at
+    /// every iteration boundary and answer `--queries`-scaled point
+    /// lookups (or grouped scans) against it while the run progresses,
+    /// checking the answers against a CPU oracle. Results of the run are
+    /// byte-identical either way.
+    pub serve: bool,
 }
 
 impl Default for Flags {
@@ -54,6 +60,7 @@ impl Default for Flags {
             checkpoint: None,
             chaos_seed: None,
             evict_overlap: false,
+            serve: false,
         }
     }
 }
@@ -73,6 +80,7 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--parallel" => f.parallel = true,
             "--audit" => f.audit = true,
             "--sanitize" => f.sanitize = true,
+            "--serve" => f.serve = true,
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
             "--checkpoint" => f.checkpoint = Some(it.next()?.clone()),
             "--chaos-seed" => f.chaos_seed = Some(it.next()?.parse().ok()?),
@@ -156,6 +164,7 @@ mod tests {
             "7",
             "--evict-overlap",
             "on",
+            "--serve",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -172,6 +181,13 @@ mod tests {
         assert_eq!(f.checkpoint.as_deref(), Some("run.ckp"));
         assert_eq!(f.chaos_seed, Some(7));
         assert!(f.evict_overlap);
+        assert!(f.serve);
+    }
+
+    #[test]
+    fn serve_defaults_off() {
+        assert!(!parse_flags(&[]).unwrap().serve);
+        assert!(parse_flags(&strs(&["--serve"])).unwrap().serve);
     }
 
     #[test]

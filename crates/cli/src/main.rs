@@ -30,6 +30,14 @@
 //!                                        loss, poisoned launches) at the
 //!                                        standard rates; runs recover from
 //!                                        checkpoints and finish identically
+//!   --serve                              publish an epoch snapshot at every
+//!                                        iteration boundary and answer a
+//!                                        Zipf-skewed point-lookup load
+//!                                        against it while the run
+//!                                        progresses (--queries per epoch),
+//!                                        checking every answer against a
+//!                                        CPU oracle; results identical
+//!                                        either way
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -51,7 +59,7 @@ fn usage() -> ExitCode {
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
          [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
          [--combiner on|off] [--evict-overlap on|off] [--checkpoint PATH] \
-         [--chaos-seed SEED] [--input FILE] [--save IMAGE]\n  \
+         [--chaos-seed SEED] [--serve] [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -76,6 +84,176 @@ fn cmd_apps() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Rolling state of the `--serve` query load: per-epoch counters plus the
+/// last answer seen per key, so epoch-to-epoch monotonicity (partial
+/// aggregates never shrink, groups never lose values) is checked online.
+#[derive(Default)]
+struct ServeStats {
+    epochs: u32,
+    queries: u64,
+    hits: u64,
+    violations: Vec<String>,
+    last_combined: std::collections::HashMap<Vec<u8>, u64>,
+    last_grouped: std::collections::HashMap<Vec<u8>, usize>,
+}
+
+/// Answer one epoch's Zipf-skewed query batch against its snapshot and
+/// fold the answers into `st`, recording any epoch-to-epoch regression.
+fn serve_epoch(
+    snap: &sepo_core::EpochSnapshot,
+    exec: &Executor,
+    per_epoch: usize,
+    st: &mut ServeStats,
+) {
+    use sepo_core::{Combiner, Organization};
+    use sepo_datagen::{Rng, Zipf};
+    st.epochs += 1;
+    let keys = snap.visible_keys();
+    if keys.is_empty() || matches!(snap.organization(), Organization::Basic) {
+        return;
+    }
+    let mut rng = Rng::new(0x5E17 ^ u64::from(snap.iteration()));
+    let zipf = Zipf::new(keys.len(), 0.9);
+    let owned: Vec<Vec<u8>> = (0..per_epoch)
+        .map(|i| {
+            if i % 5 == 4 {
+                format!("absent-{i}").into_bytes() // misses exercise the full probe
+            } else {
+                keys[zipf.sample(&mut rng)].clone()
+            }
+        })
+        .collect();
+    let queries: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+    st.queries += queries.len() as u64;
+    let it = snap.iteration();
+    match snap.organization() {
+        Organization::Combining(comb) => match snap.batch_get(exec, &queries) {
+            Ok(answers) => {
+                for (k, a) in owned.iter().zip(&answers) {
+                    let Some(v) = a else {
+                        if st.last_combined.contains_key(k) {
+                            st.violations.push(format!(
+                                "epoch {it}: key {:?} vanished",
+                                String::from_utf8_lossy(k)
+                            ));
+                        }
+                        continue;
+                    };
+                    st.hits += 1;
+                    let regressed = match (comb, st.last_combined.get(k)) {
+                        (Combiner::Add, Some(prev)) => v < prev,
+                        (Combiner::Or, Some(prev)) => v & prev != *prev,
+                        _ => false,
+                    };
+                    if regressed {
+                        st.violations.push(format!(
+                            "epoch {it}: key {:?} regressed to {v}",
+                            String::from_utf8_lossy(k)
+                        ));
+                    }
+                    st.last_combined.insert(k.clone(), *v);
+                }
+            }
+            Err(e) => st.violations.push(format!("epoch {it}: {e}")),
+        },
+        Organization::MultiValued => match snap.batch_get_grouped(exec, &queries) {
+            Ok(answers) => {
+                for (k, a) in owned.iter().zip(&answers) {
+                    let Some(vs) = a else {
+                        if st.last_grouped.contains_key(k) {
+                            st.violations.push(format!(
+                                "epoch {it}: key {:?} vanished",
+                                String::from_utf8_lossy(k)
+                            ));
+                        }
+                        continue;
+                    };
+                    st.hits += 1;
+                    if st.last_grouped.get(k).is_some_and(|&prev| vs.len() < prev) {
+                        st.violations.push(format!(
+                            "epoch {it}: key {:?} lost values",
+                            String::from_utf8_lossy(k)
+                        ));
+                    }
+                    st.last_grouped.insert(k.clone(), vs.len());
+                }
+            }
+            Err(e) => st.violations.push(format!("epoch {it}: {e}")),
+        },
+        Organization::Basic => {}
+    }
+}
+
+/// Post-run serving oracle: no online violations, and every key the
+/// collectors report must answer identically from the finalized epoch.
+fn check_serving(
+    table: &sepo_core::SepoTable,
+    publisher: &sepo_core::EpochPublisher,
+    stats: &std::sync::Mutex<ServeStats>,
+    exec: &Executor,
+) -> Result<String, String> {
+    use sepo_core::Organization;
+    let st = stats.lock().unwrap();
+    if let Some(v) = st.violations.first() {
+        return Err(format!(
+            "{} epoch violation(s), first: {v}",
+            st.violations.len()
+        ));
+    }
+    let snap = publisher.current().ok_or("no epoch was ever published")?;
+    if !snap.finalized() {
+        return Err("last published epoch is not the finalized one".into());
+    }
+    let mut checked = 0usize;
+    match snap.organization() {
+        Organization::Combining(_) => {
+            let truth = table.collect_combining();
+            for chunk in truth.chunks(4096) {
+                let q: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+                let ans = snap.batch_get(exec, &q).map_err(|e| e.to_string())?;
+                for ((k, v), a) in chunk.iter().zip(&ans) {
+                    if *a != Some(*v) {
+                        return Err(format!(
+                            "final epoch: key {:?} = {a:?}, collectors say {v}",
+                            String::from_utf8_lossy(k)
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        Organization::MultiValued => {
+            let truth = table.collect_multivalued();
+            for chunk in truth.chunks(1024) {
+                let q: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+                let ans = snap
+                    .batch_get_grouped(exec, &q)
+                    .map_err(|e| e.to_string())?;
+                for ((k, vs), a) in chunk.iter().zip(&ans) {
+                    let mut want = vs.clone();
+                    want.sort();
+                    let mut got = a.clone().unwrap_or_default();
+                    got.sort();
+                    if got != want {
+                        return Err(format!(
+                            "final epoch: key {:?} diverges ({} values vs {})",
+                            String::from_utf8_lossy(k),
+                            got.len(),
+                            want.len()
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        Organization::Basic => {}
+    }
+    Ok(format!(
+        "{} epochs, {} queries answered ({} hits), final epoch checked {checked} keys: oracle ok",
+        st.epochs, st.queries, st.hits
+    ))
 }
 
 fn cmd_run(app: App, f: Flags) -> ExitCode {
@@ -159,6 +337,36 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         .with_checkpoint(policy.clone());
     if f.chaos_seed.is_some() {
         cfg = cfg.with_max_recoveries(32);
+    }
+    // --serve: epoch-snapshot serving under the live run. Every boundary's
+    // snapshot is handed to a hook that answers a Zipf-skewed query batch
+    // through a *separate* serving executor (own metrics, own fault
+    // stream); the run itself must stay byte-identical.
+    let serving = f.serve.then(|| {
+        let publisher = Arc::new(sepo_core::EpochPublisher::default());
+        let serve_metrics = Arc::new(Metrics::new());
+        let mut serve_exec = Executor::new(mode, Arc::clone(&serve_metrics));
+        if let Some(seed) = f.faults {
+            // A distinct fault stream: serving retries its own aborts.
+            serve_exec = serve_exec.with_faults(Arc::new(gpu_sim::FaultPlan::new(
+                gpu_sim::FaultConfig::standard(seed ^ 0x5E17),
+            )));
+        }
+        let serve_exec = Arc::new(serve_exec);
+        let stats = Arc::new(std::sync::Mutex::new(ServeStats::default()));
+        let per_epoch = f.queries;
+        {
+            let stats = Arc::clone(&stats);
+            let hook_exec = Arc::clone(&serve_exec);
+            publisher.on_epoch(move |snap| {
+                serve_epoch(snap, &hook_exec, per_epoch, &mut stats.lock().unwrap());
+            });
+        }
+        println!("serving: epoch snapshots on, {per_epoch} queries per epoch");
+        (publisher, stats, serve_exec, serve_metrics)
+    });
+    if let Some((publisher, _, _, _)) = &serving {
+        cfg = cfg.with_serving(Arc::clone(publisher));
     }
     let run = run_app(app, &ds, &cfg, &exec);
     if let Some(plan) = exec.faults() {
@@ -247,6 +455,25 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         fmt_speedup(cpu.ratio(gpu.total))
     );
 
+    if let Some((publisher, stats, serve_exec, serve_metrics)) = &serving {
+        match check_serving(&run.table, publisher, stats, serve_exec) {
+            Ok(summary) => {
+                let s = serve_metrics.snapshot();
+                println!("\nserving under the run");
+                println!("  {summary}");
+                println!(
+                    "  serving traffic: {} bulk transfers, {} over PCIe (charged off-run)",
+                    s.pcie_bulk_transfers,
+                    fmt_bytes(s.pcie_bulk_bytes)
+                );
+            }
+            Err(e) => {
+                eprintln!("serving oracle FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(path) = &f.save {
         match std::fs::File::create(path) {
             Ok(mut file) => match run.table.save(&mut file) {
@@ -281,23 +508,38 @@ fn cmd_query(path: &str, keys: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let idx = HostIndex::build(&table);
+    // lint: serve-ok (offline query path over a finalized saved image)
+    let idx = match HostIndex::try_build(&table) {
+        Ok(idx) => idx,
+        Err(e) => {
+            eprintln!("cannot query {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("loaded {path}: {} distinct keys", idx.len());
     for key in keys {
         match table.config().organization {
             Organization::Combining(_) => match idx.get_combined(key.as_bytes()) {
-                Some(v) => println!("{key} = {v}"),
-                None => println!("{key} = <absent>"),
+                Ok(Some(v)) => println!("{key} = {v}"),
+                Ok(None) => println!("{key} = <absent>"),
+                Err(e) => {
+                    eprintln!("{key}: {e}");
+                    return ExitCode::FAILURE;
+                }
             },
             Organization::MultiValued => match idx.get_grouped(key.as_bytes()) {
-                Some(vs) => println!(
+                Ok(Some(vs)) => println!(
                     "{key} = [{}]",
                     vs.iter()
                         .map(|v| String::from_utf8_lossy(v).into_owned())
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
-                None => println!("{key} = <absent>"),
+                Ok(None) => println!("{key} = <absent>"),
+                Err(e) => {
+                    eprintln!("{key}: {e}");
+                    return ExitCode::FAILURE;
+                }
             },
             Organization::Basic => {
                 println!("{key}: basic tables have no keyed query; use collect_basic()")

@@ -123,12 +123,7 @@ impl Checkpoint {
                 // lint: relaxed-ok (quiescent iteration boundary)
                 .map(|p| p.load(Ordering::Relaxed))
                 .collect(),
-            heads: table
-                .heads
-                .iter()
-                // lint: relaxed-ok (quiescent iteration boundary)
-                .map(|h| h.load(Ordering::Relaxed))
-                .collect(),
+            heads: table.snapshot_heads(),
             touches: table.touch_counts(),
             group_allocs: table.groups.alloc_counts(),
             metrics: table.metrics().snapshot(),

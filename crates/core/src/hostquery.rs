@@ -16,6 +16,7 @@
 
 use crate::config::Organization;
 use crate::entry::{EntryKind, PageWalker, ParsedEntry};
+use crate::serve::QueryError;
 use crate::table::SepoTable;
 use sepo_alloc::{HostLink, PageKind};
 use std::collections::HashMap;
@@ -29,13 +30,19 @@ pub struct HostIndex<'t> {
 
 impl<'t> HostIndex<'t> {
     /// Build the index by walking the host pages once. Panics if the table
-    /// is not finalized.
+    /// is not finalized; [`HostIndex::try_build`] reports that as a typed
+    /// [`QueryError`] instead.
     pub fn build(table: &'t SepoTable) -> Self {
-        assert_eq!(
-            table.heap().free_pages(),
-            table.heap().total_pages(),
-            "HostIndex requires finalize(): resident pages would be missed"
-        );
+        Self::try_build(table).unwrap_or_else(|e| panic!("HostIndex::build: {e}"))
+    }
+
+    /// Build the index by walking the host pages once. Returns
+    /// [`QueryError::NotFinalized`] while the table still has resident
+    /// pages — the host walk would silently miss them.
+    pub fn try_build(table: &'t SepoTable) -> Result<Self, QueryError> {
+        if table.heap().free_pages() != table.heap().total_pages() {
+            return Err(QueryError::NotFinalized);
+        }
         let kind = match table.config().organization {
             Organization::MultiValued => EntryKind::Key,
             Organization::Basic => EntryKind::Basic,
@@ -63,7 +70,7 @@ impl<'t> HostIndex<'t> {
                     .push(HostLink::new(host_id, off as u32));
             }
         }
-        HostIndex { table, entries }
+        Ok(HostIndex { table, entries })
     }
 
     /// Distinct keys in the table.
@@ -76,13 +83,21 @@ impl<'t> HostIndex<'t> {
     }
 
     /// Combined value of `key` (combining tables): partial aggregates from
-    /// different iterations merge through the table's combiner.
-    pub fn get_combined(&self, key: &[u8]) -> Option<u64> {
+    /// different iterations merge through the table's combiner. Returns
+    /// [`QueryError::WrongOrganization`] on non-combining tables.
+    pub fn get_combined(&self, key: &[u8]) -> Result<Option<u64>, QueryError> {
         let comb = match self.table.config().organization {
             Organization::Combining(c) => c,
-            _ => panic!("get_combined on a non-combining table"),
+            other => {
+                return Err(QueryError::WrongOrganization {
+                    expected: "combining",
+                    actual: other.label(),
+                })
+            }
         };
-        let links = self.entries.get(key)?;
+        let Some(links) = self.entries.get(key) else {
+            return Ok(None);
+        };
         let mut acc: Option<u64> = None;
         for link in links {
             let v = self
@@ -95,17 +110,22 @@ impl<'t> HostIndex<'t> {
                 Some(a) => comb.apply(a, v),
             });
         }
-        acc
+        Ok(acc)
     }
 
     /// All values grouped under `key` (multi-valued tables), newest first
-    /// within each originating iteration.
-    pub fn get_grouped(&self, key: &[u8]) -> Option<Vec<Vec<u8>>> {
-        assert!(
-            matches!(self.table.config().organization, Organization::MultiValued),
-            "get_grouped on a non-multi-valued table"
-        );
-        let links = self.entries.get(key)?;
+    /// within each originating iteration. Returns
+    /// [`QueryError::WrongOrganization`] on non-multi-valued tables.
+    pub fn get_grouped(&self, key: &[u8]) -> Result<Option<Vec<Vec<u8>>>, QueryError> {
+        if !matches!(self.table.config().organization, Organization::MultiValued) {
+            return Err(QueryError::WrongOrganization {
+                expected: "multi-valued",
+                actual: self.table.config().organization.label(),
+            });
+        }
+        let Some(links) = self.entries.get(key) else {
+            return Ok(None);
+        };
         let mut values = Vec::new();
         for link in links {
             let cont = self
@@ -115,7 +135,7 @@ impl<'t> HostIndex<'t> {
                 .expect("indexed link must resolve");
             values.extend(self.table.host_values_from(HostLink::from_raw(cont)));
         }
-        Some(values)
+        Ok(Some(values))
     }
 
     /// Does the table contain `key`?
@@ -166,11 +186,20 @@ mod tests {
         assert_eq!(idx.len(), 200);
         let collected: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
         for (k, v) in &collected {
-            assert_eq!(idx.get_combined(k), Some(*v));
+            assert_eq!(idx.get_combined(k), Ok(Some(*v)));
             assert!(idx.contains(k));
         }
-        assert_eq!(idx.get_combined(b"absent"), None);
+        assert_eq!(idx.get_combined(b"absent"), Ok(None));
         assert!(!idx.contains(b"absent"));
+        // Grouped lookups on a combining table are a typed error now, not
+        // a process abort.
+        assert!(matches!(
+            idx.get_grouped(b"key-0000"),
+            Err(QueryError::WrongOrganization {
+                expected: "multi-valued",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -197,13 +226,21 @@ mod tests {
         t.finalize();
         let idx = HostIndex::build(&t);
         for (k, vs) in t.collect_multivalued() {
-            let mut got = idx.get_grouped(&k).unwrap();
+            let mut got = idx.get_grouped(&k).unwrap().unwrap();
             let mut want = vs;
             got.sort();
             want.sort();
             assert_eq!(got, want);
         }
-        assert_eq!(idx.get_grouped(b"absent"), None);
+        assert_eq!(idx.get_grouped(b"absent"), Ok(None));
+        // Combined lookups on a multi-valued table: typed error.
+        assert!(matches!(
+            idx.get_combined(b"key-00"),
+            Err(QueryError::WrongOrganization {
+                expected: "combining",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -215,8 +252,25 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unfinalized_with_typed_error() {
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(16)
+            .with_buckets_per_group(4)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 2 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        t.insert_combining(b"k", 1, &mut ch);
+        assert!(matches!(
+            HostIndex::try_build(&t),
+            Err(QueryError::NotFinalized)
+        ));
+        t.finalize();
+        assert!(HostIndex::try_build(&t).is_ok());
+    }
+
+    #[test]
     #[should_panic(expected = "finalize")]
-    fn rejects_unfinalized() {
+    fn build_wrapper_still_panics_for_legacy_callers() {
         let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
             .with_buckets(16)
             .with_buckets_per_group(4)

@@ -25,6 +25,9 @@
 //! * [`lookup`] — the paper's "mental exercise": SEPO lookups against a
 //!   larger-than-memory table, paging table segments back to the device
 //!   and postponing queries whose keys are not yet resident.
+//! * [`serve`] — online serving: epoch snapshots published at iteration
+//!   boundaries answer point lookups and grouped scans while the SEPO
+//!   loop runs, with an incremental host index for evicted keys.
 //!
 //! The table allocates from [`sepo_alloc`]'s page heap, executes inside
 //! [`gpu_sim`] kernels, and reports event counts for the cost model.
@@ -56,6 +59,7 @@ pub mod lookup;
 pub mod persist;
 pub mod results;
 pub mod sepo;
+pub mod serve;
 pub mod stats;
 pub mod table;
 
@@ -71,5 +75,6 @@ pub use results::GroupedPair;
 pub use sepo::{
     DriverConfig, IterationStats, RecoveryStats, SepoDriver, SepoError, SepoOutcome, TaskResult,
 };
+pub use serve::{EpochPublisher, EpochSnapshot, HostStore, QueryError, ServeConfig};
 pub use stats::TableStats;
 pub use table::{InsertStatus, SepoTable};

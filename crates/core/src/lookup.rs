@@ -23,6 +23,7 @@ use crate::bitmap::Bitmap;
 use crate::config::Organization;
 use crate::entry::{combining, EntryKind, PageWalker};
 use crate::hash::bucket_of;
+use crate::serve::{ensure_batch_fits, QueryError};
 use crate::table::SepoTable;
 use gpu_sim::charge::Charge;
 use gpu_sim::executor::Executor;
@@ -82,17 +83,32 @@ impl SepoTable {
     /// the staging area for table segments.
     ///
     /// Panics if the table is not finalized or not a combining table, or if
-    /// any stored value uses bit 63.
+    /// any stored value uses bit 63. [`SepoTable::try_lookup_phase`]
+    /// reports the same conditions as typed [`QueryError`]s instead.
     pub fn lookup_phase(&self, executor: &Executor, queries: &[&[u8]]) -> LookupOutcome {
-        assert!(
-            matches!(self.cfg.organization, Organization::Combining(_)),
-            "lookup_phase supports the combining organization"
-        );
-        assert_eq!(
-            self.heap.free_pages(),
-            self.heap.total_pages(),
-            "lookup_phase requires a finalized table (device heap empty)"
-        );
+        self.try_lookup_phase(executor, queries)
+            .unwrap_or_else(|e| panic!("lookup_phase: {e}"))
+    }
+
+    /// [`SepoTable::lookup_phase`] with a typed error surface: rejects
+    /// non-combining organizations, unfinalized tables, and batches whose
+    /// length exceeds the phase's `u32` query indexing (the pending-query
+    /// vector would silently alias indices past 2^32 otherwise).
+    pub fn try_lookup_phase(
+        &self,
+        executor: &Executor,
+        queries: &[&[u8]],
+    ) -> Result<LookupOutcome, QueryError> {
+        if !matches!(self.cfg.organization, Organization::Combining(_)) {
+            return Err(QueryError::WrongOrganization {
+                expected: "combining",
+                actual: self.cfg.organization.label(),
+            });
+        }
+        if self.heap.free_pages() != self.heap.total_pages() {
+            return Err(QueryError::NotFinalized);
+        }
+        ensure_batch_fits(queries.len(), u32::MAX as usize)?;
 
         let pending = Bitmap::new(queries.len());
         let results: Box<[AtomicU64]> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
@@ -181,7 +197,7 @@ impl SepoTable {
                 (v & FOUND != 0).then_some(v & !FOUND)
             })
             .collect();
-        LookupOutcome { rounds, results }
+        Ok(LookupOutcome { rounds, results })
     }
 
     /// Prepend every (non-tombstoned) combining entry of the loaded pages
@@ -338,5 +354,60 @@ mod tests {
         t.insert_combining(b"k", 1, &mut ch);
         let e = exec(&t);
         let _ = t.lookup_phase(&e, &[b"k"]);
+    }
+
+    #[test]
+    fn try_lookup_phase_returns_typed_errors() {
+        // Unfinalized: typed, not a panic.
+        let cfg = TableConfig::new(Organization::Combining(Combiner::Add))
+            .with_buckets(32)
+            .with_buckets_per_group(8)
+            .with_page_size(1024);
+        let t = SepoTable::new(cfg, 4 * 1024, Arc::new(Metrics::new()));
+        let mut ch = NoCharge;
+        t.insert_combining(b"k", 1, &mut ch);
+        let e = exec(&t);
+        assert!(matches!(
+            t.try_lookup_phase(&e, &[b"k"]),
+            Err(QueryError::NotFinalized)
+        ));
+        // Wrong organization: typed as well.
+        let mv = SepoTable::new(
+            TableConfig::new(Organization::MultiValued)
+                .with_buckets(32)
+                .with_buckets_per_group(8)
+                .with_page_size(1024),
+            4 * 1024,
+            Arc::new(Metrics::new()),
+        );
+        mv.finalize();
+        let e2 = exec(&mv);
+        assert!(matches!(
+            mv.try_lookup_phase(&e2, &[b"k"]),
+            Err(QueryError::WrongOrganization {
+                expected: "combining",
+                ..
+            })
+        ));
+        // And a well-formed call still resolves.
+        t.finalize();
+        let out = t.try_lookup_phase(&e, &[b"k", b"absent"]).unwrap();
+        assert_eq!(out.results, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_batch_agree() {
+        // The pending filter and result slots are per-query-index: N
+        // duplicates of one key must all resolve, to the same value,
+        // combining exactly once (the table holds one aggregate).
+        let t = populated(50, 4);
+        let e = exec(&t);
+        let dup: &[u8] = b"key-00017";
+        let queries: Vec<&[u8]> = std::iter::repeat_n(dup, 32).collect();
+        let out = t.lookup_phase(&e, &queries);
+        assert_eq!(out.hits(), 32);
+        for r in &out.results {
+            assert_eq!(*r, Some(18), "duplicate queries must agree");
+        }
     }
 }

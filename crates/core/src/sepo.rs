@@ -23,6 +23,7 @@ use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::combiner::{CombinerConfig, WarpCombiner};
 use crate::config::Organization;
 use crate::evict::{EvictReport, EvictedPage};
+use crate::serve::EpochPublisher;
 use crate::table::SepoTable;
 use gpu_sim::charge::Charge;
 use gpu_sim::executor::{Executor, LaneCtx, WarpScratch};
@@ -309,6 +310,15 @@ pub struct DriverConfig {
     /// [`gpu_sim::pipelined_total`]). Off by default; the CLI's
     /// `--evict-overlap on` turns it on.
     pub evict_overlap: bool,
+    /// Online serving: when set, the driver publishes an
+    /// [`crate::serve::EpochSnapshot`] through this publisher at every
+    /// quiescent iteration boundary (plus epoch 0 before the first
+    /// iteration and a finalized epoch after `finalize()`). Publication is
+    /// pure reads against checkpoint-grade boundary state — the final
+    /// table image, trajectories, and metrics are byte-identical with
+    /// serving on or off. `None` (the default) skips publication; the
+    /// CLI's `--serve` flag wires one in.
+    pub serving: Option<Arc<EpochPublisher>>,
 }
 
 impl Default for DriverConfig {
@@ -323,6 +333,7 @@ impl Default for DriverConfig {
             checkpoint: CheckpointPolicy::Off,
             max_recoveries: 8,
             evict_overlap: false,
+            serving: None,
         }
     }
 }
@@ -513,6 +524,12 @@ impl<'a> SepoDriver<'a> {
             None
         };
 
+        // Serving: publish epoch 0 (the empty pre-run boundary) so readers
+        // have a consistent — if empty — snapshot before iteration 1.
+        if let Some(publisher) = &self.config.serving {
+            publisher.publish_boundary(self.table, 0, false);
+        }
+
         while !pending.is_empty() {
             let iter_no = iterations.len() as u32 + 1;
             if iter_no > self.config.max_iterations {
@@ -632,6 +649,14 @@ impl<'a> SepoDriver<'a> {
             if let Some(p) = pipe.as_mut() {
                 let adopted = p.quiesce();
                 self.table.adopt_evicted(adopted);
+            }
+            // Serving: the device is quiescent, every launch of this
+            // iteration retired, and all previously piped evictions are
+            // home — publish the iteration's epoch before eviction
+            // rearranges residency. Hard-fault recovery `continue`s above
+            // this point, so a killed iteration never publishes.
+            if let Some(publisher) = &self.config.serving {
+                publisher.publish_boundary(self.table, iter_no, false);
             }
             let used_before_evict = audit.as_ref().map(|_| self.table.heap().stats().used_bytes);
             let evict = match (&shadow, pipe.as_mut()) {
@@ -760,6 +785,11 @@ impl<'a> SepoDriver<'a> {
             if sz.finding_count() > findings_baseline {
                 panic!("SEPO sanitizer failed at finalize: {}", sz.report());
             }
+        }
+        // Serving: the finalized epoch — everything is on the host now, so
+        // snapshot reads resolve entirely through the incremental index.
+        if let Some(publisher) = &self.config.serving {
+            publisher.publish_boundary(self.table, iterations.len() as u32 + 1, true);
         }
         let outcome = SepoOutcome {
             iterations,
@@ -1396,6 +1426,118 @@ mod tests {
         assert_eq!(base.iterations, chaos.iterations);
         assert_eq!(base.final_evict, chaos.final_evict);
         assert_eq!(base_img, chaos_img, "result images must be byte-identical");
+    }
+
+    #[test]
+    fn serving_on_matches_serving_off_byte_for_byte() {
+        let (off, off_img, off_metrics) = overlap_fixture(audited());
+        // The serving run actually issues queries at every epoch, through
+        // a serving executor with its own metrics.
+        let publisher = Arc::new(crate::serve::EpochPublisher::default());
+        let serve_exec = Arc::new(Executor::new(
+            ExecMode::Deterministic,
+            Arc::new(Metrics::new()),
+        ));
+        {
+            let serve_exec = Arc::clone(&serve_exec);
+            let keys: Vec<Vec<u8>> = (0..400)
+                .map(|i| format!("key-{i:05}").into_bytes())
+                .collect();
+            publisher.on_epoch(move |snap| {
+                let q: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+                snap.batch_get(&serve_exec, &q).expect("epoch batch");
+            });
+        }
+        let (on, on_img, on_metrics) = overlap_fixture(DriverConfig {
+            serving: Some(Arc::clone(&publisher)),
+            ..audited()
+        });
+        assert!(off.n_iterations() > 1, "the fixture must force evictions");
+        assert!(
+            publisher.current().is_some_and(|s| s.finalized()),
+            "a finalized epoch must be published"
+        );
+        assert_eq!(
+            off.iterations, on.iterations,
+            "serving must not change the iteration trajectory"
+        );
+        assert_eq!(off.final_evict, on.final_evict);
+        assert_eq!(off_img, on_img, "result images must be byte-identical");
+        assert_eq!(
+            off_metrics, on_metrics,
+            "serving charges its own executor's metrics, never the driver's"
+        );
+    }
+
+    #[test]
+    fn killed_and_resumed_serving_reads_are_consistent() {
+        // DeviceLost kill + checkpoint resume mid-serving: every epoch the
+        // chaos run publishes must carry the same iteration number and the
+        // same snapshot answers as the unkilled run — a reader pinned to
+        // any epoch never observes a partially applied (or replayed)
+        // iteration.
+        type EpochReads = Vec<(u32, Vec<Option<u64>>)>;
+        fn run(with_faults: bool) -> (EpochReads, Vec<u8>) {
+            let t = small_table(Organization::Combining(Combiner::Add), 4);
+            let mut e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+                .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+            if with_faults {
+                e = e.with_faults(hard_plan(0.15, 0.05, 0xC0FFEE));
+            }
+            let publisher = Arc::new(crate::serve::EpochPublisher::default());
+            let reads: Arc<parking_lot::Mutex<EpochReads>> = Arc::default();
+            {
+                let serve_exec = Executor::new(ExecMode::Deterministic, Arc::new(Metrics::new()));
+                let reads = Arc::clone(&reads);
+                let keys: Vec<Vec<u8>> = (0..400)
+                    .step_by(7)
+                    .map(|i| format!("key-{i:05}").into_bytes())
+                    .collect();
+                publisher.on_epoch(move |snap| {
+                    let q: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+                    let ans = snap.batch_get(&serve_exec, &q).expect("epoch batch");
+                    reads.lock().push((snap.iteration(), ans));
+                });
+            }
+            let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+            SepoDriver::new(&t, &e)
+                .with_config(DriverConfig {
+                    chunk_tasks: 64,
+                    audit: true,
+                    sanitize: true,
+                    checkpoint: CheckpointPolicy::Memory,
+                    max_recoveries: 10_000,
+                    serving: Some(Arc::clone(&publisher)),
+                    ..DriverConfig::default()
+                })
+                .try_run(
+                    keys.len(),
+                    |_| 16,
+                    |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                        crate::table::InsertStatus::Success => TaskResult::Done,
+                        crate::table::InsertStatus::Postponed => {
+                            TaskResult::Postponed { next_pair: 0 }
+                        }
+                    },
+                )
+                .unwrap();
+            let mut img = Vec::new();
+            t.save(&mut img).unwrap();
+            let reads = std::mem::take(&mut *reads.lock());
+            (reads, img)
+        }
+        let (base_reads, base_img) = run(false);
+        let (chaos_reads, chaos_img) = run(true);
+        assert_eq!(base_img, chaos_img, "result images must be byte-identical");
+        assert_eq!(
+            base_reads, chaos_reads,
+            "kill+resume must publish the same epochs with the same answers"
+        );
+        // Killed iterations never publish: epoch numbers are strictly
+        // increasing with no repeats.
+        for w in chaos_reads.windows(2) {
+            assert!(w[1].0 > w[0].0, "epoch {} republished", w[1].0);
+        }
     }
 
     #[test]

@@ -113,6 +113,17 @@ impl SepoTable {
         &self.metrics
     }
 
+    /// Raw bucket-head words at a quiescent iteration boundary — the read
+    /// shared by checkpoint capture and epoch-snapshot publication. Only
+    /// meaningful between launches, when no kernel is mutating heads.
+    pub(crate) fn snapshot_heads(&self) -> Vec<u64> {
+        self.heads
+            .iter()
+            // lint: relaxed-ok (quiescent iteration boundary)
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Adopt a restored host image: copy its pages into this table's host
     /// heap and advance the device heap's host-id sequence past them.
     pub(crate) fn adopt_host_heap(&self, host: HostHeap, next_host_id: u64) {

@@ -39,6 +39,15 @@
 //!    the overlap accounting. A deliberate direct charge needs a
 //!    `// lint: evict-dma-ok (<why>)` comment; trailing test modules are
 //!    exempt.
+//! 7. **serve-snapshot-bypass** — `HostIndex::build(` /
+//!    `HostIndex::try_build(` / `.pages_in_order(` on the serving paths
+//!    (`serve.rs`, `sepo.rs`, the CLI front end). Serving must read
+//!    through epoch snapshots and the incremental `HostStore` — a
+//!    finalized-table index or a raw host-heap walk on those paths would
+//!    silently see mid-iteration state and break epoch pinning. A
+//!    deliberate use (the publisher's own boundary absorption, offline
+//!    query commands) needs a `// lint: serve-ok (<why>)` comment;
+//!    trailing test modules are exempt.
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported.
 
@@ -88,6 +97,22 @@ const IO_UNWRAP_SCOPED_FILES: [&str; 2] = [
 /// `PcieBus` call.
 const EVICT_DMA_SCOPED_FILES: [&str; 2] = ["crates/core/src/evict.rs", "crates/core/src/sepo.rs"];
 
+/// Files on the online-serving path: reads there must go through epoch
+/// snapshots / the incremental `HostStore`, never a finalized-table index
+/// or a raw host-heap walk (which would see mid-iteration state).
+const SERVE_SCOPED_FILES: [&str; 3] = [
+    "crates/core/src/serve.rs",
+    "crates/core/src/sepo.rs",
+    "crates/cli/src/main.rs",
+];
+
+/// Patterns rule 7 bans on the serving paths.
+const SERVE_BYPASS_PATTERNS: [&str; 3] = [
+    "HostIndex::build(",
+    "HostIndex::try_build(",
+    ".pages_in_order(",
+];
+
 /// Crates whose code runs on (or next to) the simulated device: no
 /// wall-clock reads, no direct metrics mutation without an annotation.
 const SIMULATED_CRATES: [&str; 4] = [
@@ -121,6 +146,7 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     let relaxed_scoped = RELAXED_SCOPED_FILES.contains(&rel);
     let io_scoped = IO_UNWRAP_SCOPED_FILES.contains(&rel);
     let evict_scoped = EVICT_DMA_SCOPED_FILES.contains(&rel);
+    let serve_scoped = SERVE_SCOPED_FILES.contains(&rel);
     // Workspace convention: one trailing `#[cfg(test)] mod tests` per
     // file; everything after the marker is test code.
     let mut in_tests = false;
@@ -158,6 +184,22 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
                           DMA through the EvictionPipe ledger (or annotate a \
                           deliberate direct charge with \
                           `// lint: evict-dma-ok (<why>)`)"
+                    .to_string(),
+            });
+        }
+        if serve_scoped
+            && !in_tests
+            && SERVE_BYPASS_PATTERNS.iter().any(|p| code.contains(p))
+            && !allowlisted(&lines, i, "lint: serve-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "serve-snapshot-bypass",
+                message: "finalized-table index or raw host-heap walk on a \
+                          serving path; read through the epoch snapshot / \
+                          incremental HostStore (or annotate a deliberate \
+                          offline use with `// lint: serve-ok (<why>)`)"
                     .to_string(),
             });
         }
@@ -587,6 +629,46 @@ impl<C: Charge + ?Sized> Charge for &mut C {
         assert!(check_file("crates/core/src/evict.rs", same).is_empty());
         let above = "// lint: evict-dma-ok (final drain)\nlet t = bus.bulk_transfer(b);\n";
         assert!(check_file("crates/core/src/evict.rs", above).is_empty());
+    }
+
+    #[test]
+    fn serve_bypass_flagged_only_on_serving_paths() {
+        for pat in [
+            "let idx = HostIndex::build(&table);\n",
+            "let idx = HostIndex::try_build(&table)?;\n",
+            "for (id, pk, page) in table.host_heap().pages_in_order() {\n",
+        ] {
+            for rel in SERVE_SCOPED_FILES {
+                assert_eq!(
+                    rules_of(&check_file(rel, pat)),
+                    vec!["serve-snapshot-bypass"],
+                    "{rel}: {pat:?} must be flagged on a serving path"
+                );
+            }
+            // Elsewhere the offline paths use these freely.
+            assert!(check_file("crates/core/src/hostquery.rs", pat).is_empty());
+            assert!(check_file("crates/core/src/results.rs", pat).is_empty());
+        }
+    }
+
+    #[test]
+    fn serve_annotations_and_test_modules_pass_the_bypass_rule() {
+        let same = "let idx = HostIndex::try_build(&t); // lint: serve-ok (offline query)\n";
+        assert!(check_file("crates/cli/src/main.rs", same).is_empty());
+        let above = "// lint: serve-ok (boundary absorption)\n\
+                     for p in t.host_heap().pages_in_order() {\n";
+        assert!(check_file("crates/core/src/serve.rs", above).is_empty());
+        let in_tests = "\
+fn online() {}
+
+#[cfg(test)]
+mod tests {
+    fn oracle() {
+        let idx = HostIndex::build(&t);
+    }
+}
+";
+        assert!(check_file("crates/core/src/serve.rs", in_tests).is_empty());
     }
 
     #[test]

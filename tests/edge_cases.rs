@@ -116,7 +116,7 @@ fn host_index_on_empty_table() {
     t.finalize();
     let idx = HostIndex::build(&t);
     assert!(idx.is_empty());
-    assert_eq!(idx.get_combined(b"anything"), None);
+    assert_eq!(idx.get_combined(b"anything"), Ok(None));
 }
 
 #[test]
