@@ -26,7 +26,9 @@ pub mod netflix;
 pub mod patent;
 pub mod pvc;
 pub mod runner;
+pub mod sharded;
 pub mod wordcount;
 
 pub use common::{partition_of, AppConfig, AppRun};
 pub use runner::run_app;
+pub use sharded::{run_app_sharded, ShardRouter, ShardedAppRun};

@@ -21,8 +21,9 @@ use sepo_datagen::Dataset;
 use sepo_mapreduce::{run_job, Emitter, JobConfig, Mode};
 use std::collections::HashMap;
 
-/// Tokenize a record into words (ASCII whitespace separated).
-fn words(record: &[u8]) -> impl Iterator<Item = &[u8]> {
+/// Tokenize a record into words (ASCII whitespace separated). Shared with
+/// the shard router, which must enumerate exactly the keys the mapper emits.
+pub(crate) fn words(record: &[u8]) -> impl Iterator<Item = &[u8]> {
     record
         .split(|&b| b == b' ' || b == b'\n' || b == b'\t' || b == b'\r')
         .filter(|w| !w.is_empty())

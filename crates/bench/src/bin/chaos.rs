@@ -15,18 +15,15 @@
 //! recovery counts, replayed iterations, checkpoint sizes, and wall-clock
 //! overhead, and exits non-zero if any app's recovery is not invisible.
 
-use gpu_sim::executor::{ExecMode, Executor};
-use gpu_sim::metrics::{Metrics, Snapshot};
-use gpu_sim::{FaultConfig, FaultPlan, HardFaultConfig, ShadowSanitizer};
-use sepo_apps::{run_app, AppConfig};
-use sepo_core::sepo::RecoveryStats;
+use gpu_sim::{FaultConfig, FaultPlan, HardFaultConfig};
+use sepo_bench::harness::{
+    instrumented_run, require, standard_config, standard_executor, BenchRun, REGRESSION_SCALE,
+};
 use sepo_core::CheckpointPolicy;
 use sepo_datagen::{App, Dataset};
-use std::sync::Arc;
-use std::time::Instant;
 
 /// Records per app — the tests' forced multi-iteration scale.
-const SCALE: u64 = 16_384;
+const SCALE: u64 = REGRESSION_SCALE;
 /// Device heap small enough that every app needs several iterations, so
 /// kills land both before and after eviction boundaries.
 const HEAP_BYTES: u64 = 96 << 10;
@@ -47,56 +44,24 @@ const MAX_SEED_TRIES: u64 = 20;
 /// First chaos seed per app (successive tries increment from here).
 const BASE_SEED: u64 = 0x5EED_C0DE;
 
-struct Run {
-    image: Vec<u8>,
-    trajectory: Vec<u64>,
-    snapshot: Snapshot,
-    recovery: RecoveryStats,
-    iterations: u32,
-    secs: f64,
-}
-
 /// One audited + sanitized run. `chaos_seed` arms hard faults (quiet
 /// transient rates, elevated hard rates) plus in-memory checkpointing.
-fn run_once(app: App, ds: &Dataset, chaos_seed: Option<u64>) -> Run {
-    let metrics = Arc::new(Metrics::new());
-    let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics));
-    if let Some(seed) = chaos_seed {
-        let plan = FaultPlan::new(FaultConfig::quiet(seed)).with_hard(HardFaultConfig {
+fn run_once(app: App, ds: &Dataset, chaos_seed: Option<u64>) -> BenchRun {
+    let faults = chaos_seed.map(|seed| {
+        FaultPlan::new(FaultConfig::quiet(seed)).with_hard(HardFaultConfig {
             seed,
             device_loss_rate: DEVICE_LOSS_RATE,
             poisoned_launch_rate: POISONED_LAUNCH_RATE,
-        });
-        exec = exec.with_faults(Arc::new(plan));
-    }
-    exec = exec.with_shadow(Arc::new(ShadowSanitizer::new()));
-    let mut cfg = AppConfig::new(HEAP_BYTES)
-        .with_chunk_tasks(CHUNK_TASKS)
-        .with_audit(true)
-        .with_sanitize(true);
+        })
+    });
+    let exec = standard_executor(faults);
+    let mut cfg = standard_config(HEAP_BYTES, CHUNK_TASKS);
     if chaos_seed.is_some() {
         cfg = cfg
             .with_checkpoint(CheckpointPolicy::Memory)
             .with_max_recoveries(10_000);
     }
-    let start = Instant::now();
-    let run = run_app(app, ds, &cfg, &exec);
-    let secs = start.elapsed().as_secs_f64();
-    let mut image = Vec::new();
-    run.table.save(&mut image).expect("save table image");
-    Run {
-        image,
-        trajectory: run
-            .outcome
-            .iterations
-            .iter()
-            .map(|i| i.tasks_completed)
-            .collect(),
-        snapshot: metrics.snapshot(),
-        recovery: run.outcome.recovery,
-        iterations: run.iterations(),
-        secs,
-    }
+    instrumented_run(app, ds, &cfg, &exec)
 }
 
 fn main() {
@@ -117,7 +82,7 @@ fn main() {
             let seed = BASE_SEED + t;
             let run = run_once(app, &ds, Some(seed));
             seed_tries = t + 1;
-            if run.recovery.recoveries >= 1 {
+            if run.run.outcome.recovery.recoveries >= 1 {
                 chaos = Some((seed, run));
                 break;
             }
@@ -131,48 +96,47 @@ fn main() {
             continue;
         };
 
-        let image_ok = chaos.image == baseline.image;
-        let traj_ok = chaos.trajectory == baseline.trajectory;
-        let metrics_ok = chaos.snapshot == baseline.snapshot;
-        if !image_ok {
-            eprintln!("FAIL: {}: resumed table image differs", app.name());
-        }
-        if !traj_ok {
-            eprintln!(
-                "FAIL: {}: trajectory differs (chaos {:?} vs baseline {:?})",
-                app.name(),
-                chaos.trajectory,
-                baseline.trajectory
-            );
-        }
-        if !metrics_ok {
-            eprintln!("FAIL: {}: metrics snapshot differs", app.name());
-        }
+        let image_ok = require(
+            app.name(),
+            "resumed table image identical",
+            chaos.image == baseline.image,
+        );
+        let traj_ok = require(
+            app.name(),
+            "resumed trajectory identical",
+            chaos.trajectory == baseline.trajectory,
+        );
+        let metrics_ok = require(
+            app.name(),
+            "resumed metrics snapshot identical",
+            chaos.snapshot == baseline.snapshot,
+        );
         failed |= !(image_ok && traj_ok && metrics_ok);
 
+        let recovery = &chaos.run.outcome.recovery;
         let overhead = chaos.secs / baseline.secs.max(1e-9);
-        total_recoveries += chaos.recovery.recoveries;
-        total_replays += chaos.recovery.replayed_iterations;
+        total_recoveries += recovery.recoveries;
+        total_replays += recovery.replayed_iterations;
         println!(
             "{:>15}: {:>2} recoveries, {:>2} iterations replayed ({} clean), \
              {:>3} checkpoints ({} B latest), {:.2}x wall vs unkilled, seed {seed:#x}",
             app.name(),
-            chaos.recovery.recoveries,
-            chaos.recovery.replayed_iterations,
-            chaos.iterations,
-            chaos.recovery.checkpoints_taken,
-            chaos.recovery.checkpoint_bytes,
+            recovery.recoveries,
+            recovery.replayed_iterations,
+            chaos.iterations(),
+            recovery.checkpoints_taken,
+            recovery.checkpoint_bytes,
             overhead,
         );
         rows.push(serde_json::json!({
             "app": app.name(),
             "seed": seed,
             "seed_tries": seed_tries,
-            "iterations": chaos.iterations,
-            "recoveries": chaos.recovery.recoveries,
-            "replayed_iterations": chaos.recovery.replayed_iterations,
-            "checkpoints_taken": chaos.recovery.checkpoints_taken,
-            "checkpoint_bytes": chaos.recovery.checkpoint_bytes,
+            "iterations": chaos.iterations(),
+            "recoveries": recovery.recoveries,
+            "replayed_iterations": recovery.replayed_iterations,
+            "checkpoints_taken": recovery.checkpoints_taken,
+            "checkpoint_bytes": recovery.checkpoint_bytes,
             "image_bytes": baseline.image.len(),
             "baseline_secs": baseline.secs,
             "chaos_secs": chaos.secs,

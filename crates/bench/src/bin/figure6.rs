@@ -142,6 +142,7 @@ fn main() {
     }
 
     chart.print();
+    let cpu_warning = sepo_bench::single_cpu_warning("figure6");
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     table.note(format!("scale = 1/{scale} (capacities and datasets)"));
     table.note(format!("device heap = {}", fmt_bytes(heap)));
@@ -154,9 +155,8 @@ fn main() {
         &serde_json::json!({
             "scale": scale,
             "average_speedup": avg,
-            "available_parallelism": std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            "available_parallelism": sepo_bench::host_parallelism(),
+            "single_cpu_warning": cpu_warning,
             "rows": json,
         }),
     );

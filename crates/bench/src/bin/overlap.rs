@@ -16,18 +16,17 @@
 //! app, the serial and overlapped simulated totals and the saving, and
 //! exits non-zero if any app's results diverge between the two modes.
 
-use gpu_sim::executor::{ExecMode, Executor};
-use gpu_sim::metrics::Metrics;
 use gpu_sim::spec::SystemSpec;
-use gpu_sim::{FaultConfig, FaultPlan, ShadowSanitizer};
-use sepo_apps::{run_app, AppConfig};
-use sepo_bench::gpu_total_time;
+use gpu_sim::{FaultConfig, FaultPlan};
+use sepo_bench::harness::{
+    instrumented_run, require, standard_config, standard_executor, BenchRun, REGRESSION_SCALE,
+};
+use sepo_bench::{gpu_total_time, GpuTiming};
 use sepo_datagen::{App, Dataset};
-use std::sync::Arc;
 
 /// Records per app — small enough to run in CI, large enough that the
 /// tight heap below forces several eviction boundaries per app.
-const SCALE: u64 = 16_384;
+const SCALE: u64 = REGRESSION_SCALE;
 /// Device heap small enough that every app needs several iterations, so
 /// every run has eviction DMA worth hiding.
 const HEAP_BYTES: u64 = 48 << 10;
@@ -37,42 +36,16 @@ const CHUNK_TASKS: usize = 512;
 /// errors, lane aborts) — the identity claim must hold under fire.
 const FAULT_SEED: u64 = 0x00EE_71A9;
 
-struct Run {
-    image: Vec<u8>,
-    trajectory: Vec<u64>,
-    iterations: u32,
-    total_secs: f64,
-    transfer_secs: f64,
-    evicted_bytes: u64,
-}
-
-fn run_once(app: App, ds: &Dataset, spec: &SystemSpec, overlap: bool) -> Run {
-    let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics))
-        .with_faults(Arc::new(FaultPlan::new(FaultConfig::standard(FAULT_SEED))))
-        .with_shadow(Arc::new(ShadowSanitizer::new()));
-    let cfg = AppConfig::new(HEAP_BYTES)
-        .with_chunk_tasks(CHUNK_TASKS)
-        .with_audit(true)
-        .with_sanitize(true)
-        .with_evict_overlap(overlap);
-    let run = run_app(app, ds, &cfg, &exec);
-    let timing = gpu_total_time(&run.outcome, &run.table.contention_histogram(), spec);
-    let mut image = Vec::new();
-    run.table.save(&mut image).expect("save table image");
-    Run {
-        image,
-        trajectory: run
-            .outcome
-            .iterations
-            .iter()
-            .map(|i| i.tasks_completed)
-            .collect(),
-        iterations: run.iterations(),
-        total_secs: timing.total.as_secs_f64(),
-        transfer_secs: timing.transfers.as_secs_f64(),
-        evicted_bytes: run.outcome.total_evicted_bytes(),
-    }
+fn run_once(app: App, ds: &Dataset, spec: &SystemSpec, overlap: bool) -> (BenchRun, GpuTiming) {
+    let exec = standard_executor(Some(FaultPlan::new(FaultConfig::standard(FAULT_SEED))));
+    let cfg = standard_config(HEAP_BYTES, CHUNK_TASKS).with_evict_overlap(overlap);
+    let bench = instrumented_run(app, ds, &cfg, &exec);
+    let timing = gpu_total_time(
+        &bench.run.outcome,
+        &bench.run.table.contention_histogram(),
+        spec,
+    );
+    (bench, timing)
 }
 
 fn main() {
@@ -82,52 +55,48 @@ fn main() {
 
     for app in App::ALL {
         let ds = app.generate(0, SCALE);
-        let serial = run_once(app, &ds, &spec, false);
-        let overlap = run_once(app, &ds, &spec, true);
+        let (serial, serial_t) = run_once(app, &ds, &spec, false);
+        let (overlap, overlap_t) = run_once(app, &ds, &spec, true);
 
-        let image_ok = overlap.image == serial.image;
-        let traj_ok = overlap.trajectory == serial.trajectory;
-        let iters_ok = overlap.iterations == serial.iterations;
-        if !image_ok {
-            eprintln!("FAIL: {}: overlapped table image differs", app.name());
-        }
-        if !traj_ok {
-            eprintln!(
-                "FAIL: {}: trajectory differs (overlap {:?} vs serial {:?})",
-                app.name(),
-                overlap.trajectory,
-                serial.trajectory
-            );
-        }
-        if !iters_ok {
-            eprintln!(
-                "FAIL: {}: iteration count differs ({} vs {})",
-                app.name(),
-                overlap.iterations,
-                serial.iterations
-            );
-        }
+        let image_ok = require(
+            app.name(),
+            "overlapped table image identical",
+            overlap.image == serial.image,
+        );
+        let traj_ok = require(
+            app.name(),
+            "overlapped trajectory identical",
+            overlap.trajectory == serial.trajectory,
+        );
+        let iters_ok = require(
+            app.name(),
+            "overlapped iteration count identical",
+            overlap.iterations() == serial.iterations(),
+        );
         failed |= !(image_ok && traj_ok && iters_ok);
 
-        let saved = serial.total_secs - overlap.total_secs;
-        let saved_pct = 100.0 * saved / serial.total_secs.max(1e-12);
+        let serial_secs = serial_t.total.as_secs_f64();
+        let overlap_secs = overlap_t.total.as_secs_f64();
+        let saved = serial_secs - overlap_secs;
+        let saved_pct = 100.0 * saved / serial_secs.max(1e-12);
+        let evicted_bytes = serial.run.outcome.total_evicted_bytes();
         println!(
             "{:>15}: {:>2} iterations, {:>9} B evicted, serial {:.6}s \
              -> overlapped {:.6}s ({saved_pct:.1}% saved)",
             app.name(),
-            serial.iterations,
-            serial.evicted_bytes,
-            serial.total_secs,
-            overlap.total_secs,
+            serial.iterations(),
+            evicted_bytes,
+            serial_secs,
+            overlap_secs,
         );
         rows.push(serde_json::json!({
             "app": app.name(),
-            "iterations": serial.iterations,
-            "evicted_bytes": serial.evicted_bytes,
-            "serial_seconds": serial.total_secs,
-            "overlap_seconds": overlap.total_secs,
-            "serial_transfer_seconds": serial.transfer_secs,
-            "overlap_transfer_seconds": overlap.transfer_secs,
+            "iterations": serial.iterations(),
+            "evicted_bytes": evicted_bytes,
+            "serial_seconds": serial_secs,
+            "overlap_seconds": overlap_secs,
+            "serial_transfer_seconds": serial_t.transfers.as_secs_f64(),
+            "overlap_transfer_seconds": overlap_t.transfers.as_secs_f64(),
             "saved_seconds": saved,
             "saved_pct": saved_pct,
             "image_identical": image_ok,

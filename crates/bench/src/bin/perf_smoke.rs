@@ -123,9 +123,8 @@ fn main() {
         "tasks_per_launch": TASKS,
         "launches": LAUNCHES,
         "pool_workers": workers,
-        "available_parallelism": std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        "available_parallelism": sepo_bench::host_parallelism(),
+        "single_cpu_warning": sepo_bench::single_cpu_warning("perf_smoke"),
         "pool_startups": gpu_sim::pool::startup_count(),
         "threads_spawned": gpu_sim::pool::threads_spawned(),
         "modes": rows,

@@ -24,16 +24,18 @@
 
 use gpu_sim::cost::GpuCostModel;
 use gpu_sim::executor::{ExecMode, Executor};
-use gpu_sim::metrics::{ContentionHistogram, Metrics, Snapshot};
+use gpu_sim::metrics::{ContentionHistogram, Metrics};
 use gpu_sim::pcie::PcieBus;
-use gpu_sim::{ShadowSanitizer, SystemSpec};
-use sepo_apps::{run_app, AppConfig};
+use gpu_sim::SystemSpec;
+use sepo_bench::harness::{
+    instrumented_run, require, standard_config, standard_executor, BenchRun, REGRESSION_SCALE,
+};
 use sepo_core::{EpochPublisher, Organization, SepoTable};
 use sepo_datagen::{App, Dataset, Rng, Zipf};
 use std::sync::{Arc, Mutex};
 
 /// Records per app — the scale the repo's regression harnesses share.
-const SCALE: u64 = 16_384;
+const SCALE: u64 = REGRESSION_SCALE;
 /// Device heap small enough that every app runs several iterations, so
 /// serving sees epochs with state split across device and host.
 const HEAP_BYTES: u64 = 96 << 10;
@@ -52,13 +54,6 @@ fn empty_hist() -> ContentionHistogram {
     ContentionHistogram::from_counts(std::iter::empty::<u64>())
 }
 
-struct Run {
-    image: Vec<u8>,
-    trajectory: Vec<u64>,
-    snapshot: Snapshot,
-    iterations: u32,
-}
-
 struct ServeLoad {
     /// Per-batch mean per-query simulated latency, in seconds.
     per_query_secs: Vec<f64>,
@@ -69,31 +64,13 @@ struct ServeLoad {
 }
 
 /// One audited + sanitized run; `publisher` arms epoch publication.
-fn run_once(app: App, ds: &Dataset, publisher: Option<&Arc<EpochPublisher>>) -> Run {
-    let metrics = Arc::new(Metrics::new());
-    let exec = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics))
-        .with_shadow(Arc::new(ShadowSanitizer::new()));
-    let mut cfg = AppConfig::new(HEAP_BYTES)
-        .with_chunk_tasks(CHUNK_TASKS)
-        .with_audit(true)
-        .with_sanitize(true);
+fn run_once(app: App, ds: &Dataset, publisher: Option<&Arc<EpochPublisher>>) -> BenchRun {
+    let exec = standard_executor(None);
+    let mut cfg = standard_config(HEAP_BYTES, CHUNK_TASKS);
     if let Some(p) = publisher {
         cfg = cfg.with_serving(Arc::clone(p));
     }
-    let run = run_app(app, ds, &cfg, &exec);
-    let mut image = Vec::new();
-    run.table.save(&mut image).expect("save table image");
-    Run {
-        image,
-        trajectory: run
-            .outcome
-            .iterations
-            .iter()
-            .map(|i| i.tasks_completed)
-            .collect(),
-        snapshot: metrics.snapshot(),
-        iterations: run.iterations(),
-    }
+    instrumented_run(app, ds, &cfg, &exec)
 }
 
 /// Hook body: fire the epoch's query batches and price each one from the
@@ -257,44 +234,25 @@ fn main() {
         }
 
         let ds2 = app.generate(0, SCALE);
-        let metrics2 = Arc::new(Metrics::new());
-        let exec2 = Executor::new(ExecMode::ParallelDeterministic, Arc::clone(&metrics2))
-            .with_shadow(Arc::new(ShadowSanitizer::new()));
-        let cfg2 = AppConfig::new(HEAP_BYTES)
-            .with_chunk_tasks(CHUNK_TASKS)
-            .with_audit(true)
-            .with_sanitize(true)
-            .with_serving(Arc::clone(&publisher));
-        let serving_run = run_app(app, &ds2, &cfg2, &exec2);
-        let mut serving_image = Vec::new();
-        serving_run
-            .table
-            .save(&mut serving_image)
-            .expect("save table image");
-        let serving_traj: Vec<u64> = serving_run
-            .outcome
-            .iterations
-            .iter()
-            .map(|i| i.tasks_completed)
-            .collect();
+        let serving = run_once(app, &ds2, Some(&publisher));
 
-        let image_ok = serving_image == baseline.image;
-        let traj_ok = serving_traj == baseline.trajectory;
-        let metrics_ok = metrics2.snapshot() == baseline.snapshot;
-        if !image_ok {
-            eprintln!("FAIL: {}: serving run's table image differs", app.name());
-        }
-        if !traj_ok {
-            eprintln!("FAIL: {}: serving run's trajectory differs", app.name());
-        }
-        if !metrics_ok {
-            eprintln!(
-                "FAIL: {}: serving perturbed the driver's metrics",
-                app.name()
-            );
-        }
+        let image_ok = require(
+            app.name(),
+            "serving run's table image identical",
+            serving.image == baseline.image,
+        );
+        let traj_ok = require(
+            app.name(),
+            "serving run's trajectory identical",
+            serving.trajectory == baseline.trajectory,
+        );
+        let metrics_ok = require(
+            app.name(),
+            "serving left the driver's metrics untouched",
+            serving.snapshot == baseline.snapshot,
+        );
 
-        let oracle = final_oracle(&serving_run.table, &publisher, &serve_exec);
+        let oracle = final_oracle(&serving.run.table, &publisher, &serve_exec);
         let (oracle_ok, oracle_keys) = match &oracle {
             Ok(n) => (true, *n),
             Err(e) => {
@@ -330,7 +288,7 @@ fn main() {
         );
         rows.push(serde_json::json!({
             "app": app.name(),
-            "iterations": baseline.iterations,
+            "iterations": baseline.iterations(),
             "epochs": st.epochs,
             "batches": lat.len(),
             "queries": st.queries,

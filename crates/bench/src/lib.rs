@@ -21,11 +21,15 @@
 //! from real execution. Set `SEPO_SCALE` (default 256) to change the 1/N
 //! capacity/dataset scale.
 
+pub mod harness;
 pub mod report;
 pub mod timing;
 
+pub use harness::{host_parallelism, single_cpu_warning, REGRESSION_SCALE};
 pub use report::{write_json, write_json_mirrored, Table};
-pub use timing::{cpu_total_time, gpu_total_time, pinned_total_time, GpuTiming};
+pub use timing::{
+    cpu_total_time, gpu_total_time, pinned_total_time, sharded_total_time, GpuTiming,
+};
 
 use gpu_sim::spec::SystemSpec;
 

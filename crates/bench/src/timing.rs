@@ -36,6 +36,45 @@ fn empty_hist() -> ContentionHistogram {
     ContentionHistogram::from_counts(std::iter::empty::<u64>())
 }
 
+/// Per-iteration simulated costs of one device's SEPO run: the pipelined
+/// upload/kernel segment, the boundary eviction DMA, and the raw kernel
+/// time, plus the final result download.
+struct IterationCosts {
+    segments: Vec<SimTime>,
+    evictions: Vec<SimTime>,
+    kernels: Vec<SimTime>,
+    final_download: SimTime,
+}
+
+fn iteration_costs(outcome: &SepoOutcome, gpu: &GpuCostModel, bus: &PcieBus) -> IterationCosts {
+    let n = outcome.iterations.len();
+    let mut costs = IterationCosts {
+        segments: Vec::with_capacity(n),
+        evictions: Vec::with_capacity(n),
+        kernels: Vec::with_capacity(n),
+        final_download: SimTime::ZERO,
+    };
+    for iter in &outcome.iterations {
+        let k = gpu.kernel_time(&iter.kernel, &empty_hist());
+        costs.kernels.push(k);
+        let chunks = iter.chunks.max(1) as usize;
+        let per_chunk_upload = bus.bulk_transfer_time(iter.input_bytes / chunks as u64);
+        let per_chunk_kernel = k / chunks as u64;
+        let uploads = vec![per_chunk_upload; chunks];
+        let kernels = vec![per_chunk_kernel; chunks];
+        costs.segments.push(pipelined_total(&uploads, &kernels));
+        costs.evictions.push(if iter.evict.evicted_bytes > 0 {
+            bus.bulk_transfer_time(iter.evict.evicted_bytes)
+        } else {
+            SimTime::ZERO
+        });
+    }
+    if outcome.final_evict.evicted_bytes > 0 {
+        costs.final_download = bus.bulk_transfer_time(outcome.final_evict.evicted_bytes);
+    }
+    costs
+}
+
 /// Simulated end-to-end time of a SEPO GPU run.
 pub fn gpu_total_time(
     outcome: &SepoOutcome,
@@ -44,24 +83,10 @@ pub fn gpu_total_time(
 ) -> GpuTiming {
     let gpu = GpuCostModel::new(spec.device.clone());
     let bus = PcieBus::new(spec.pcie.clone(), Arc::new(Metrics::new()));
-    let mut kernel_total = SimTime::ZERO;
-    let mut segments = Vec::with_capacity(outcome.iterations.len());
-    let mut evictions = Vec::with_capacity(outcome.iterations.len());
-    for iter in &outcome.iterations {
-        let k = gpu.kernel_time(&iter.kernel, &empty_hist());
-        kernel_total += k;
-        let chunks = iter.chunks.max(1) as usize;
-        let per_chunk_upload = bus.bulk_transfer_time(iter.input_bytes / chunks as u64);
-        let per_chunk_kernel = k / chunks as u64;
-        let uploads = vec![per_chunk_upload; chunks];
-        let kernels = vec![per_chunk_kernel; chunks];
-        segments.push(pipelined_total(&uploads, &kernels));
-        evictions.push(if iter.evict.evicted_bytes > 0 {
-            bus.bulk_transfer_time(iter.evict.evicted_bytes)
-        } else {
-            SimTime::ZERO
-        });
-    }
+    let costs = iteration_costs(outcome, &gpu, &bus);
+    let kernel_total = costs.kernels.iter().fold(SimTime::ZERO, |acc, &k| acc + k);
+    let segments = costs.segments;
+    let evictions = costs.evictions;
     // Compose each iteration's pipelined upload/kernel segment with its
     // boundary eviction. Synchronous boundaries alternate strictly:
     // segment, eviction, segment, … With `evict_overlap` the eviction pipe
@@ -74,11 +99,7 @@ pub fn gpu_total_time(
     } else {
         serial_total(&segments, &evictions)
     };
-    let final_download = if outcome.final_evict.evicted_bytes > 0 {
-        bus.bulk_transfer_time(outcome.final_evict.evicted_bytes)
-    } else {
-        SimTime::ZERO
-    };
+    let final_download = costs.final_download;
     let contention_t = gpu.contention_time(contention);
     let transfer_total = (body - kernel_total) + final_download;
     let total = body + final_download + contention_t;
@@ -88,6 +109,68 @@ pub fn gpu_total_time(
         transfers: transfer_total,
         contention: contention_t,
         iterations: outcome.n_iterations(),
+    }
+}
+
+/// Simulated end-to-end time of a hash-prefix-sharded run across N
+/// simulated devices.
+///
+/// Shards execute concurrently (each is its own device + bus) and
+/// synchronize at iteration boundaries — the router hands every shard its
+/// iteration-i batch before any shard starts iteration i+1 — so the
+/// sharded clock is the per-iteration **makespan max** across shards of
+/// that iteration's pipelined segment plus boundary eviction, composed
+/// across iterations exactly like the single-device case (serial or
+/// `evict_overlap`-pipelined). A shard that finished early contributes
+/// zero to later iterations. The final result download and the
+/// serialized-atomic contention penalty happen concurrently per device,
+/// so they too enter as maxima.
+pub fn sharded_total_time(
+    shards: &[(&SepoOutcome, &ContentionHistogram)],
+    spec: &SystemSpec,
+) -> GpuTiming {
+    assert!(!shards.is_empty(), "at least one shard");
+    let gpu = GpuCostModel::new(spec.device.clone());
+    let bus = PcieBus::new(spec.pcie.clone(), Arc::new(Metrics::new()));
+    let per_shard: Vec<IterationCosts> = shards
+        .iter()
+        .map(|(o, _)| iteration_costs(o, &gpu, &bus))
+        .collect();
+    let n_iters = per_shard.iter().map(|c| c.segments.len()).max().unwrap();
+    let max_at = |field: fn(&IterationCosts) -> &[SimTime], i: usize| {
+        per_shard
+            .iter()
+            .map(|c| field(c).get(i).copied().unwrap_or(SimTime::ZERO))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    };
+    let segments: Vec<SimTime> = (0..n_iters).map(|i| max_at(|c| &c.segments, i)).collect();
+    let evictions: Vec<SimTime> = (0..n_iters).map(|i| max_at(|c| &c.evictions, i)).collect();
+    let kernel_total = (0..n_iters).fold(SimTime::ZERO, |acc, i| acc + max_at(|c| &c.kernels, i));
+    let evict_overlap = shards.iter().all(|(o, _)| o.evict_overlap);
+    let body = if evict_overlap {
+        pipelined_total(&segments, &evictions)
+    } else {
+        serial_total(&segments, &evictions)
+    };
+    let final_download = per_shard
+        .iter()
+        .map(|c| c.final_download)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let contention_t = shards
+        .iter()
+        .map(|(_, h)| gpu.contention_time(h))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let transfer_total = (body - kernel_total) + final_download;
+    let total = body + final_download + contention_t;
+    GpuTiming {
+        total,
+        kernel: kernel_total,
+        transfers: transfer_total,
+        contention: contention_t,
+        iterations: n_iters as u32,
     }
 }
 
@@ -220,6 +303,46 @@ mod tests {
         // The saving is bounded by what was eligible for hiding: the
         // overlapped makespan can never drop below the segments alone.
         assert!(to.total >= ts.kernel);
+    }
+
+    #[test]
+    fn one_shard_prices_exactly_like_the_single_device_model() {
+        let spec = SystemSpec::scaled(8192);
+        let (outcome, hist, _) = small_run(8 * 1024);
+        let single = gpu_total_time(&outcome, &hist, &spec);
+        let sharded = sharded_total_time(&[(&outcome, &hist)], &spec);
+        assert_eq!(sharded.total, single.total);
+        assert_eq!(sharded.kernel, single.kernel);
+        assert_eq!(sharded.iterations, single.iterations);
+    }
+
+    #[test]
+    fn identical_shards_share_one_makespan() {
+        // Two devices doing exactly the same work in parallel finish when
+        // either one would alone: the per-iteration max of equals.
+        let spec = SystemSpec::scaled(8192);
+        let (outcome, hist, _) = small_run(8 * 1024);
+        let single = gpu_total_time(&outcome, &hist, &spec);
+        let two = sharded_total_time(&[(&outcome, &hist), (&outcome, &hist)], &spec);
+        assert_eq!(two.total, single.total);
+    }
+
+    #[test]
+    fn uneven_shards_price_at_the_slowest() {
+        // A fast shard (fewer iterations) rides along for free; the
+        // makespan equals the slow shard's own total.
+        let spec = SystemSpec::scaled(8192);
+        let (slow, hs, _) = small_run(8 * 1024);
+        let (fast, hf, _) = small_run(4 << 20);
+        assert!(slow.n_iterations() > fast.n_iterations());
+        let slow_alone = gpu_total_time(&slow, &hs, &spec);
+        let both = sharded_total_time(&[(&slow, &hs), (&fast, &hf)], &spec);
+        assert_eq!(both.iterations, slow_alone.iterations);
+        assert!(both.total >= slow_alone.total);
+        // The fast shard only adds where its per-iteration cost exceeds
+        // the slow one's — bounded by its own single-device total.
+        let fast_alone = gpu_total_time(&fast, &hf, &spec);
+        assert!(both.total <= slow_alone.total + fast_alone.total);
     }
 
     #[test]

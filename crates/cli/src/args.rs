@@ -41,6 +41,12 @@ pub struct Flags {
     /// checking the answers against a CPU oracle. Results of the run are
     /// byte-identical either way.
     pub serve: bool,
+    /// Shard the run across `--shards N` simulated devices (power of two,
+    /// default 1). Each shard owns a hash-prefix slice of the key space
+    /// and its own device heap; the merged canonical image is checked
+    /// against an unsharded reference run. `--shards 1` is exactly the
+    /// single-device path.
+    pub shards: u32,
 }
 
 impl Default for Flags {
@@ -61,6 +67,7 @@ impl Default for Flags {
             chaos_seed: None,
             evict_overlap: false,
             serve: false,
+            shards: 1,
         }
     }
 }
@@ -84,6 +91,13 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
             "--checkpoint" => f.checkpoint = Some(it.next()?.clone()),
             "--chaos-seed" => f.chaos_seed = Some(it.next()?.parse().ok()?),
+            "--shards" => {
+                f.shards = it
+                    .next()?
+                    .parse()
+                    .ok()
+                    .filter(|s: &u32| s.is_power_of_two())?
+            }
             "--combiner" => {
                 f.combiner = match it.next()?.as_str() {
                     "on" => true,
@@ -165,6 +179,8 @@ mod tests {
             "--evict-overlap",
             "on",
             "--serve",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         assert_eq!(f.dataset, 3);
@@ -182,6 +198,19 @@ mod tests {
         assert_eq!(f.chaos_seed, Some(7));
         assert!(f.evict_overlap);
         assert!(f.serve);
+        assert_eq!(f.shards, 4);
+    }
+
+    #[test]
+    fn shards_default_one_and_must_be_a_power_of_two() {
+        assert_eq!(parse_flags(&[]).unwrap().shards, 1);
+        assert_eq!(parse_flags(&strs(&["--shards", "1"])).unwrap().shards, 1);
+        assert_eq!(parse_flags(&strs(&["--shards", "8"])).unwrap().shards, 8);
+        assert!(parse_flags(&strs(&["--shards"])).is_none());
+        assert!(parse_flags(&strs(&["--shards", "0"])).is_none());
+        assert!(parse_flags(&strs(&["--shards", "3"])).is_none());
+        assert!(parse_flags(&strs(&["--shards", "6"])).is_none());
+        assert!(parse_flags(&strs(&["--shards", "not-a-count"])).is_none());
     }
 
     #[test]

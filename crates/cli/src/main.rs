@@ -38,6 +38,15 @@
 //!                                        checking every answer against a
 //!                                        CPU oracle; results identical
 //!                                        either way
+//!   --shards <N>                         shard the run across N simulated
+//!                                        devices (power of two, default 1);
+//!                                        each shard owns a hash-prefix slice
+//!                                        of the key space with its own heap,
+//!                                        warp pool, and eviction pipe, and
+//!                                        the merged canonical image is
+//!                                        checked against an unsharded
+//!                                        reference run (--shards 1 is
+//!                                        exactly the single-device path)
 //! sepo lookup [--scale N] [--queries N]  build a PVC table, run the SEPO
 //!                                        lookup phase over it
 //! sepo query <image> <key>...            query a table saved with --save
@@ -48,7 +57,7 @@ use gpu_sim::metrics::Metrics;
 use sepo_apps::{run_app, AppConfig};
 use sepo_baselines::{run_cpu_app, run_phoenix};
 use sepo_bench::report::{fmt_bytes, fmt_speedup};
-use sepo_bench::{cpu_total_time, device_heap, gpu_total_time};
+use sepo_bench::{cpu_total_time, device_heap, gpu_total_time, sharded_total_time};
 use sepo_cli::{app_by_slug, parse_flags, slug, Flags};
 use sepo_datagen::App;
 use std::process::ExitCode;
@@ -59,7 +68,8 @@ fn usage() -> ExitCode {
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
          [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
          [--combiner on|off] [--evict-overlap on|off] [--checkpoint PATH] \
-         [--chaos-seed SEED] [--serve] [--input FILE] [--save IMAGE]\n  \
+         [--chaos-seed SEED] [--serve] [--shards N] [--input FILE] \
+         [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -256,26 +266,13 @@ fn check_serving(
     ))
 }
 
-fn cmd_run(app: App, f: Flags) -> ExitCode {
-    let spec = gpu_sim::SystemSpec::scaled(f.scale);
-    let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
-    println!(
-        "{} | dataset #{} at scale 1/{} | device heap {}",
-        app.name(),
-        f.dataset,
-        f.scale,
-        fmt_bytes(heap)
-    );
-    let ds = match &f.input {
+/// Build the input dataset: `--input` file (one record per line) or the
+/// generated Table I dataset.
+fn load_dataset(app: App, f: &Flags) -> Result<sepo_datagen::Dataset, String> {
+    match &f.input {
         Some(path) => {
             // Real user data: one record per line.
-            let bytes = match std::fs::read(path) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut ds = sepo_datagen::Dataset::new();
             let mut start = 0usize;
             for (i, &b) in bytes.iter().enumerate() {
@@ -287,9 +284,31 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
             if start < bytes.len() {
                 ds.push_record(&bytes[start..]);
             }
-            ds
+            Ok(ds)
         }
-        None => app.generate(f.dataset - 1, f.scale),
+        None => Ok(app.generate(f.dataset - 1, f.scale)),
+    }
+}
+
+fn cmd_run(app: App, f: Flags) -> ExitCode {
+    if f.shards > 1 {
+        return cmd_run_sharded(app, f);
+    }
+    let spec = gpu_sim::SystemSpec::scaled(f.scale);
+    let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
+    println!(
+        "{} | dataset #{} at scale 1/{} | device heap {}",
+        app.name(),
+        f.dataset,
+        f.scale,
+        fmt_bytes(heap)
+    );
+    let ds = match load_dataset(app, &f) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     println!(
         "input: {} ({} records)",
@@ -490,6 +509,328 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `sepo run --shards N`: the same run sharded across N simulated devices
+/// (per-shard device heap, warp pool, eviction pipe, fault streams), plus
+/// an unsharded reference run the merged canonical image is checked
+/// against. Prints the `sharded image vs 1 device: …` identity line CI
+/// greps for and fails the process on divergence.
+fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
+    use sepo_apps::sharded::{run_app_sharded, unsharded_image};
+    let n = f.shards;
+    let spec = gpu_sim::SystemSpec::scaled(f.scale);
+    let heap = f.heap.unwrap_or_else(|| device_heap(&spec));
+    if f.save.is_some() {
+        eprintln!("--save needs a single table image; it is not available with --shards > 1");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} | dataset #{} at scale 1/{} | {n} shards, device heap {} per shard",
+        app.name(),
+        f.dataset,
+        f.scale,
+        fmt_bytes(heap)
+    );
+    let ds = match load_dataset(app, &f) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "input: {} ({} records)",
+        fmt_bytes(ds.size_bytes()),
+        ds.len()
+    );
+
+    let mode = if f.parallel {
+        ExecMode::Parallel { workers: 0 }
+    } else {
+        ExecMode::ParallelDeterministic
+    };
+    if let Some(seed) = f.faults {
+        println!("fault injection: standard rates, per-shard seeds from {seed}");
+    }
+    if let Some(seed) = f.chaos_seed {
+        println!("chaos injection: hard device faults, per-shard seeds from {seed}");
+    }
+    if f.sanitize {
+        println!("shadow-memory sanitizer: on (per shard)");
+    }
+
+    // Shard i derives its fault streams from `seed ^ i`: every simulated
+    // device sees its own independent faults.
+    let shard_exec = |i: u32| -> Executor {
+        let mut exec = Executor::new(mode, Arc::new(Metrics::new()));
+        let mut plan = f.faults.map(|seed| {
+            gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::standard(seed ^ u64::from(i)))
+        });
+        if let Some(seed) = f.chaos_seed {
+            let base = plan.take().unwrap_or_else(|| {
+                gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed ^ u64::from(i)))
+            });
+            plan = Some(base.with_hard(gpu_sim::HardFaultConfig::standard(seed ^ u64::from(i))));
+        }
+        if let Some(plan) = plan {
+            exec = exec.with_faults(Arc::new(plan));
+        }
+        if f.sanitize {
+            exec = exec.with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        }
+        exec
+    };
+
+    // --checkpoint with shards writes one SEPOCKS1 file with a section per
+    // shard; --chaos-seed without a path keeps per-shard memory checkpoints.
+    let shared_ckp = f.checkpoint.as_ref().map(|path| {
+        println!("checkpoint: sharded SEPOCKS1 file at {path} ({n} sections)");
+        Arc::new(sepo_core::ShardedCheckpointFile::new(path.into(), n))
+    });
+    let publishers = f.serve.then(|| {
+        println!("serving: per-shard epoch snapshots on; finalized sharded-view oracle");
+        (0..n)
+            .map(|_| Arc::new(sepo_core::EpochPublisher::default()))
+            .collect::<Vec<_>>()
+    });
+
+    let execs: Vec<Executor> = (0..n).map(shard_exec).collect();
+    let cfgs: Vec<AppConfig> = (0..n)
+        .map(|i| {
+            let policy = match (&shared_ckp, f.chaos_seed) {
+                (Some(file), _) => sepo_core::CheckpointPolicy::SharedDisk(Arc::clone(file), i),
+                (None, Some(_)) => sepo_core::CheckpointPolicy::Memory,
+                (None, None) => sepo_core::CheckpointPolicy::Off,
+            };
+            let mut cfg = AppConfig::new(heap)
+                .with_audit(f.audit)
+                .with_combiner(f.combiner)
+                .with_sanitize(f.sanitize)
+                .with_evict_overlap(f.evict_overlap)
+                .with_checkpoint(policy);
+            if f.chaos_seed.is_some() {
+                cfg = cfg.with_max_recoveries(32);
+            }
+            if let Some(pubs) = &publishers {
+                cfg = cfg.with_serving(Arc::clone(&pubs[i as usize]));
+            }
+            cfg
+        })
+        .collect();
+
+    let sharded = run_app_sharded(app, &ds, &cfgs, &execs);
+
+    // Unsharded reference: one device, same heap and flags, base fault
+    // seeds. The merged canonical image must match it byte for byte.
+    let ref_exec = shard_exec(0);
+    let mut ref_cfg = AppConfig::new(heap)
+        .with_audit(f.audit)
+        .with_combiner(f.combiner)
+        .with_sanitize(f.sanitize)
+        .with_evict_overlap(f.evict_overlap);
+    if f.chaos_seed.is_some() {
+        ref_cfg = ref_cfg
+            .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
+            .with_max_recoveries(32);
+    }
+    let reference = run_app(app, &ds, &ref_cfg, &ref_exec);
+    let identical = sharded.image == unsharded_image(&reference);
+
+    println!("\nGPU/SEPO sharded run");
+    for (i, (run, routed)) in sharded
+        .shards
+        .iter()
+        .zip(&sharded.routed_records)
+        .enumerate()
+    {
+        let stats = run.table.table_stats();
+        println!(
+            "  shard {i}: {:>6} records routed, {:>2} iterations, {:>9} evicted, {:>6} keys",
+            routed,
+            run.iterations(),
+            fmt_bytes(run.outcome.total_evicted_bytes()),
+            stats.distinct_keys
+        );
+    }
+    if f.faults.is_some() || f.chaos_seed.is_some() {
+        for (i, exec) in execs.iter().enumerate() {
+            if let Some(plan) = exec.faults() {
+                print!(
+                    "  shard {i} faults: {} lane aborts over {} draws",
+                    plan.injected(gpu_sim::FaultSite::Lane),
+                    plan.draws(gpu_sim::FaultSite::Lane)
+                );
+                if plan.has_hard_faults() {
+                    print!(
+                        "; {} device losses, {} poisoned launches",
+                        plan.hard_injected(gpu_sim::HardFaultKind::DeviceLost),
+                        plan.hard_injected(gpu_sim::HardFaultKind::PoisonedLaunch)
+                    );
+                }
+                println!();
+            }
+        }
+    }
+    if shared_ckp.is_some() || f.chaos_seed.is_some() {
+        let taken: u32 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.checkpoints_taken)
+            .sum();
+        let recoveries: u32 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.recoveries)
+            .sum();
+        let replayed: u32 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.replayed_iterations)
+            .sum();
+        println!(
+            "  checkpoints: {taken} taken across shards, {recoveries} recoveries, \
+             {replayed} iterations replayed"
+        );
+    }
+    if f.audit {
+        println!("  audit: every shard, every iteration boundary checked");
+    }
+
+    let hists: Vec<_> = sharded
+        .shards
+        .iter()
+        .map(|r| r.table.full_contention_histogram())
+        .collect();
+    let parts: Vec<_> = sharded
+        .shards
+        .iter()
+        .zip(&hists)
+        .map(|(r, h)| (&r.outcome, h))
+        .collect();
+    let gpu = sharded_total_time(&parts, &spec);
+    let ref_hist = reference.table.full_contention_histogram();
+    let ref_gpu = gpu_total_time(&reference.outcome, &ref_hist, &spec);
+
+    println!("  iterations        {} (slowest shard)", gpu.iterations);
+    println!(
+        "  sim time          {} (per-iteration max across shards)",
+        gpu.total
+    );
+    println!(
+        "    kernels {} | transfers {} | contention {}",
+        gpu.kernel, gpu.transfers, gpu.contention
+    );
+    println!("\nunsharded reference (1 device, same heap)");
+    println!("  iterations        {}", ref_gpu.iterations);
+    println!("  sim time          {}", ref_gpu.total);
+    println!(
+        "\nsharded image vs 1 device: {}",
+        if identical { "identical" } else { "DIVERGED" }
+    );
+    println!(
+        "speedup vs 1 device {}",
+        fmt_speedup(ref_gpu.total.ratio(gpu.total))
+    );
+
+    if let Some(pubs) = &publishers {
+        let mut snaps = Vec::new();
+        for (i, p) in pubs.iter().enumerate() {
+            match p.current() {
+                Some(s) => snaps.push(s),
+                None => {
+                    eprintln!("serving oracle FAILED: shard {i} never published an epoch");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let view = sepo_core::ShardedSnapshot::new(snaps);
+        if !view.finalized() {
+            eprintln!("serving oracle FAILED: a shard's last epoch is not the finalized one");
+            return ExitCode::FAILURE;
+        }
+        let serve_execs: Vec<Executor> = (0..n)
+            .map(|_| Executor::new(mode, Arc::new(Metrics::new())))
+            .collect();
+        let tables: Vec<&sepo_core::SepoTable> = sharded.shards.iter().map(|r| &r.table).collect();
+        match check_sharded_serving(&tables, &view, &serve_execs) {
+            Ok(summary) => {
+                println!("\nserving over the sharded view");
+                println!("  {summary}");
+            }
+            Err(e) => {
+                eprintln!("serving oracle FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Post-run oracle for `--shards N --serve`: every key every shard's
+/// collectors report must answer identically through the hash-routed
+/// [`sepo_core::ShardedSnapshot`] view.
+fn check_sharded_serving(
+    tables: &[&sepo_core::SepoTable],
+    view: &sepo_core::ShardedSnapshot,
+    execs: &[Executor],
+) -> Result<String, String> {
+    use sepo_core::Organization;
+    let mut checked = 0usize;
+    for table in tables {
+        match table.config().organization {
+            Organization::Combining(_) => {
+                let truth = table.collect_combining();
+                for chunk in truth.chunks(4096) {
+                    let q: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+                    let ans = view.batch_get(execs, &q).map_err(|e| e.to_string())?;
+                    for ((k, v), a) in chunk.iter().zip(&ans) {
+                        if *a != Some(*v) {
+                            return Err(format!(
+                                "sharded view: key {:?} = {a:?}, collectors say {v}",
+                                String::from_utf8_lossy(k)
+                            ));
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+            Organization::MultiValued => {
+                let truth = table.collect_multivalued();
+                for chunk in truth.chunks(1024) {
+                    let q: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+                    let ans = view
+                        .batch_get_grouped(execs, &q)
+                        .map_err(|e| e.to_string())?;
+                    for ((k, vs), a) in chunk.iter().zip(&ans) {
+                        let mut want = vs.clone();
+                        want.sort();
+                        let mut got = a.clone().unwrap_or_default();
+                        got.sort();
+                        if got != want {
+                            return Err(format!(
+                                "sharded view: key {:?} diverges ({} values vs {})",
+                                String::from_utf8_lossy(k),
+                                got.len(),
+                                want.len()
+                            ));
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+            Organization::Basic => {}
+        }
+    }
+    Ok(format!(
+        "{} shards, every collector key answered through the routed view: {checked} keys ok",
+        tables.len()
+    ))
 }
 
 fn cmd_query(path: &str, keys: &[String]) -> ExitCode {

@@ -44,6 +44,19 @@
 //!              len u32, bytes
 //! host pages   u32 count, per page: id u64, kind u8, len u32, bytes
 //! ```
+//!
+//! Sharded runs write one file for all shards (`SEPOCKS1`): a global
+//! header naming the shard count, then one length-prefixed standard
+//! `SEPOCKP1` section per shard (length 0 = that shard has not
+//! checkpointed yet). Each shard's driver updates its own section through
+//! a shared [`ShardedCheckpointFile`]; resume reads every section back
+//! with [`read_sharded_from_path`] and restores every shard.
+//!
+//! ```text
+//! magic        8 bytes  "SEPOCKS1"
+//! shard count  u32
+//! sections     per shard: len u32, len bytes of SEPOCKP1 image
+//! ```
 
 use crate::bitmap::Bitmap;
 use crate::persist::{kind_from_tag, kind_tag, read_exact_field};
@@ -59,10 +72,12 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"SEPOCKP1";
 const MAGIC_NAME: &str = "SEPOCKP1";
+const SHARDED_MAGIC: &[u8; 8] = b"SEPOCKS1";
+const SHARDED_MAGIC_NAME: &str = "SEPOCKS1";
 const N_METRIC_WORDS: usize = 17;
 
 /// Where (and whether) the driver checkpoints at iteration boundaries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub enum CheckpointPolicy {
     /// No checkpointing: a hard fault is fatal.
     #[default]
@@ -74,13 +89,130 @@ pub enum CheckpointPolicy {
     /// as a `SEPOCKP1` image after every boundary, so a separate process
     /// can resume after the original one dies.
     Disk(PathBuf),
+    /// Sharded-run variant of `Disk`: keep the latest checkpoint in memory
+    /// and write it through to this shard's section of a shared
+    /// `SEPOCKS1` container, so one file resumes every shard.
+    SharedDisk(Arc<ShardedCheckpointFile>, u32),
 }
+
+impl PartialEq for CheckpointPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CheckpointPolicy::Off, CheckpointPolicy::Off) => true,
+            (CheckpointPolicy::Memory, CheckpointPolicy::Memory) => true,
+            (CheckpointPolicy::Disk(a), CheckpointPolicy::Disk(b)) => a == b,
+            (CheckpointPolicy::SharedDisk(fa, sa), CheckpointPolicy::SharedDisk(fb, sb)) => {
+                Arc::ptr_eq(fa, fb) && sa == sb
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CheckpointPolicy {}
 
 impl CheckpointPolicy {
     /// Is checkpointing enabled at all?
     pub fn is_enabled(&self) -> bool {
         !matches!(self, CheckpointPolicy::Off)
     }
+}
+
+/// The shared writer behind [`CheckpointPolicy::SharedDisk`]: one
+/// `SEPOCKS1` file holding every shard's latest boundary checkpoint.
+///
+/// Shard drivers run concurrently, so updates serialize behind a mutex;
+/// each update replaces one shard's section and rewrites the file whole
+/// (checkpoints already rewrite their file whole in the unsharded `Disk`
+/// policy — this only batches N of them into one artifact).
+pub struct ShardedCheckpointFile {
+    path: PathBuf,
+    sections: parking_lot::Mutex<Vec<Vec<u8>>>,
+}
+
+impl std::fmt::Debug for ShardedCheckpointFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCheckpointFile")
+            .field("path", &self.path)
+            .field("shards", &self.sections.lock().len())
+            .finish()
+    }
+}
+
+impl ShardedCheckpointFile {
+    /// A container for `shard_count` shards at `path`. Sections start
+    /// empty ("not yet checkpointed"); the file is not written until the
+    /// first [`ShardedCheckpointFile::update`].
+    pub fn new(path: PathBuf, shard_count: u32) -> ShardedCheckpointFile {
+        assert!(shard_count >= 1, "a sharded checkpoint needs shards");
+        ShardedCheckpointFile {
+            path,
+            sections: parking_lot::Mutex::new(vec![Vec::new(); shard_count as usize]),
+        }
+    }
+
+    /// The file this container persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of shard sections.
+    pub fn shard_count(&self) -> usize {
+        self.sections.lock().len()
+    }
+
+    /// Replace `shard`'s section with `ckp` and rewrite the file.
+    pub fn update(&self, shard: u32, ckp: &Checkpoint) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(ckp.encoded_size() as usize);
+        ckp.to_writer(&mut buf)?;
+        let sections = {
+            let mut sections = self.sections.lock();
+            let n = sections.len();
+            let slot = sections.get_mut(shard as usize).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("shard {shard} out of {n}"),
+                )
+            })?;
+            *slot = buf;
+            sections.clone()
+        };
+        let mut w = io::BufWriter::new(std::fs::File::create(&self.path)?);
+        w.write_all(SHARDED_MAGIC)?;
+        w.write_all(&(sections.len() as u32).to_le_bytes())?;
+        for s in &sections {
+            w.write_all(&(s.len() as u32).to_le_bytes())?;
+            w.write_all(s)?;
+        }
+        w.flush()
+    }
+}
+
+/// Load a `SEPOCKS1` container: one entry per shard, `None` for a shard
+/// that had not checkpointed when the file was last written.
+pub fn read_sharded_from_path(path: &Path) -> io::Result<Vec<Option<Checkpoint>>> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    read_exact_field(&mut r, &mut magic, "magic", SHARDED_MAGIC_NAME)?;
+    if &magic != SHARDED_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a SEPOCKS1 container",
+        ));
+    }
+    let n_shards = read_u32(&mut r, "shard count")? as usize;
+    let mut out = Vec::with_capacity(n_shards.min(1 << 16));
+    for _ in 0..n_shards {
+        let len = read_u32(&mut r, "shard section length")? as usize;
+        if len == 0 {
+            out.push(None);
+            continue;
+        }
+        let mut section = vec![0u8; len];
+        read_exact_field(&mut r, &mut section, "shard section", SHARDED_MAGIC_NAME)?;
+        out.push(Some(Checkpoint::from_reader(&mut section.as_slice())?));
+    }
+    Ok(out)
 }
 
 /// Everything needed to resume a SEPO run from an iteration boundary.
@@ -731,6 +863,95 @@ mod tests {
         let back = Checkpoint::read_from_path(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(back, ckp);
+    }
+
+    #[test]
+    fn sharded_container_round_trips_with_empty_sections() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let path = std::env::temp_dir().join(format!("sepo-cks-test-{}.bin", std::process::id()));
+        let file = ShardedCheckpointFile::new(path.clone(), 4);
+        assert_eq!(file.shard_count(), 4);
+        // Shards 1 and 3 checkpoint; 0 and 2 have not yet.
+        file.update(1, &ckp).unwrap();
+        file.update(3, &ckp).unwrap();
+        let back = read_sharded_from_path(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        assert!(back[0].is_none() && back[2].is_none());
+        assert_eq!(back[1].as_ref().unwrap(), &ckp);
+        assert_eq!(back[3].as_ref().unwrap(), &ckp);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_update_replaces_only_its_own_section() {
+        let t = small_table();
+        let (ckp, done, progress) = mid_run_checkpoint(&t);
+        let later = Checkpoint::capture(
+            &t,
+            &done,
+            &progress,
+            &[fake_iteration(1), fake_iteration(2), fake_iteration(3)],
+            0,
+            None,
+        );
+        assert_ne!(later, ckp);
+        let path = std::env::temp_dir().join(format!("sepo-cks-upd-{}.bin", std::process::id()));
+        let file = ShardedCheckpointFile::new(path.clone(), 2);
+        file.update(0, &ckp).unwrap();
+        file.update(1, &ckp).unwrap();
+        file.update(0, &later).unwrap();
+        let back = read_sharded_from_path(&path).unwrap();
+        assert_eq!(back[0].as_ref().unwrap(), &later, "shard 0 advanced");
+        assert_eq!(back[1].as_ref().unwrap(), &ckp, "shard 1 untouched");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_update_rejects_an_out_of_range_shard() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let path = std::env::temp_dir().join(format!("sepo-cks-oob-{}.bin", std::process::id()));
+        let file = ShardedCheckpointFile::new(path.clone(), 2);
+        let err = file.update(2, &ckp).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_container_rejects_garbage_and_truncation() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let path = std::env::temp_dir().join(format!("sepo-cks-bad-{}.bin", std::process::id()));
+        let file = ShardedCheckpointFile::new(path.clone(), 2);
+        file.update(0, &ckp).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // A plain SEPOCKP1 image is not a container.
+        let mut plain = Vec::new();
+        ckp.to_writer(&mut plain).unwrap();
+        std::fs::write(&path, &plain).unwrap();
+        let err = read_sharded_from_path(&path).unwrap_err();
+        assert!(err.to_string().contains("not a SEPOCKS1 container"));
+        // Truncating the container anywhere is a clean InvalidData error.
+        for len in [0, 4, 11, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..len]).unwrap();
+            let err = read_sharded_from_path(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix of {len}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_disk_policy_equality_is_by_file_identity() {
+        let path = std::env::temp_dir().join(format!("sepo-cks-eq-{}.bin", std::process::id()));
+        let a = Arc::new(ShardedCheckpointFile::new(path.clone(), 2));
+        let b = Arc::new(ShardedCheckpointFile::new(path, 2));
+        let pa0 = CheckpointPolicy::SharedDisk(Arc::clone(&a), 0);
+        assert_eq!(pa0, CheckpointPolicy::SharedDisk(Arc::clone(&a), 0));
+        assert_ne!(pa0, CheckpointPolicy::SharedDisk(Arc::clone(&a), 1));
+        assert_ne!(pa0, CheckpointPolicy::SharedDisk(b, 0));
+        assert_ne!(pa0, CheckpointPolicy::Off);
+        assert!(pa0.is_enabled());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Table configuration.
 
+use crate::shard::ShardSpec;
 use std::fmt;
 
 /// How two KV pairs with the same key are handled (§IV-B).
@@ -132,6 +133,12 @@ pub struct TableConfig {
     /// is unnecessary in this mode (CPU memory holds everything), so runs
     /// complete in one iteration.
     pub remote_heap: bool,
+    /// Hash-prefix shard this table owns under multi-device execution
+    /// (`None` = the unsharded table owns every key). When set, the insert
+    /// paths silently accept-and-drop keys of other shards, so replicated
+    /// multi-key tasks store each key on exactly its owner shard. See
+    /// [`crate::shard`].
+    pub shard: Option<ShardSpec>,
 }
 
 impl TableConfig {
@@ -145,6 +152,7 @@ impl TableConfig {
             halt_threshold: 0.5,
             max_kept_fraction: 0.25,
             remote_heap: false,
+            shard: None,
         }
     }
 
@@ -177,6 +185,7 @@ impl TableConfig {
             halt_threshold: 0.5,
             max_kept_fraction: 0.25,
             remote_heap: false,
+            shard: None,
         }
     }
 
@@ -208,6 +217,22 @@ impl TableConfig {
     pub fn with_halt_threshold(mut self, t: f64) -> Self {
         self.halt_threshold = t.clamp(0.0, 1.0);
         self
+    }
+
+    /// Restrict the table to one hash-prefix shard of the key space
+    /// (`None` restores unsharded ownership of every key).
+    pub fn with_shard(mut self, shard: Option<ShardSpec>) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Does this table own hash `hash`? Unsharded tables own everything.
+    #[inline]
+    pub fn owns_hash(&self, hash: u64) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.owns_hash(hash),
+        }
     }
 
     /// Number of bucket groups implied by this configuration.

@@ -60,12 +60,13 @@ pub mod persist;
 pub mod results;
 pub mod sepo;
 pub mod serve;
+pub mod shard;
 pub mod stats;
 pub mod table;
 
 pub use audit::{AuditViolation, InFlightEviction, TableAudit};
 pub use bitmap::Bitmap;
-pub use checkpoint::{Checkpoint, CheckpointPolicy};
+pub use checkpoint::{read_sharded_from_path, Checkpoint, CheckpointPolicy, ShardedCheckpointFile};
 pub use combiner::{CombinerConfig, WarpCombiner};
 pub use config::{Combiner, Organization, TableConfig};
 pub use evict::{EvictReport, EvictedPage};
@@ -76,5 +77,6 @@ pub use sepo::{
     DriverConfig, IterationStats, RecoveryStats, SepoDriver, SepoError, SepoOutcome, TaskResult,
 };
 pub use serve::{EpochPublisher, EpochSnapshot, HostStore, QueryError, ServeConfig};
+pub use shard::{canonical_image, shard_of, shard_of_key, ShardSpec, ShardedSnapshot};
 pub use stats::TableStats;
 pub use table::{InsertStatus, SepoTable};

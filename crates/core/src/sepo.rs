@@ -393,12 +393,22 @@ impl<'a> SepoDriver<'a> {
         recovery: &mut RecoveryStats,
     ) -> Result<Checkpoint, SepoError> {
         let ckp = Checkpoint::capture(self.table, done, progress, iterations, fault_stalls, faults);
-        if let CheckpointPolicy::Disk(path) = &self.config.checkpoint {
-            ckp.write_to_path(path)
-                .map_err(|source| SepoError::CheckpointIo {
-                    at_iteration: ckp.iteration(),
-                    source,
-                })?;
+        match &self.config.checkpoint {
+            CheckpointPolicy::Disk(path) => {
+                ckp.write_to_path(path)
+                    .map_err(|source| SepoError::CheckpointIo {
+                        at_iteration: ckp.iteration(),
+                        source,
+                    })?;
+            }
+            CheckpointPolicy::SharedDisk(file, shard) => {
+                file.update(*shard, &ckp)
+                    .map_err(|source| SepoError::CheckpointIo {
+                        at_iteration: ckp.iteration(),
+                        source,
+                    })?;
+            }
+            _ => {}
         }
         recovery.checkpoints_taken += 1;
         recovery.checkpoint_bytes = ckp.encoded_size();

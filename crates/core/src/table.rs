@@ -372,6 +372,13 @@ impl SepoTable {
         value: u64,
         charge: &mut C,
     ) -> InsertStatus {
+        // Sharded ownership filter: a foreign key belongs to another
+        // shard's table; report success with zero charges so replicated
+        // multi-key tasks complete identically on every shard while the
+        // key is stored exactly once, on its owner.
+        if !self.cfg.owns_hash(hash) {
+            return InsertStatus::Success;
+        }
         match self.insert_combining_entry(key, hash, value, charge) {
             Ok(_) => InsertStatus::Success,
             Err(()) => InsertStatus::Postponed,
@@ -550,6 +557,10 @@ impl SepoTable {
             (value.len() as u64) < (1 << 31),
             "basic values are capped below 2^31 bytes (tombstone bit)"
         );
+        // Sharded ownership filter (see `insert_combining_hashed`).
+        if !self.cfg.owns_hash(hash) {
+            return InsertStatus::Success;
+        }
         let bucket = bucket_for(hash, self.cfg.n_buckets);
         self.touch(bucket);
         charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);
@@ -613,6 +624,10 @@ impl SepoTable {
             "insert_multivalued on a {} table",
             self.cfg.organization.label()
         );
+        // Sharded ownership filter (see `insert_combining_hashed`).
+        if !self.cfg.owns_hash(hash) {
+            return InsertStatus::Success;
+        }
         let bucket = bucket_for(hash, self.cfg.n_buckets);
         self.touch(bucket);
         charge.compute(120 + 2 * key.len() as u64 + value.len() as u64 / 4);

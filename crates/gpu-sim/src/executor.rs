@@ -440,6 +440,7 @@ unsafe impl<K: Sync> Sync for KernelJob<'_, K> {}
 
 impl<K: Fn(&mut LaneCtx<'_>) + Sync> Work for KernelJob<'_, K> {
     fn run_units(&self, warps: Range<usize>, slot: usize) {
+        // lint: shard-ok (worker-local scratch slot inside one device)
         let shard = unsafe { &mut *self.shards[slot].get() };
         for warp in warps {
             run_warp(

@@ -48,6 +48,16 @@
 //!    deliberate use (the publisher's own boundary absorption, offline
 //!    query commands) needs a `// lint: serve-ok (<why>)` comment;
 //!    trailing test modules are exempt.
+//! 8. **cross-shard-direct** — `.shards[` indexing anywhere outside the
+//!    shard router/merge paths (`crates/core/src/shard.rs`,
+//!    `crates/apps/src/sharded.rs`). Each shard's `SepoTable` and device
+//!    state belong to that shard alone; host code must reach another
+//!    shard's data through the `ShardRouter`, the canonical merge, or the
+//!    routed `ShardedSnapshot` view — a direct index would silently
+//!    bypass the hash-prefix ownership discipline. Iterating all shards
+//!    (`.shards.iter()`) is fine; a deliberate direct index needs a
+//!    `// lint: shard-ok (<why>)` comment; trailing test modules are
+//!    exempt.
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported.
 
@@ -113,6 +123,13 @@ const SERVE_BYPASS_PATTERNS: [&str; 3] = [
     ".pages_in_order(",
 ];
 
+/// The only files allowed to index one shard's state directly: the shard
+/// partition/merge module itself and the host-side router. Everyone else
+/// reaches shard data through the router, the canonical merge, or the
+/// routed snapshot view.
+const CROSS_SHARD_ALLOWED_FILES: [&str; 2] =
+    ["crates/core/src/shard.rs", "crates/apps/src/sharded.rs"];
+
 /// Crates whose code runs on (or next to) the simulated device: no
 /// wall-clock reads, no direct metrics mutation without an annotation.
 const SIMULATED_CRATES: [&str; 4] = [
@@ -147,6 +164,7 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     let io_scoped = IO_UNWRAP_SCOPED_FILES.contains(&rel);
     let evict_scoped = EVICT_DMA_SCOPED_FILES.contains(&rel);
     let serve_scoped = SERVE_SCOPED_FILES.contains(&rel);
+    let shard_allowed = CROSS_SHARD_ALLOWED_FILES.contains(&rel);
     // Workspace convention: one trailing `#[cfg(test)] mod tests` per
     // file; everything after the marker is test code.
     let mut in_tests = false;
@@ -200,6 +218,23 @@ fn check_file(rel: &str, content: &str) -> Vec<Finding> {
                           serving path; read through the epoch snapshot / \
                           incremental HostStore (or annotate a deliberate \
                           offline use with `// lint: serve-ok (<why>)`)"
+                    .to_string(),
+            });
+        }
+        if !shard_allowed
+            && !in_tests
+            && code.contains(".shards[")
+            && !allowlisted(&lines, i, "lint: shard-ok")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "cross-shard-direct",
+                message: "direct index into one shard's state outside the \
+                          router/merge paths; go through the ShardRouter, the \
+                          canonical merge, or the routed ShardedSnapshot view \
+                          (or annotate a deliberate access with \
+                          `// lint: shard-ok (<why>)`)"
                     .to_string(),
             });
         }
@@ -669,6 +704,49 @@ mod tests {
 }
 ";
         assert!(check_file("crates/core/src/serve.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn cross_shard_index_flagged_everywhere_but_router_and_merge() {
+        let direct = "let t = &run.shards[2].table;\n";
+        for rel in [
+            "crates/cli/src/main.rs",
+            "crates/bench/src/bin/shards.rs",
+            "crates/core/src/sepo.rs",
+        ] {
+            assert_eq!(
+                rules_of(&check_file(rel, direct)),
+                vec!["cross-shard-direct"],
+                "{rel}: a direct shard index must be flagged"
+            );
+        }
+        // The router and merge paths own the partition — allowed.
+        for rel in CROSS_SHARD_ALLOWED_FILES {
+            assert!(check_file(rel, direct).is_empty(), "{rel} is exempt");
+        }
+        // Iterating every shard is the sanctioned whole-view access.
+        let iterate = "for r in run.shards.iter() {\n";
+        assert!(check_file("crates/cli/src/main.rs", iterate).is_empty());
+    }
+
+    #[test]
+    fn shard_annotations_and_test_modules_pass_the_cross_shard_rule() {
+        let same =
+            "let t = &run.shards[0].table; // lint: shard-ok (shard 0 is the keyless home)\n";
+        assert!(check_file("crates/cli/src/main.rs", same).is_empty());
+        let above = "// lint: shard-ok (merge fan-in)\nlet t = &run.shards[i].table;\n";
+        assert!(check_file("crates/bench/src/bin/shards.rs", above).is_empty());
+        let in_tests = "\
+fn merge() {}
+
+#[cfg(test)]
+mod tests {
+    fn peek() {
+        let t = &run.shards[1].table;
+    }
+}
+";
+        assert!(check_file("crates/cli/src/main.rs", in_tests).is_empty());
     }
 
     #[test]

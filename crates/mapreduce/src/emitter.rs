@@ -48,6 +48,12 @@ impl<'a, 'l, 'w> Emitter<'a, 'l, 'w> {
             return self.postponed_at.is_none();
         }
         let hash = fnv1a(key);
+        // Sharded ownership filter, ahead of the warp combiner so a
+        // foreign key never occupies a combiner slot: the owner shard's
+        // replica of this task stores it (see `SepoTable` shard docs).
+        if !self.table.config().owns_hash(hash) {
+            return true;
+        }
         // Route through the warp combiner when the launch installed one:
         // duplicate keys within the warp fold locally and flush at warp
         // retirement; first touches and postponements follow the direct

@@ -1,0 +1,70 @@
+//! Property-based tests for the hash-prefix shard partition and the
+//! host-side batching router: every key has exactly one owner shard under
+//! every partition width, and a routed batch is a permutation of its
+//! input — nothing dropped, nothing duplicated, nothing misrouted.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepo_apps::sharded::ShardRouter;
+use sepo_core::hash::fnv1a;
+use sepo_core::{shard_of, shard_of_key, ShardSpec};
+use sepo_datagen::App;
+
+/// Arbitrary key bytes (length 0..24, any byte values).
+fn keys() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    vec(vec(any::<u8>(), 0..24), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly one `ShardSpec` claims any key, at every partition width,
+    /// and it is the one `shard_of_key` names.
+    #[test]
+    fn every_key_routes_to_exactly_one_shard(key in vec(any::<u8>(), 0..24), bits in 0u32..5) {
+        let count = 1u32 << bits;
+        let owner = shard_of_key(&key, bits);
+        prop_assert!(owner < count, "owner {owner} out of {count}");
+        prop_assert_eq!(owner, shard_of(fnv1a(&key), bits));
+        let owners: Vec<u32> = (0..count)
+            .filter(|&s| ShardSpec::new(s, count).owns_key(&key))
+            .collect();
+        prop_assert_eq!(owners, vec![owner], "ownership must be a partition");
+    }
+
+    /// The router's split of a key batch is a permutation of the input
+    /// indices, and every index lands on its key's owner shard.
+    #[test]
+    fn split_keys_is_a_permutation_of_the_batch(batch in keys(), bits in 0u32..4) {
+        let count = 1u32 << bits;
+        let router = ShardRouter::new(App::WordCount, count);
+        let refs: Vec<&[u8]> = batch.iter().map(|k| k.as_slice()).collect();
+        let slots = router.split_keys(&refs);
+        prop_assert_eq!(slots.len(), count as usize);
+        let mut all: Vec<usize> = slots.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..batch.len()).collect::<Vec<_>>(),
+            "split must be a permutation of 0..{}", batch.len());
+        for (s, slot) in slots.iter().enumerate() {
+            for &i in slot {
+                prop_assert_eq!(router.shard_of_key(&batch[i]), s as u32,
+                    "index {i} misrouted to shard {s}");
+            }
+        }
+    }
+
+    /// Record routing replicates to exactly the owner set: each listed
+    /// owner owns at least one of the record's keys, and every key's owner
+    /// is listed.
+    #[test]
+    fn record_owners_cover_exactly_the_key_owners(words in vec(vec(97u8..123, 1..8), 1..12), bits in 1u32..4) {
+        let count = 1u32 << bits;
+        let record: Vec<u8> = words.join(&b' ');
+        let router = ShardRouter::new(App::WordCount, count);
+        let owners = router.owners_of_record(&record);
+        let mut want: Vec<u32> = words.iter().map(|w| shard_of_key(w, bits)).collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(owners, want);
+    }
+}

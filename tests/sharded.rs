@@ -1,0 +1,176 @@
+//! Multi-device sharded execution, end to end: hard-fault recovery on a
+//! single shard must be invisible (per-shard images, trajectories, and the
+//! merged canonical image all byte-identical to an unkilled run), and the
+//! shared SEPOCKS1 checkpoint file must carry a restorable section for
+//! every shard.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use gpu_sim::{FaultConfig, FaultPlan, HardFaultConfig, ShadowSanitizer};
+use sepo_apps::sharded::{run_app_sharded, ShardedAppRun};
+use sepo_apps::AppConfig;
+use sepo_core::{read_sharded_from_path, CheckpointPolicy, ShardedCheckpointFile};
+use sepo_datagen::{App, Dataset};
+use std::sync::Arc;
+
+/// Per-shard device heap, small enough that every shard of the scaled
+/// datasets runs several iterations (so checkpoints and kills land at and
+/// between real boundaries).
+const HEAP: u64 = 24 << 10;
+/// Tasks per launch: small, so each iteration holds many kill-points.
+const CHUNK: usize = 32;
+/// Shards under test.
+const N: u32 = 4;
+/// Per-launch device-loss rate for the chaos shard (elevated, so a short
+/// run is reliably struck within a few seeds).
+const DEVICE_LOSS_RATE: f64 = 0.08;
+
+fn executor(faults: Option<FaultPlan>) -> Executor {
+    let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::new(Metrics::new()));
+    if let Some(plan) = faults {
+        exec = exec.with_faults(Arc::new(plan));
+    }
+    exec.with_shadow(Arc::new(ShadowSanitizer::new()))
+}
+
+fn base_cfg(policy: CheckpointPolicy) -> AppConfig {
+    AppConfig::new(HEAP)
+        .with_chunk_tasks(CHUNK)
+        .with_audit(true)
+        .with_sanitize(true)
+        .with_checkpoint(policy)
+        .with_max_recoveries(10_000)
+}
+
+/// Run `app` over `N` shards; shard `chaos` (if any) additionally draws
+/// hard device-loss faults from `seed`. All shards share the same quiet
+/// transient stream so chaos is the only difference between runs.
+fn run_sharded(app: App, ds: &Dataset, chaos: Option<(u32, u64)>) -> ShardedAppRun {
+    let cfgs: Vec<AppConfig> = (0..N).map(|_| base_cfg(CheckpointPolicy::Memory)).collect();
+    let execs: Vec<Executor> = (0..N)
+        .map(|i| {
+            let plan = FaultPlan::new(FaultConfig::quiet(7));
+            let plan = match chaos {
+                Some((shard, seed)) if shard == i => plan.with_hard(HardFaultConfig {
+                    seed,
+                    device_loss_rate: DEVICE_LOSS_RATE,
+                    poisoned_launch_rate: 0.0,
+                }),
+                _ => plan,
+            };
+            executor(Some(plan))
+        })
+        .collect();
+    run_app_sharded(app, ds, &cfgs, &execs)
+}
+
+fn shard_image(run: &sepo_apps::AppRun) -> Vec<u8> {
+    let mut image = Vec::new();
+    run.table.save(&mut image).expect("save shard image");
+    image
+}
+
+fn trajectory(run: &sepo_apps::AppRun) -> Vec<u64> {
+    run.outcome
+        .iterations
+        .iter()
+        .map(|i| i.tasks_completed)
+        .collect()
+}
+
+/// Kill one shard's device mid-run (seeded `DeviceLost`); the resumed run
+/// must be byte-identical — on the killed shard's own image and
+/// trajectory, on every untouched shard, and on the merged canonical
+/// image.
+#[test]
+fn killing_one_shards_device_resumes_byte_identically() {
+    const CHAOS_SHARD: u32 = 1;
+    let app = App::InvertedIndex;
+    let ds = app.generate(0, 8_192);
+    let baseline = run_sharded(app, &ds, None);
+    assert!(
+        baseline.shards[CHAOS_SHARD as usize].iterations() > 1,
+        "the chaos shard must run several iterations for kills to land mid-run"
+    );
+
+    // Sweep seeds until the chaos shard is actually struck at least once.
+    let mut struck = None;
+    for seed in 0xD1ED_0000u64..0xD1ED_0014 {
+        let run = run_sharded(app, &ds, Some((CHAOS_SHARD, seed)));
+        if run.shards[CHAOS_SHARD as usize].outcome.recovery.recoveries >= 1 {
+            struck = Some((seed, run));
+            break;
+        }
+    }
+    let (seed, chaos) = struck.expect("a device loss struck the chaos shard within the seed sweep");
+
+    assert_eq!(
+        chaos.image, baseline.image,
+        "merged canonical image diverged after recovery (seed {seed:#x})"
+    );
+    for (i, (c, b)) in chaos.shards.iter().zip(baseline.shards.iter()).enumerate() {
+        assert_eq!(
+            shard_image(c),
+            shard_image(b),
+            "shard {i} table image diverged (seed {seed:#x})"
+        );
+        assert_eq!(
+            trajectory(c),
+            trajectory(b),
+            "shard {i} trajectory diverged (seed {seed:#x})"
+        );
+        if i != CHAOS_SHARD as usize {
+            assert_eq!(
+                c.outcome.recovery.recoveries, 0,
+                "shard {i} was never armed with hard faults"
+            );
+        }
+    }
+}
+
+/// A sharded run writing through one `ShardedCheckpointFile` leaves a
+/// SEPOCKS1 file with a readable section per shard, each sized to its
+/// shard's routed task count — the state a cross-process resume restores
+/// shard by shard.
+#[test]
+fn shared_disk_checkpoint_carries_a_section_per_shard() {
+    let app = App::InvertedIndex;
+    let ds = app.generate(0, 8_192);
+    let path = std::env::temp_dir().join(format!(
+        "sepo-sharded-ckp-{}-{:?}.sepockp",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let file = Arc::new(ShardedCheckpointFile::new(path.clone(), N));
+    let cfgs: Vec<AppConfig> = (0..N)
+        .map(|i| base_cfg(CheckpointPolicy::SharedDisk(Arc::clone(&file), i)))
+        .collect();
+    let execs: Vec<Executor> = (0..N).map(|_| executor(None)).collect();
+    let run = run_app_sharded(app, &ds, &cfgs, &execs);
+    for (i, shard) in run.shards.iter().enumerate() {
+        assert!(
+            shard.outcome.recovery.checkpoints_taken >= 1,
+            "shard {i} must take at least one boundary checkpoint"
+        );
+    }
+
+    let sections = read_sharded_from_path(&path).expect("read SEPOCKS1 file back");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(sections.len(), N as usize, "one section per shard");
+    for (i, (section, shard)) in sections.iter().zip(run.shards.iter()).enumerate() {
+        let ckp = section
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {i} never wrote its section"));
+        assert_eq!(
+            ckp.n_tasks(),
+            run.routed_records[i] as u64,
+            "shard {i} section must cover exactly its routed records"
+        );
+        assert!(
+            ckp.iteration() >= 1 && ckp.iteration() <= shard.iterations(),
+            "shard {i} section captured at iteration {} of {}",
+            ckp.iteration(),
+            shard.iterations()
+        );
+    }
+}
