@@ -142,7 +142,7 @@ impl GroupAllocator {
                     ShadowAddr::HeapCursor(self.heap.host_id(cur)),
                     AccessKind::Atomic,
                 );
-                g.allocs.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok (statistics counter)
+                g.allocs.fetch_add(1, Ordering::Relaxed); // statistics counter
                 self.heap.metrics().add_alloc_success(1); // lint: metrics-direct-ok
                                                           // Touching the page's bump word is one irregular access.
                 self.heap.metrics().add_device_bytes(8); // lint: metrics-direct-ok

@@ -162,6 +162,7 @@ impl SepoTable {
                 lane.compute(40 + key.len() as u64);
                 if let Some(v) = self.lookup_combining(key, lane) {
                     assert_eq!(v & FOUND, 0, "values must fit in 63 bits for lookup_phase");
+                    // lint: relaxed-ok (per-query result slot, owned by this lane)
                     results[q].store(v | FOUND, Ordering::Relaxed);
                     pending.set(q);
                 }
@@ -193,6 +194,7 @@ impl SepoTable {
         let results = results
             .iter()
             .map(|r| {
+                // lint: relaxed-ok (read after the kernel joined; quiescent)
                 let v = r.load(Ordering::Relaxed);
                 (v & FOUND != 0).then_some(v & !FOUND)
             })
@@ -211,6 +213,7 @@ impl SepoTable {
                 };
                 let bucket = bucket_of(key, self.cfg.n_buckets);
                 let e = DevHandle::new(p, off as u32);
+                // lint: relaxed-ok (quiescent chain rebuild between kernels)
                 let old_raw = self.heads[bucket].load(Ordering::Relaxed);
                 let next = if old_raw == u64::MAX {
                     Link::NULL
@@ -221,6 +224,7 @@ impl SepoTable {
                     .write_u64(e, crate::entry::NEXT_DEV, next.dev.to_raw());
                 self.heap
                     .write_u64(e, crate::entry::NEXT_HOST, next.host.to_raw());
+                // lint: relaxed-ok (quiescent chain rebuild between kernels)
                 self.heads[bucket].store(e.to_raw(), Ordering::Relaxed);
             }
         }
@@ -231,6 +235,7 @@ impl SepoTable {
 
     fn reset_heads_for_lookup(&self) {
         for h in self.heads.iter() {
+            // lint: relaxed-ok (quiescent head reset before the lookup kernel)
             h.store(u64::MAX, Ordering::Relaxed);
         }
     }

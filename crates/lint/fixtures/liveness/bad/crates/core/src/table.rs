@@ -1,0 +1,15 @@
+// Liveness fixture (negative), call-site side: `compute` is live here,
+// but `ghost_hits` is only invoked from the test module below.
+
+pub fn kernel(c: &mut dyn Charge) {
+    c.compute(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ghost() {
+        let mut probe = Probe::default();
+        probe.ghost_hits(1);
+    }
+}

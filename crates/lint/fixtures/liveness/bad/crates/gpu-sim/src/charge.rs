@@ -1,0 +1,17 @@
+// Liveness fixture (negative): `ghost_hits` is declared and dutifully
+// forwarded by the blanket impl, but its only call site in the tree is
+// inside a test module — the hook is dead in the cost model.
+
+pub trait Charge {
+    fn compute(&mut self, units: u64);
+    fn ghost_hits(&mut self, n: u64) {}
+}
+
+impl<C: Charge + ?Sized> Charge for &mut C {
+    fn compute(&mut self, units: u64) {
+        (**self).compute(units);
+    }
+    fn ghost_hits(&mut self, n: u64) {
+        (**self).ghost_hits(n);
+    }
+}

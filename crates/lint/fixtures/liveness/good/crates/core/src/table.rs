@@ -1,0 +1,7 @@
+// Liveness fixture (positive), call-site side: both hooks are charged
+// from live kernel code.
+
+pub fn kernel(c: &mut dyn Charge) {
+    c.compute(1);
+    c.ghost_hits(1);
+}

@@ -1,0 +1,16 @@
+// Liveness fixture (positive): same trait and blanket impl as the
+// negative tree; table.rs invokes both hooks from live code.
+
+pub trait Charge {
+    fn compute(&mut self, units: u64);
+    fn ghost_hits(&mut self, n: u64) {}
+}
+
+impl<C: Charge + ?Sized> Charge for &mut C {
+    fn compute(&mut self, units: u64) {
+        (**self).compute(units);
+    }
+    fn ghost_hits(&mut self, n: u64) {
+        (**self).ghost_hits(n);
+    }
+}

@@ -1,0 +1,12 @@
+// Pairing fixture (negative): an orphaned Release publish and an
+// orphaned Acquire load — the analyzer must flag both.
+
+impl Table {
+    pub fn publish_head(&self, slot: usize, packed: u64) {
+        self.heads[slot].store(packed, Ordering::Release);
+    }
+
+    pub fn observe_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}

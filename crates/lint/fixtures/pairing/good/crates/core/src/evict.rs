@@ -1,0 +1,13 @@
+// Pairing fixture (positive, reader side): Acquire loads matching the
+// Release publishes in table.rs — one by field name, one through the
+// `heap.atomic_u64(…)` accessor chain.
+
+impl Evictor {
+    pub fn snapshot_head(&self, slot: usize) -> u64 {
+        self.heads[slot].load(Ordering::Acquire)
+    }
+
+    pub fn read_epoch(&self) -> u64 {
+        self.heap.atomic_u64(EPOCH_SLOT).load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,16 @@
+// Pairing fixture (positive, writer side): the Release publish of
+// `heads` pairs with the Acquire load in evict.rs, and the epoch group
+// publishes through a local bound from `heap.atomic_u64(…)` — the alias
+// map must resolve `slot` to the producing call so the Acquire load of
+// the same group in evict.rs pairs with it.
+
+impl Table {
+    pub fn publish_head(&self, slot: usize, packed: u64) {
+        self.heads[slot].store(packed, Ordering::Release);
+    }
+
+    pub fn bump_epoch(&mut self) -> u64 {
+        let slot = self.heap.atomic_u64(EPOCH_SLOT);
+        slot.fetch_add(1, Ordering::AcqRel)
+    }
+}

@@ -1,0 +1,14 @@
+// Parity fixture (frozen): the router file may index shards directly,
+// but it is still a simulated crate — direct metrics mutation is flagged.
+
+fn merge(run: &ShardedRun) -> u64 {
+    let mut total = 0;
+    for i in 0..run.shards.len() {
+        total += run.shards[i].table.len();
+    }
+    total
+}
+
+fn tally(m: &Host) {
+    m.metrics().add_compute_units(1);
+}

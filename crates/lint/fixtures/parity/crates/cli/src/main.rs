@@ -1,0 +1,19 @@
+// Parity fixture (frozen): cross-shard and serving offences in the CLI.
+
+fn peek(run: &ShardedRun) -> u64 {
+    let t = &run.shards[2].table;
+    t.len()
+}
+
+fn sanctioned_iteration(run: &ShardedRun) -> usize {
+    run.shards.iter().count()
+}
+
+fn keyless_home(run: &ShardedRun) -> u64 {
+    let t = &run.shards[0].table; // lint: shard-ok (shard 0 is the keyless home)
+    t.len()
+}
+
+fn offline_query(t: &SepoTable) {
+    let _idx = HostIndex::try_build(t);
+}

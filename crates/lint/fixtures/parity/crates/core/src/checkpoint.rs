@@ -1,0 +1,7 @@
+// Parity fixture (frozen): io-unwrap offence on the checkpoint path.
+
+fn read_magic(r: &mut impl Read) -> [u8; 8] {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).expect("read checkpoint magic");
+    magic
+}

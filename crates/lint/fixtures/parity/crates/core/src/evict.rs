@@ -1,0 +1,25 @@
+// Parity fixture (frozen): eviction-DMA offences.
+
+fn drain(bus: &PcieBus) {
+    let _t = bus.bulk_transfer(4096);
+}
+
+fn drain_fallible(bus: &PcieBus) -> Result<(), Full> {
+    let _t = bus.try_bulk_transfer(4096)?;
+    Ok(())
+}
+
+fn price_only(bus: &PcieBus) -> u64 {
+    bus.bulk_transfer_time(4096)
+}
+
+fn deliberate_final_drain(bus: &PcieBus) {
+    let _t = bus.bulk_transfer(64); // lint: evict-dma-ok (final drain)
+}
+
+#[cfg(test)]
+mod tests {
+    fn charges() {
+        bus().bulk_transfer(64);
+    }
+}

@@ -1,0 +1,19 @@
+// Parity fixture (frozen): io-unwrap offences on the persistence path.
+
+fn save(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"SEPOIMG1").unwrap();
+    w.flush().expect("flush image");
+    Ok(())
+}
+
+fn infallible(buf: &mut Vec<u8>) {
+    // lint: unwrap-ok (Vec<u8> writes are infallible)
+    buf.write_all(b"x").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn round_trip() {
+        save(&mut Vec::new()).unwrap();
+    }
+}

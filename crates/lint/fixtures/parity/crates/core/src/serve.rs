@@ -1,0 +1,14 @@
+// Parity fixture (frozen): serving-path snapshot-bypass offences.
+
+fn bypass_index(t: &SepoTable) {
+    let _idx = HostIndex::build(t);
+}
+
+fn bypass_walk(t: &SepoTable) {
+    for _p in t.host_heap().pages_in_order() {}
+}
+
+fn boundary_absorption(t: &SepoTable) {
+    // lint: serve-ok (boundary absorption into the incremental index)
+    for _p in t.host_heap().pages_in_order() {}
+}

@@ -1,0 +1,38 @@
+// Parity fixture (frozen): table-state offences for the relaxed /
+// wall-clock / metrics rules. The expected findings on this tree are
+// pinned in ../parity_golden.txt — regenerating the golden requires a
+// deliberate decision, not a drive-by edit.
+
+fn unannotated_relaxed(head: &AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed)
+}
+
+fn annotated_relaxed_same_line(head: &AtomicU64) {
+    head.store(0, Ordering::Relaxed); // lint: relaxed-ok (statistics reset)
+}
+
+fn annotated_relaxed_line_above(head: &AtomicU64) -> u64 {
+    // lint: relaxed-ok (quiescent iteration boundary)
+    head.load(Ordering::Relaxed)
+}
+
+fn wall_clock_instant() -> Instant {
+    Instant::now()
+}
+
+fn wall_clock_system() -> SystemTime {
+    SystemTime::now()
+}
+
+fn direct_metrics_through_accessor(table: &SepoTable) {
+    table.metrics().add_compute_units(1);
+}
+
+fn direct_metrics_through_binding(metrics: &Metrics) {
+    metrics.add_device_bytes(64);
+}
+
+fn annotated_metrics(table: &SepoTable) {
+    // lint: metrics-direct-ok (quiescent host-side accounting)
+    table.metrics().add_pcie_bulk_transfers(1);
+}

@@ -1,0 +1,18 @@
+// Parity fixture (frozen): a Charge trait whose blanket `&mut C` impl
+// forgets to forward `access` — one charge-forwarding finding.
+
+pub trait Charge {
+    fn compute(&mut self, units: u64);
+    fn device_bytes(&mut self, bytes: u64);
+    fn access(&mut self, _a: u32) {}
+}
+
+impl<C: Charge + ?Sized> Charge for &mut C {
+    fn compute(&mut self, units: u64) {
+        (**self).compute(units);
+    }
+
+    fn device_bytes(&mut self, bytes: u64) {
+        (**self).device_bytes(bytes);
+    }
+}

@@ -1,0 +1,5 @@
+// Parity fixture (frozen): wall-clock read in a simulated crate.
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,19 @@
+// Stale-escape fixture (negative): the first escape guards a load that
+// is Acquire now (it suppresses nothing), the second names no known
+// rule — and because `warp-ok` is not the relaxed rule's marker, the
+// Relaxed store it decorates is flagged too.
+
+impl Table {
+    pub fn head(&self, i: usize) -> u64 {
+        // lint: relaxed-ok (statistics counter)
+        self.heads[i].load(Ordering::Acquire)
+    }
+
+    pub fn reset(&self, i: usize) {
+        self.heads[i].store(0, Ordering::Relaxed); // lint: warp-ok (no such rule)
+    }
+
+    pub fn publish(&self, i: usize, v: u64) {
+        self.heads[i].store(v, Ordering::Release);
+    }
+}

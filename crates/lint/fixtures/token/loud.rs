@@ -1,0 +1,38 @@
+// Token-engine fixture: the live-code twins of quiet.rs. Under a
+// pretend crates/core/src/checkpoint.rs path (table-state + simulated +
+// IO scope) the analyzer must flag every offence below — including the
+// one AFTER the closed test module, which the old scanner's
+// "everything after the first #[cfg(test)]" heuristic missed.
+
+fn relaxed_live(head: &AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed)
+}
+
+fn clock_live() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+fn metrics_live(t: &SepoTable, metrics: &Metrics) {
+    t.metrics().add_compute_units(1);
+    metrics.add_device_bytes(64);
+}
+
+fn io_live(mut w: impl Write) {
+    w.write_all(b"x").unwrap();
+    w.flush().expect("flush");
+}
+
+fn shard_live(run: &Run) -> &Table {
+    &run.shards[2].table
+}
+
+#[cfg(test)]
+mod tests {
+    fn quiet_in_here(mut w: impl Write) {
+        w.write_all(b"t").unwrap();
+    }
+}
+
+fn live_again_after_the_test_module(head: &AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed)
+}

@@ -1,0 +1,610 @@
+//! Hand-written Rust lexer for the `sepo-analyze` engine.
+//!
+//! The old checker matched substrings against raw source lines, which
+//! meant a banned pattern inside a string literal, a doc comment, a block
+//! comment, or a `#[cfg(test)]` body looked identical to the real thing.
+//! This lexer produces a token stream with all of that resolved
+//! structurally:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** */`) are stripped from the token stream and
+//!   collected per line (escape markers live in comments);
+//! - string literals (`"…"`, byte strings, raw strings `r#"…"#` with any
+//!   hash depth) and char literals (`'x'`, `'\''`, `'"'`) become single
+//!   opaque tokens whose contents never match a rule;
+//! - lifetimes (`'a`, `'static`) are distinguished from char literals;
+//! - attribute spans (`#[…]`, `#![…]`) are marked `in_attr`;
+//! - `#[cfg(test)]`-gated items are tracked by brace depth and every
+//!   token inside their extent is marked `in_test`, so test exemption is
+//!   the item's actual extent, not "everything after the first marker".
+//!
+//! The lexer is deliberately permissive: it never fails, and unknown
+//! bytes degrade to punctuation tokens. It exists to classify source
+//! text for rule matching, not to validate Rust.
+
+use std::collections::BTreeMap;
+
+/// Token classification. Literal contents are opaque on purpose: rules
+/// match identifiers and punctuation only, so a banned pattern quoted in
+/// a string can never fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Str,
+    Char,
+    Num,
+    Lifetime,
+}
+
+/// One lexed token with its source position and structural context.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: usize,
+    /// Inside the brace extent of a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+    /// Inside an attribute span `#[…]` / `#![…]`.
+    pub in_attr: bool,
+}
+
+/// A lexed source file: significant tokens plus the per-line comment
+/// text (where escape markers live) and the `#[cfg(test)]` line spans.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    comments: BTreeMap<usize, String>,
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    /// Comment text on `line`, if any (line + block segments joined).
+    #[cfg(test)]
+    pub fn comment_on(&self, line: usize) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+
+    /// All comment lines in source order.
+    pub fn comments(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.comments.iter().map(|(l, t)| (*l, t.as_str()))
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` extent?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into tokens, comments, and test extents. Never fails.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = raw_scan(src);
+    mark_attrs_and_tests(&mut lx);
+    lx
+}
+
+fn push_comment(comments: &mut BTreeMap<usize, String>, line: usize, text: &str) {
+    if text.is_empty() {
+        return;
+    }
+    let e = comments.entry(line).or_default();
+    if !e.is_empty() {
+        e.push(' ');
+    }
+    e.push_str(text);
+}
+
+fn raw_scan(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut toks = Vec::new();
+    let mut comments = BTreeMap::new();
+
+    let push = |kind: TokKind, text: &str, line: usize, toks: &mut Vec<Tok>| {
+        toks.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+            in_test: false,
+            in_attr: false,
+        });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            push_comment(&mut comments, line, src[start..i].trim());
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            let mut seg = i;
+            while i < n && depth > 0 {
+                if b[i] == b'\n' {
+                    push_comment(&mut comments, line, src[seg..i].trim());
+                    line += 1;
+                    i += 1;
+                    seg = i;
+                } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            push_comment(
+                &mut comments,
+                line,
+                src[seg..i.min(n)].trim_end_matches("*/").trim(),
+            );
+        } else if c == b'"' {
+            let start_line = line;
+            i = scan_string(b, i, &mut line);
+            push(TokKind::Str, "\"…\"", start_line, &mut toks);
+        } else if c == b'\'' {
+            // Lifetime (`'a`) vs char literal (`'x'`, `'\''`).
+            let mut j = i + 1;
+            if j < n && is_ident_start(b[j]) {
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    // 'a' — a char literal after all.
+                    push(TokKind::Char, "'…'", line, &mut toks);
+                    i = j + 1;
+                } else {
+                    push(TokKind::Lifetime, &src[i..j], line, &mut toks);
+                    i = j;
+                }
+            } else {
+                let start_line = line;
+                i += 1;
+                if i < n && b[i] == b'\\' {
+                    i += 2;
+                }
+                while i < n && b[i] != b'\'' {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                push(TokKind::Char, "'…'", start_line, &mut toks);
+            }
+        } else if (c == b'r' || c == b'b') && raw_or_byte_literal(b, i).is_some() {
+            let start_line = line;
+            let (kind, end) = raw_or_byte_literal_scan(b, i, &mut line);
+            push(kind, "\"…\"", start_line, &mut toks);
+            i = end;
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            push(TokKind::Ident, &src[start..i], line, &mut toks);
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (is_ident_cont(b[i])
+                    || (b[i] == b'.'
+                        && i + 1 < n
+                        && b[i + 1].is_ascii_digit()
+                        && b[start..i].iter().all(|x| *x != b'.')))
+            {
+                i += 1;
+            }
+            push(TokKind::Num, &src[start..i], line, &mut toks);
+        } else {
+            // Single-byte punctuation (multi-byte UTF-8 degrades to bytes,
+            // which is fine: rules only match ASCII punctuation).
+            let end = i + src[i..].chars().next().map_or(1, char::len_utf8);
+            push(TokKind::Punct, &src[i..end], line, &mut toks);
+            i = end;
+        }
+    }
+
+    Lexed {
+        toks,
+        comments,
+        test_spans: Vec::new(),
+    }
+}
+
+/// Does a raw/byte string or byte-char literal start at `i`? Returns the
+/// index of its opening quote.
+fn raw_or_byte_literal(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'\'' {
+            return Some(j); // b'x'
+        }
+        if j < n && b[j] == b'"' {
+            return Some(j); // b"…"
+        }
+        if j < n && b[j] == b'r' {
+            j += 1;
+        } else {
+            return None;
+        }
+    } else {
+        // b[j] == b'r'
+        j += 1;
+    }
+    let mut k = j;
+    while k < n && b[k] == b'#' {
+        k += 1;
+    }
+    (k < n && b[k] == b'"').then_some(k)
+}
+
+/// Scan the raw/byte literal starting at `i`; returns (kind, end index).
+fn raw_or_byte_literal_scan(b: &[u8], i: usize, line: &mut usize) -> (TokKind, usize) {
+    let n = b.len();
+    if b[i] == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+        // b'x' byte char.
+        let mut j = i + 2;
+        if j < n && b[j] == b'\\' {
+            j += 2;
+        }
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        return (TokKind::Char, (j + 1).min(n));
+    }
+    // Count hashes between the prefix and the quote.
+    let mut j = i;
+    while j < n && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && b[j] == b'"');
+    if hashes == 0 && !b[i..j].contains(&b'r') {
+        // Plain byte string b"…": backslash escapes apply.
+        let end = scan_string(b, j, line);
+        return (TokKind::Str, end);
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+    j += 1;
+    while j < n {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == b'"'
+            && b[j + 1..].len() >= hashes
+            && b[j + 1..j + 1 + hashes].iter().all(|c| *c == b'#')
+        {
+            return (TokKind::Str, j + 1 + hashes);
+        } else {
+            j += 1;
+        }
+    }
+    (TokKind::Str, n)
+}
+
+/// Scan a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn scan_string(b: &[u8], i: usize, line: &mut usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Mark attribute spans and `#[cfg(test)]` extents on the token stream.
+fn mark_attrs_and_tests(lx: &mut Lexed) {
+    let toks = &mut lx.toks;
+    let len = toks.len();
+    let mut test_spans = Vec::new();
+    let mut i = 0usize;
+    while i < len {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < len && toks[j].kind == TokKind::Punct && toks[j].text == "!" {
+            j += 1;
+        }
+        if !(j < len && toks[j].kind == TokKind::Punct && toks[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`, marking the attr span.
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut has_cfg = false;
+        let mut has_test = false;
+        while k < len {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct && t.text == "[" {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                has_cfg |= t.text == "cfg";
+                has_test |= t.text == "test";
+            }
+            k += 1;
+        }
+        let attr_end = k.min(len - 1);
+        for t in &mut toks[i..=attr_end] {
+            t.in_attr = true;
+        }
+        let mut next = attr_end + 1;
+        if has_cfg && has_test {
+            // Skip any further attributes on the same item.
+            while next + 1 < len
+                && toks[next].kind == TokKind::Punct
+                && toks[next].text == "#"
+                && toks[next + 1].kind == TokKind::Punct
+                && (toks[next + 1].text == "[" || toks[next + 1].text == "!")
+            {
+                let mut d = 0usize;
+                let mut m = next + 1;
+                if toks[m].text == "!" {
+                    m += 1;
+                }
+                while m < len {
+                    if toks[m].kind == TokKind::Punct && toks[m].text == "[" {
+                        d += 1;
+                    } else if toks[m].kind == TokKind::Punct && toks[m].text == "]" {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                for t in &mut toks[next..=m.min(len - 1)] {
+                    t.in_attr = true;
+                }
+                next = m + 1;
+            }
+            // The gated extent: up to the item's matching `}` (or the
+            // terminating `;` for brace-less items like `use`).
+            let mut m = next;
+            let mut bdepth = 0usize;
+            let mut opened = false;
+            let mut start_line = 0usize;
+            while m < len {
+                let t = &toks[m];
+                if t.kind == TokKind::Punct && t.text == "{" {
+                    if !opened {
+                        opened = true;
+                        start_line = t.line;
+                    }
+                    bdepth += 1;
+                } else if t.kind == TokKind::Punct && t.text == "}" {
+                    bdepth = bdepth.saturating_sub(1);
+                    if opened && bdepth == 0 {
+                        break;
+                    }
+                } else if !opened && t.kind == TokKind::Punct && t.text == ";" {
+                    break;
+                }
+                m += 1;
+            }
+            let extent_end = m.min(len.saturating_sub(1));
+            if next < len {
+                if start_line == 0 {
+                    start_line = toks[next].line;
+                }
+                test_spans.push((start_line, toks[extent_end].line));
+                for t in &mut toks[next..=extent_end] {
+                    t.in_test = true;
+                }
+            }
+            i = extent_end + 1;
+        } else {
+            i = attr_end + 1;
+        }
+    }
+    lx.test_spans = test_spans;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lx: &Lexed) -> Vec<&str> {
+        lx.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let lx = lex("let x = \"Ordering::Relaxed\"; call(x);");
+        assert!(!idents(&lx).contains(&"Ordering"));
+        assert!(idents(&lx).contains(&"call"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let lx = lex("let x = r#\"a \"quoted\" Instant::now()\"#; done();");
+        assert!(!idents(&lx).contains(&"Instant"));
+        assert!(idents(&lx).contains(&"done"));
+        let lx = lex("let x = br##\"bytes \"# still in\"##; after();");
+        assert!(idents(&lx).contains(&"after"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_does_not_open_a_string() {
+        let lx = lex("if c == '\"' { hit(); } metrics.add_x(1);");
+        assert!(idents(&lx).contains(&"hit"));
+        assert!(idents(&lx).contains(&"metrics"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        // And 'x' stays a char literal.
+        let lx = lex("let c = 'x'; let esc = '\\''; let quote = '\"';");
+        assert_eq!(
+            lx.toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_comments_to_the_end() {
+        let lx = lex("/* outer /* inner */ still comment */ real();");
+        assert_eq!(idents(&lx), vec!["real"]);
+        assert!(lx.comment_on(1).is_some());
+    }
+
+    #[test]
+    fn line_comments_collected_per_line() {
+        let lx = lex("a(); // lint: relaxed-ok (why)\nb();\n");
+        assert!(lx.comment_on(1).unwrap().contains("lint: relaxed-ok"));
+        assert!(lx.comment_on(2).is_none());
+    }
+
+    #[test]
+    fn cfg_test_extent_tracked_by_braces() {
+        let src = "\
+fn live() { a(); }
+
+#[cfg(test)]
+mod tests {
+    fn t() { b(); }
+}
+
+fn also_live() { c(); }
+";
+        let lx = lex(src);
+        let live: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !t.in_test)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(live.contains(&"a"));
+        assert!(
+            live.contains(&"c"),
+            "code after a closed test module is live"
+        );
+        let test_toks: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.in_test && t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(test_toks.contains(&"b"));
+        assert!(!test_toks.contains(&"c"));
+        assert!(lx.line_in_test(5));
+        assert!(!lx.line_in_test(8));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let lx = lex("#[cfg(test)]\nuse std::time::Instant;\nfn live() { x(); }\n");
+        let live: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !t.in_test && !t.in_attr)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(live.contains(&"x"));
+        assert!(!live.contains(&"Instant"));
+    }
+
+    #[test]
+    fn attr_tokens_are_marked() {
+        let lx = lex("#[derive(Debug, Clone)]\nstruct S;\n");
+        let attr: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.in_attr && t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(attr.contains(&"derive"));
+        let code: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| !t.in_attr && t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(code, vec!["struct", "S"]);
+    }
+
+    #[test]
+    fn chained_cfg_test_attrs_share_one_extent() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { q(); } }\nfn live() { r(); }\n";
+        let lx = lex(src);
+        let in_test: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.in_test && t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(in_test.contains(&"q"));
+        assert!(!in_test.contains(&"r"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lx = lex("/// mentions Instant::now() freely\n//! and SystemTime::now()\nfn f() {}\n");
+        assert_eq!(idents(&lx), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn multiline_tokens_keep_start_lines() {
+        let lx = lex("a\n  .load(\n    Ordering::Acquire,\n  );\n");
+        let ordering = lx
+            .toks
+            .iter()
+            .find(|t| t.text == "Ordering")
+            .expect("Ordering token");
+        assert_eq!(ordering.line, 3);
+    }
+}

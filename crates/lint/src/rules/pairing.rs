@@ -1,0 +1,421 @@
+//! Cross-file acquire/release pairing on the table-state atomics.
+//!
+//! Every `Ordering::Release` publish in the audited files must have a
+//! matching `Ordering::Acquire` load site for the same atomic somewhere
+//! in the workspace, and vice versa. Sites are grouped by the receiver's
+//! field name (`self.heads[i].store(…)` → `heads`); locals bound with
+//! `let slot = …some_call(…)` resolve through a per-file alias map to the
+//! call that produced the atomic (`heap.atomic_u64(…)` → `atomic_u64`),
+//! so a publish through a local in `table.rs` pairs with a load in
+//! `evict.rs`. `AcqRel` read-modify-writes are both sides at once and
+//! pair with themselves.
+
+use super::{spec, SourceFile};
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// One atomic operation site.
+#[derive(Debug)]
+struct Site {
+    file: String,
+    line: usize,
+    /// Canonical receiver name after alias resolution.
+    name: String,
+    op: String,
+    acquire_side: bool,
+    release_side: bool,
+}
+
+/// Walk backward from the `.` before the op name to the receiver's
+/// name, skipping balanced `[…]` / `(…)` groups (index expressions,
+/// accessor-call arguments). The first identifier hit is the name; the
+/// `bool` is true when it is a field/method component (preceded by `.`),
+/// which must NOT be resolved through the local alias map — a local
+/// binding named like a field (`let heads = …collect();`) is unrelated
+/// to `self.heads`.
+fn receiver_name(toks: &[&Tok], dot: usize) -> Option<(String, bool)> {
+    let mut i = dot;
+    while i > 0 {
+        i -= 1;
+        let t = toks[i];
+        if is_punct(t, "]") || is_punct(t, ")") {
+            let open = if t.text == "]" { "[" } else { "(" };
+            let close = t.text.as_str();
+            let mut depth = 1usize;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                if is_punct(toks[i], close) {
+                    depth += 1;
+                } else if is_punct(toks[i], open) {
+                    depth -= 1;
+                }
+            }
+        } else if t.kind == TokKind::Ident {
+            if t.text == "self" {
+                return None;
+            }
+            let is_field = i > 0 && is_punct(toks[i - 1], ".");
+            return Some((t.text.clone(), is_field));
+        } else if is_punct(t, ".") {
+            continue;
+        } else {
+            return None;
+        }
+    }
+    None
+}
+
+/// `Ordering::X` idents inside the balanced parens opening at `open`.
+fn orderings_in_call(toks: &[&Tok], open: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        let t = toks[i];
+        if is_punct(t, "(") {
+            depth += 1;
+        } else if is_punct(t, ")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if is_ident(t, "Ordering")
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, ":"))
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, ":"))
+        {
+            if let Some(ord) = toks.get(i + 3).filter(|t| t.kind == TokKind::Ident) {
+                out.push(ord.text.clone());
+                i += 3;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-file alias map: `let NAME = … last_call(…);` binds NAME to the
+/// call that produced the value (e.g. `slot` → `atomic_u64`).
+fn collect_aliases(toks: &[&Tok]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(toks[i], "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| is_ident(t, "mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let name = name.text.clone();
+        if !toks.get(j + 1).is_some_and(|t| is_punct(t, "=")) {
+            i = j + 1;
+            continue;
+        }
+        // Scan the initializer to the terminating `;`, remembering the
+        // last identifier that heads a call.
+        let mut k = j + 2;
+        let mut depth = 0usize;
+        let mut producer: Option<String> = None;
+        while k < toks.len() {
+            let t = toks[k];
+            if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") {
+                depth += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") {
+                depth = depth.saturating_sub(1);
+            } else if is_punct(t, ";") && depth == 0 {
+                break;
+            } else if t.kind == TokKind::Ident && toks.get(k + 1).is_some_and(|t| is_punct(t, "("))
+            {
+                producer = Some(t.text.clone());
+            }
+            k += 1;
+        }
+        if let Some(p) = producer {
+            map.insert(name, p);
+        }
+        i = k + 1;
+    }
+    map
+}
+
+/// Collect every atomic-op site with a non-Relaxed ordering in one file.
+fn collect_sites(file: &SourceFile, out: &mut Vec<Site>) {
+    let toks: Vec<&Tok> = file
+        .lx
+        .toks
+        .iter()
+        .filter(|t| !t.in_attr && !t.in_test)
+        .collect();
+    let aliases = collect_aliases(&toks);
+
+    for i in 1..toks.len() {
+        let t = toks[i];
+        if t.kind != TokKind::Ident || !ATOMIC_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !is_punct(toks[i - 1], ".") || !toks.get(i + 1).is_some_and(|t| is_punct(t, "(")) {
+            continue;
+        }
+        let ords = orderings_in_call(&toks, i + 1);
+        if ords.is_empty() {
+            continue; // not an atomic op after all (no Ordering argument)
+        }
+        let has = |o: &str| ords.iter().any(|x| x == o);
+        let (acquire_side, release_side) = match t.text.as_str() {
+            "load" => (has("Acquire") || has("AcqRel") || has("SeqCst"), false),
+            "store" => (false, has("Release") || has("AcqRel") || has("SeqCst")),
+            _ => (
+                has("Acquire") || has("AcqRel") || has("SeqCst"),
+                has("Release") || has("AcqRel") || has("SeqCst"),
+            ),
+        };
+        if !acquire_side && !release_side {
+            continue; // Relaxed-only: the relaxed-ordering rule's business
+        }
+        let Some((raw, is_field)) = receiver_name(&toks, i - 1) else {
+            continue;
+        };
+        // Resolve local bindings to the producing call, a few hops deep.
+        // Field receivers keep their field name.
+        let mut name = raw;
+        if !is_field {
+            for _ in 0..4 {
+                match aliases.get(&name) {
+                    Some(next) if *next != name => name = next.clone(),
+                    _ => break,
+                }
+            }
+        }
+        out.push(Site {
+            file: file.rel.clone(),
+            line: t.line,
+            name,
+            op: t.text.clone(),
+            acquire_side,
+            release_side,
+        });
+    }
+}
+
+/// Run the pairing analysis: sites everywhere feed the pairing sets;
+/// orphans are reported only for the audited files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(rule) = spec("acquire-release-pairing") else {
+        return Vec::new();
+    };
+    let mut sites = Vec::new();
+    for f in files {
+        collect_sites(f, &mut sites);
+    }
+    let acq_names: BTreeSet<&str> = sites
+        .iter()
+        .filter(|s| s.acquire_side)
+        .map(|s| s.name.as_str())
+        .collect();
+    let rel_names: BTreeSet<&str> = sites
+        .iter()
+        .filter(|s| s.release_side)
+        .map(|s| s.name.as_str())
+        .collect();
+
+    let mut out = Vec::new();
+    for s in &sites {
+        if !rule.scope.applies(&s.file) {
+            continue;
+        }
+        if s.acquire_side && !rel_names.contains(s.name.as_str()) {
+            out.push(Finding {
+                file: s.file.clone(),
+                line: s.line,
+                rule: "acquire-release-pairing",
+                message: format!(
+                    "Acquire `{}` of `{}` has no matching Release publish \
+                     anywhere in the workspace; it synchronizes with nothing",
+                    s.op, s.name
+                ),
+            });
+        }
+        if s.release_side && !acq_names.contains(s.name.as_str()) {
+            out.push(Finding {
+                file: s.file.clone(),
+                line: s.line,
+                rule: "acquire-release-pairing",
+                message: format!(
+                    "Release `{}` of `{}` has no matching Acquire load \
+                     anywhere in the workspace; readers can observe the \
+                     publication without its preceding writes",
+                    s.op, s.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_files(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, content)| SourceFile::new(rel, content))
+            .collect();
+        check(&files)
+    }
+
+    #[test]
+    fn orphaned_release_and_acquire_are_flagged() {
+        let src = "\
+fn publish(&self, i: usize, v: u64) {
+    self.heads[i].store(v, Ordering::Release);
+}
+fn observe(&self) -> u64 {
+    self.epoch.load(Ordering::Acquire)
+}
+";
+        let findings = check_files(&[("crates/core/src/table.rs", src)]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.line == 2 && f.message.contains("`heads`")));
+        assert!(findings
+            .iter()
+            .any(|f| f.line == 5 && f.message.contains("`epoch`")));
+    }
+
+    #[test]
+    fn pairing_works_across_files() {
+        let writer = "fn publish(&self, i: usize, v: u64) {\n    self.heads[i].store(v, Ordering::Release);\n}\n";
+        let reader =
+            "fn observe(&self, i: usize) -> u64 {\n    self.heads[i].load(Ordering::Acquire)\n}\n";
+        let findings = check_files(&[
+            ("crates/core/src/table.rs", writer),
+            ("crates/core/src/evict.rs", reader),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn local_bindings_resolve_to_the_producing_call() {
+        // The writer publishes through a local bound from an accessor
+        // call; the reader loads through a chained call. Both resolve to
+        // `atomic_u64`, so they pair.
+        let writer = "\
+fn publish(&mut self, g: usize, v: u64) {
+    let slot = self.heap.atomic_u64(g);
+    slot.store(v, Ordering::Release);
+}
+";
+        let reader = "fn observe(&self, g: usize) -> u64 {\n    self.heap.atomic_u64(g).load(Ordering::Acquire)\n}\n";
+        let findings = check_files(&[
+            ("crates/core/src/table.rs", writer),
+            ("crates/core/src/evict.rs", reader),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn a_local_named_like_a_field_does_not_hijack_the_field() {
+        // `let heads = …collect()` binds a local whose name shadows the
+        // field; `self.heads` sites must keep the field identity.
+        let writer = "\
+fn build(n: usize) -> Vec<AtomicU64> {
+    let heads = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    heads
+}
+fn publish(&self, i: usize, v: u64) {
+    self.heads[i].store(v, Ordering::Release);
+}
+";
+        let reader =
+            "fn observe(&self, i: usize) -> u64 {\n    self.heads[i].load(Ordering::Acquire)\n}\n";
+        let findings = check_files(&[
+            ("crates/core/src/table.rs", writer),
+            ("crates/core/src/evict.rs", reader),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn acqrel_rmw_pairs_with_itself() {
+        let src = "fn join(&self) {\n    self.done.fetch_add(1, Ordering::AcqRel);\n}\n";
+        assert!(check_files(&[("crates/gpu-sim/src/pool.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_success_release_failure_acquire_is_both_sides() {
+        let src = "\
+fn claim(&self) -> bool {
+    self.state
+        .compare_exchange(0, 1, Ordering::Release, Ordering::Acquire)
+        .is_ok()
+}
+";
+        assert!(check_files(&[("crates/core/src/bitmap.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn sites_outside_audited_files_satisfy_but_never_report() {
+        // An orphaned Release in a non-audited file is not reported…
+        let orphan = "fn p(&self) { self.flag.store(1, Ordering::Release); }\n";
+        assert!(check_files(&[("crates/serve/src/http.rs", orphan)]).is_empty());
+        // …but an Acquire there satisfies a Release in an audited file.
+        let writer = "fn p(&self) { self.flag.store(1, Ordering::Release); }\n";
+        let reader = "fn o(&self) -> u64 { self.flag.load(Ordering::Acquire) }\n";
+        let findings = check_files(&[
+            ("crates/core/src/table.rs", writer),
+            ("crates/serve/src/http.rs", reader),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn relaxed_sites_and_plain_method_calls_are_ignored() {
+        let src = "\
+fn stats(&self) {
+    self.hits.fetch_add(1, Ordering::Relaxed);
+    let cfg = serde::load(path);
+}
+";
+        assert!(check_files(&[("crates/core/src/table.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn seqcst_load_needs_a_release_side_somewhere() {
+        let src = "fn o(&self) -> u64 { self.gen.load(Ordering::SeqCst) }\n";
+        let findings = check_files(&[("crates/core/src/table.rs", src)]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`gen`"));
+    }
+}
