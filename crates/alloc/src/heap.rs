@@ -623,6 +623,27 @@ impl Heap {
         }
         out
     }
+
+    /// Fault-injection hook: XOR one bit of `page`'s used prefix in place
+    /// (a resting-page flip in simulated device DRAM). `bit` is taken
+    /// modulo the used bit count; pages with no used bytes are left alone.
+    /// Only sound at quiescent points (no kernels in flight) — the SEPO
+    /// driver injects between launches, mirroring where real soft errors
+    /// strike data at rest.
+    pub fn corrupt_bit(&self, page: u32, bit: u64) {
+        let used = self.page_used(page);
+        if used == 0 {
+            return;
+        }
+        let bit = (bit % (used as u64 * 8)) as usize;
+        let off = (bit / 8) as u32;
+        // SAFETY: in bounds (off < used <= page_size), quiescent per the
+        // contract above.
+        unsafe {
+            let p = self.ptr_at(page, off);
+            *p ^= 1 << (bit % 8);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +699,29 @@ mod tests {
         assert_eq!(p, p2);
         assert_ne!(h.host_id(p2), old_id);
         assert_eq!(h.page_used(p2), 0);
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_used_bit() {
+        let h = heap(1, 256);
+        let p = h.acquire_page(PageKind::Mixed).unwrap();
+        let off = h.bump(p, 32).unwrap();
+        h.write(DevHandle::new(p, off), &[0u8; 32]);
+        let clean = h.page_data(p);
+        h.corrupt_bit(p, 7 + 32 * 8); // wraps modulo the used bit count
+        let dirty = h.page_data(p);
+        assert_ne!(clean, dirty);
+        let flipped: u32 = clean
+            .iter()
+            .zip(&dirty)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        // Empty pages are left alone (nothing to corrupt).
+        let h2 = heap(1, 256);
+        let p2 = h2.acquire_page(PageKind::Mixed).unwrap();
+        h2.corrupt_bit(p2, 99);
+        assert!(h2.page_data(p2).is_empty());
     }
 
     #[test]

@@ -15,8 +15,10 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// A stored page: its kind plus its bytes.
-type StoredPage = (PageKind, Arc<[u8]>);
+/// A stored page: its kind, its bytes, and the CRC32C stamp it carried
+/// when it was adopted (an opaque `u32` to this crate — `sepo_core`'s
+/// integrity layer computes and verifies it).
+type StoredPage = (PageKind, Arc<[u8]>, u32);
 
 /// Store of evicted pages, keyed by host page id.
 #[derive(Debug, Default)]
@@ -29,24 +31,33 @@ impl HostHeap {
         Self::default()
     }
 
-    /// Store the bytes of a page evicted under host id `host_id`.
-    /// Re-storing the same id replaces the copy (used when a kept page is
-    /// finally evicted with more content than a prior snapshot). Accepts
-    /// either an owned `Vec<u8>` or an already-shared `Arc<[u8]>`; the
-    /// latter stores the buffer without copying (restore/adoption paths
-    /// already hold shared pages).
-    pub fn store(&self, host_id: u64, kind: PageKind, data: impl Into<Arc<[u8]>>) {
-        self.pages.lock().insert(host_id, (kind, data.into()));
+    /// Store the bytes of a page evicted under host id `host_id`, stamped
+    /// with the checksum `crc` computed from its pristine bytes at eviction
+    /// time. Re-storing the same id replaces the copy (used when a kept
+    /// page is finally evicted with more content than a prior snapshot).
+    /// Accepts either an owned `Vec<u8>` or an already-shared `Arc<[u8]>`;
+    /// the latter stores the buffer without copying (restore/adoption
+    /// paths already hold shared pages).
+    pub fn store(&self, host_id: u64, kind: PageKind, data: impl Into<Arc<[u8]>>, crc: u32) {
+        self.pages.lock().insert(host_id, (kind, data.into(), crc));
     }
 
     /// Fetch a page's bytes.
     pub fn page(&self, host_id: u64) -> Option<Arc<[u8]>> {
-        self.pages.lock().get(&host_id).map(|(_, d)| Arc::clone(d))
+        self.pages
+            .lock()
+            .get(&host_id)
+            .map(|(_, d, _)| Arc::clone(d))
     }
 
     /// Fetch a page's kind.
     pub fn page_kind(&self, host_id: u64) -> Option<PageKind> {
-        self.pages.lock().get(&host_id).map(|(k, _)| *k)
+        self.pages.lock().get(&host_id).map(|(k, _, _)| *k)
+    }
+
+    /// Fetch the checksum a page was stamped with at adoption.
+    pub fn crc_of(&self, host_id: u64) -> Option<u32> {
+        self.pages.lock().get(&host_id).map(|(_, _, c)| *c)
     }
 
     /// Read `len` bytes at `link`, if the page is present and the range is
@@ -80,7 +91,7 @@ impl HostHeap {
         self.pages
             .lock()
             .values()
-            .map(|(_, p)| p.len() as u64)
+            .map(|(_, p, _)| p.len() as u64)
             .sum()
     }
 
@@ -90,7 +101,17 @@ impl HostHeap {
         self.pages
             .lock()
             .iter()
-            .map(|(&id, (kind, data))| (id, *kind, Arc::clone(data)))
+            .map(|(&id, (kind, data, _))| (id, *kind, Arc::clone(data)))
+            .collect()
+    }
+
+    /// All pages in ascending host-id order together with their checksum
+    /// stamps (persistence and scrub paths re-verify these).
+    pub fn pages_with_crcs_in_order(&self) -> Vec<(u64, PageKind, Arc<[u8]>, u32)> {
+        self.pages
+            .lock()
+            .iter()
+            .map(|(&id, (kind, data, crc))| (id, *kind, Arc::clone(data), *crc))
             .collect()
     }
 
@@ -101,13 +122,15 @@ impl HostHeap {
 
     /// Replace the entire store with `pages` under one lock acquisition
     /// (checkpoint restore). The page payloads are shared `Arc`s — a
-    /// snapshot taken with [`HostHeap::pages_in_order`] and restored here
-    /// never copies page bytes, only refcounts.
-    pub fn restore_pages(&self, pages: &[(u64, PageKind, Arc<[u8]>)]) {
+    /// snapshot taken with [`HostHeap::pages_with_crcs_in_order`] and
+    /// restored here never copies page bytes, only refcounts. Checksum
+    /// stamps travel with the snapshot so a restored store re-verifies
+    /// exactly like the original.
+    pub fn restore_pages(&self, pages: &[(u64, PageKind, Arc<[u8]>, u32)]) {
         let mut map = self.pages.lock();
         map.clear();
-        for (id, kind, data) in pages {
-            map.insert(*id, (*kind, Arc::clone(data)));
+        for (id, kind, data, crc) in pages {
+            map.insert(*id, (*kind, Arc::clone(data), *crc));
         }
     }
 }
@@ -119,10 +142,12 @@ mod tests {
     #[test]
     fn store_and_read_back() {
         let hh = HostHeap::new();
-        hh.store(7, PageKind::Mixed, b"0123456789abcdef".to_vec());
+        hh.store(7, PageKind::Mixed, b"0123456789abcdef".to_vec(), 0xAB);
         assert_eq!(hh.len(), 1);
         assert_eq!(hh.total_bytes(), 16);
         assert_eq!(hh.page_kind(7), Some(PageKind::Mixed));
+        assert_eq!(hh.crc_of(7), Some(0xAB));
+        assert_eq!(hh.crc_of(8), None);
         let link = HostLink::new(7, 4);
         assert_eq!(hh.read(link, 4).unwrap(), b"4567");
     }
@@ -132,7 +157,7 @@ mod tests {
         let hh = HostHeap::new();
         let mut data = vec![0u8; 16];
         data[8..16].copy_from_slice(&0xABCD_EF01_2345_6789u64.to_le_bytes());
-        hh.store(1, PageKind::Value, data);
+        hh.store(1, PageKind::Value, data, 0);
         assert_eq!(
             hh.read_u64(HostLink::new(1, 0), 8).unwrap(),
             0xABCD_EF01_2345_6789
@@ -142,7 +167,7 @@ mod tests {
     #[test]
     fn missing_page_and_out_of_bounds_return_none() {
         let hh = HostHeap::new();
-        hh.store(1, PageKind::Key, vec![0u8; 8]);
+        hh.store(1, PageKind::Key, vec![0u8; 8], 0);
         assert!(hh.read(HostLink::new(2, 0), 1).is_none());
         assert!(hh.read(HostLink::new(1, 4), 8).is_none());
         assert!(hh.read_u64(HostLink::new(1, 4), 0).is_none());
@@ -153,7 +178,7 @@ mod tests {
     fn store_accepts_shared_buffers_without_copying() {
         let hh = HostHeap::new();
         let shared: Arc<[u8]> = Arc::from(b"shared-bytes".to_vec());
-        hh.store(4, PageKind::Mixed, Arc::clone(&shared));
+        hh.store(4, PageKind::Mixed, Arc::clone(&shared), 0);
         // The stored page IS the caller's buffer, not a copy.
         assert!(Arc::ptr_eq(&hh.page(4).unwrap(), &shared));
     }
@@ -161,8 +186,8 @@ mod tests {
     #[test]
     fn restore_replaces() {
         let hh = HostHeap::new();
-        hh.store(3, PageKind::Key, b"old".to_vec());
-        hh.store(3, PageKind::Key, b"newer".to_vec());
+        hh.store(3, PageKind::Key, b"old".to_vec(), 1);
+        hh.store(3, PageKind::Key, b"newer".to_vec(), 2);
         assert_eq!(hh.len(), 1);
         assert_eq!(hh.page(3).unwrap().as_ref(), b"newer");
     }
@@ -170,10 +195,10 @@ mod tests {
     #[test]
     fn restore_pages_swaps_contents_without_copying() {
         let hh = HostHeap::new();
-        hh.store(1, PageKind::Mixed, b"pre-checkpoint".to_vec());
-        let snapshot = hh.pages_in_order();
-        hh.store(2, PageKind::Key, b"post-checkpoint".to_vec());
-        hh.store(1, PageKind::Mixed, b"mutated".to_vec());
+        hh.store(1, PageKind::Mixed, b"pre-checkpoint".to_vec(), 11);
+        let snapshot = hh.pages_with_crcs_in_order();
+        hh.store(2, PageKind::Key, b"post-checkpoint".to_vec(), 0);
+        hh.store(1, PageKind::Mixed, b"mutated".to_vec(), 12);
         hh.restore_pages(&snapshot);
         assert_eq!(hh.len(), 1);
         // Restored page IS the snapshot's buffer (refcount, not copy).
@@ -183,9 +208,9 @@ mod tests {
     #[test]
     fn pages_iterate_in_host_id_order() {
         let hh = HostHeap::new();
-        hh.store(5, PageKind::Mixed, vec![5]);
-        hh.store(1, PageKind::Key, vec![1]);
-        hh.store(3, PageKind::Value, vec![3]);
+        hh.store(5, PageKind::Mixed, vec![5], 0);
+        hh.store(1, PageKind::Key, vec![1], 0);
+        hh.store(3, PageKind::Value, vec![3], 0);
         let ids: Vec<u64> = hh.pages_in_order().iter().map(|(id, _, _)| *id).collect();
         assert_eq!(ids, vec![1, 3, 5]);
         hh.clear();

@@ -124,6 +124,14 @@ impl AppConfig {
         self
     }
 
+    /// Verify every finalized host page's CRC32C stamp at the end of the
+    /// run (the CLI's `--scrub`). Forced on whenever the executor's fault
+    /// plan draws corruption; this flag extends it to clean runs.
+    pub fn with_scrub(mut self, on: bool) -> Self {
+        self.driver.scrub = on;
+        self
+    }
+
     /// Publish epoch snapshots through `publisher` at every iteration
     /// boundary (the CLI's `--serve`): online point lookups and grouped
     /// scans read against them while the run progresses, without
@@ -174,6 +182,7 @@ mod tests {
             .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
             .with_max_recoveries(42)
             .with_evict_overlap(true)
+            .with_scrub(true)
             .with_serving(std::sync::Arc::new(sepo_core::EpochPublisher::default()))
             .with_combiner(true);
         assert_eq!(c.heap_bytes, 1024);
@@ -183,6 +192,7 @@ mod tests {
         assert_eq!(c.driver.checkpoint, sepo_core::CheckpointPolicy::Memory);
         assert_eq!(c.driver.max_recoveries, 42);
         assert!(c.driver.evict_overlap);
+        assert!(c.driver.scrub);
         assert!(c.driver.serving.is_some());
         assert_eq!(
             c.driver.combiner,

@@ -41,6 +41,15 @@ pub struct Flags {
     /// checking the answers against a CPU oracle. Results of the run are
     /// byte-identical either way.
     pub serve: bool,
+    /// Seed for seeded silent-corruption injection (`--corrupt SEED`):
+    /// in-flight PCIe bit flips, resting device-page flips, and disk byte
+    /// flips at the standard rates. Turns on in-memory checkpointing so
+    /// every detected flip is repaired; the run must end byte-identical
+    /// to a corruption-free run or fail loudly with a witness.
+    pub corrupt: Option<u64>,
+    /// Verify the CRC32C stamp of every finalized host page at the end of
+    /// a corruption-free run (`--scrub`). Forced on under `--corrupt`.
+    pub scrub: bool,
     /// Shard the run across `--shards N` simulated devices (power of two,
     /// default 1). Each shard owns a hash-prefix slice of the key space
     /// and its own device heap; the merged canonical image is checked
@@ -67,6 +76,8 @@ impl Default for Flags {
             chaos_seed: None,
             evict_overlap: false,
             serve: false,
+            corrupt: None,
+            scrub: false,
             shards: 1,
         }
     }
@@ -91,6 +102,8 @@ pub fn parse_flags(args: &[String]) -> Option<Flags> {
             "--faults" => f.faults = Some(it.next()?.parse().ok()?),
             "--checkpoint" => f.checkpoint = Some(it.next()?.clone()),
             "--chaos-seed" => f.chaos_seed = Some(it.next()?.parse().ok()?),
+            "--corrupt" => f.corrupt = Some(it.next()?.parse().ok()?),
+            "--scrub" => f.scrub = true,
             "--shards" => {
                 f.shards = it
                     .next()?
@@ -176,6 +189,9 @@ mod tests {
             "run.ckp",
             "--chaos-seed",
             "7",
+            "--corrupt",
+            "99",
+            "--scrub",
             "--evict-overlap",
             "on",
             "--serve",
@@ -196,6 +212,8 @@ mod tests {
         assert!(!f.combiner);
         assert_eq!(f.checkpoint.as_deref(), Some("run.ckp"));
         assert_eq!(f.chaos_seed, Some(7));
+        assert_eq!(f.corrupt, Some(99));
+        assert!(f.scrub);
         assert!(f.evict_overlap);
         assert!(f.serve);
         assert_eq!(f.shards, 4);
@@ -264,6 +282,20 @@ mod tests {
         assert!(parse_flags(&strs(&["--checkpoint"])).is_none());
         assert!(parse_flags(&strs(&["--chaos-seed"])).is_none());
         assert!(parse_flags(&strs(&["--chaos-seed", "not-a-seed"])).is_none());
+        assert!(parse_flags(&strs(&["--corrupt"])).is_none());
+        assert!(parse_flags(&strs(&["--corrupt", "not-a-seed"])).is_none());
+    }
+
+    #[test]
+    fn corrupt_and_scrub_default_off() {
+        let f = parse_flags(&[]).unwrap();
+        assert_eq!(f.corrupt, None);
+        assert!(!f.scrub);
+        assert_eq!(
+            parse_flags(&strs(&["--corrupt", "5"])).unwrap().corrupt,
+            Some(5)
+        );
+        assert!(parse_flags(&strs(&["--scrub"])).unwrap().scrub);
     }
 
     #[test]

@@ -30,6 +30,20 @@
 //!                                        loss, poisoned launches) at the
 //!                                        standard rates; runs recover from
 //!                                        checkpoints and finish identically
+//!   --corrupt <seed>                     inject seeded silent corruption at
+//!                                        the standard rates (in-flight PCIe
+//!                                        bit flips, resting device-page
+//!                                        flips, disk byte flips on
+//!                                        checkpoint images); every flip is
+//!                                        detected by CRC32C verification
+//!                                        and repaired (retransmit, restore
+//!                                        from the boundary checkpoint, or
+//!                                        rewrite), and the run must finish
+//!                                        byte-identical to a clean one
+//!   --scrub                              verify every finalized host page's
+//!                                        CRC32C stamp at the end of a
+//!                                        corruption-free run (forced on
+//!                                        under --corrupt)
 //!   --serve                              publish an epoch snapshot at every
 //!                                        iteration boundary and answer a
 //!                                        Zipf-skewed point-lookup load
@@ -68,8 +82,8 @@ fn usage() -> ExitCode {
         "usage:\n  sepo apps\n  sepo run <app> [--dataset 1..4] [--scale N] \
          [--heap BYTES] [--parallel] [--audit] [--sanitize] [--faults SEED] \
          [--combiner on|off] [--evict-overlap on|off] [--checkpoint PATH] \
-         [--chaos-seed SEED] [--serve] [--shards N] [--input FILE] \
-         [--save IMAGE]\n  \
+         [--chaos-seed SEED] [--corrupt SEED] [--scrub] [--serve] [--shards N] \
+         [--input FILE] [--save IMAGE]\n  \
          sepo lookup [--scale N] [--queries N]\n  sepo query <image> <key>...\n\
          \napps: {}",
         App::ALL
@@ -272,6 +286,7 @@ fn load_dataset(app: App, f: &Flags) -> Result<sepo_datagen::Dataset, String> {
     match &f.input {
         Some(path) => {
             // Real user data: one record per line.
+            // lint: io-ok (raw dataset input, not a checksummed image)
             let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut ds = sepo_datagen::Dataset::new();
             let mut start = 0usize;
@@ -334,6 +349,13 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
             .unwrap_or_else(|| gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed)));
         plan = Some(base.with_hard(gpu_sim::HardFaultConfig::standard(seed)));
     }
+    if let Some(seed) = f.corrupt {
+        println!("corruption injection: silent flips at standard rates, seed {seed}");
+        let base = plan
+            .take()
+            .unwrap_or_else(|| gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed)));
+        plan = Some(base.with_corruption(gpu_sim::CorruptionConfig::standard(seed)));
+    }
     if let Some(plan) = plan {
         exec = exec.with_faults(Arc::new(plan));
     }
@@ -341,20 +363,23 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
         exec = exec.with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
         println!("shadow-memory sanitizer: on");
     }
-    // --checkpoint persists boundary checkpoints; --chaos-seed without a
-    // path still needs somewhere to recover from, so it keeps one in memory.
-    let policy = match (&f.checkpoint, f.chaos_seed) {
+    // --checkpoint persists boundary checkpoints; --chaos-seed and
+    // --corrupt without a path still need somewhere to recover from, so
+    // they keep one in memory.
+    let needs_memory_ckp = f.chaos_seed.is_some() || f.corrupt.is_some();
+    let policy = match (&f.checkpoint, needs_memory_ckp) {
         (Some(path), _) => sepo_core::CheckpointPolicy::Disk(path.into()),
-        (None, Some(_)) => sepo_core::CheckpointPolicy::Memory,
-        (None, None) => sepo_core::CheckpointPolicy::Off,
+        (None, true) => sepo_core::CheckpointPolicy::Memory,
+        (None, false) => sepo_core::CheckpointPolicy::Off,
     };
     let mut cfg = AppConfig::new(heap)
         .with_audit(f.audit)
         .with_combiner(f.combiner)
         .with_sanitize(f.sanitize)
         .with_evict_overlap(f.evict_overlap)
+        .with_scrub(f.scrub)
         .with_checkpoint(policy.clone());
-    if f.chaos_seed.is_some() {
+    if needs_memory_ckp {
         cfg = cfg.with_max_recoveries(32);
     }
     // --serve: epoch-snapshot serving under the live run. Every boundary's
@@ -401,6 +426,26 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
                 plan.hard_injected(gpu_sim::HardFaultKind::PoisonedLaunch)
             );
         }
+        if plan.has_corruption() {
+            // The run finished, so every injected flip was detected and
+            // repaired — an escaped flip fails the run with a witness.
+            let rec = &run.outcome.recovery;
+            println!(
+                "  integrity: recovered ({} flips injected: {} retransmits, \
+                 {} checkpoint restores, {} image rewrites; {} host pages scrubbed clean)",
+                plan.total_corruption_injected(),
+                rec.retransmits,
+                rec.integrity_restores,
+                rec.checkpoint_rewrites,
+                rec.scrubbed_pages
+            );
+        }
+    }
+    if f.scrub && f.corrupt.is_none() {
+        println!(
+            "  scrub: {} finalized host pages verified",
+            run.outcome.recovery.scrubbed_pages
+        );
     }
     if policy.is_enabled() {
         let rec = &run.outcome.recovery;
@@ -494,6 +539,7 @@ fn cmd_run(app: App, f: Flags) -> ExitCode {
     }
 
     if let Some(path) = &f.save {
+        // lint: io-ok (save() appends the SEPOHST2 checksum trailer)
         match std::fs::File::create(path) {
             Ok(mut file) => match run.table.save(&mut file) {
                 Ok(()) => println!("table image saved to {path}"),
@@ -556,6 +602,9 @@ fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
     if let Some(seed) = f.chaos_seed {
         println!("chaos injection: hard device faults, per-shard seeds from {seed}");
     }
+    if let Some(seed) = f.corrupt {
+        println!("corruption injection: silent flips, per-shard seeds from {seed}");
+    }
     if f.sanitize {
         println!("shadow-memory sanitizer: on (per shard)");
     }
@@ -572,6 +621,14 @@ fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
                 gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed ^ u64::from(i)))
             });
             plan = Some(base.with_hard(gpu_sim::HardFaultConfig::standard(seed ^ u64::from(i))));
+        }
+        if let Some(seed) = f.corrupt {
+            let base = plan.take().unwrap_or_else(|| {
+                gpu_sim::FaultPlan::new(gpu_sim::FaultConfig::quiet(seed ^ u64::from(i)))
+            });
+            plan = Some(
+                base.with_corruption(gpu_sim::CorruptionConfig::standard(seed ^ u64::from(i))),
+            );
         }
         if let Some(plan) = plan {
             exec = exec.with_faults(Arc::new(plan));
@@ -598,18 +655,20 @@ fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
     let execs: Vec<Executor> = (0..n).map(shard_exec).collect();
     let cfgs: Vec<AppConfig> = (0..n)
         .map(|i| {
-            let policy = match (&shared_ckp, f.chaos_seed) {
+            let needs_memory_ckp = f.chaos_seed.is_some() || f.corrupt.is_some();
+            let policy = match (&shared_ckp, needs_memory_ckp) {
                 (Some(file), _) => sepo_core::CheckpointPolicy::SharedDisk(Arc::clone(file), i),
-                (None, Some(_)) => sepo_core::CheckpointPolicy::Memory,
-                (None, None) => sepo_core::CheckpointPolicy::Off,
+                (None, true) => sepo_core::CheckpointPolicy::Memory,
+                (None, false) => sepo_core::CheckpointPolicy::Off,
             };
             let mut cfg = AppConfig::new(heap)
                 .with_audit(f.audit)
                 .with_combiner(f.combiner)
                 .with_sanitize(f.sanitize)
                 .with_evict_overlap(f.evict_overlap)
+                .with_scrub(f.scrub)
                 .with_checkpoint(policy);
-            if f.chaos_seed.is_some() {
+            if needs_memory_ckp {
                 cfg = cfg.with_max_recoveries(32);
             }
             if let Some(pubs) = &publishers {
@@ -628,8 +687,9 @@ fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
         .with_audit(f.audit)
         .with_combiner(f.combiner)
         .with_sanitize(f.sanitize)
-        .with_evict_overlap(f.evict_overlap);
-    if f.chaos_seed.is_some() {
+        .with_evict_overlap(f.evict_overlap)
+        .with_scrub(f.scrub);
+    if f.chaos_seed.is_some() || f.corrupt.is_some() {
         ref_cfg = ref_cfg
             .with_checkpoint(sepo_core::CheckpointPolicy::Memory)
             .with_max_recoveries(32);
@@ -691,6 +751,38 @@ fn cmd_run_sharded(app: App, f: Flags) -> ExitCode {
         println!(
             "  checkpoints: {taken} taken across shards, {recoveries} recoveries, \
              {replayed} iterations replayed"
+        );
+    }
+    if f.corrupt.is_some() {
+        let injected: u64 = execs
+            .iter()
+            .filter_map(|e| e.faults())
+            .map(|p| p.total_corruption_injected())
+            .sum();
+        let retransmits: u64 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.retransmits)
+            .sum();
+        let restores: u32 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.integrity_restores)
+            .sum();
+        let rewrites: u32 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.checkpoint_rewrites)
+            .sum();
+        let scrubbed: u64 = sharded
+            .shards
+            .iter()
+            .map(|r| r.outcome.recovery.scrubbed_pages)
+            .sum();
+        println!(
+            "  integrity: recovered ({injected} flips injected across shards: \
+             {retransmits} retransmits, {restores} checkpoint restores, \
+             {rewrites} image rewrites; {scrubbed} host pages scrubbed clean)"
         );
     }
     if f.audit {
@@ -835,6 +927,7 @@ fn check_sharded_serving(
 
 fn cmd_query(path: &str, keys: &[String]) -> ExitCode {
     use sepo_core::{HostIndex, Organization, SepoTable};
+    // lint: io-ok (load() verifies the SEPOHST2 trailer before parsing)
     let mut file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(e) => {

@@ -19,10 +19,10 @@
 //! part of a checkpoint — restoring them would make a seeded
 //! `DeviceLost` re-fire at the same draw and kill the run forever.
 //!
-//! On-disk format (`SEPOCKP1`, little-endian):
+//! On-disk format (`SEPOCKP2`, little-endian):
 //!
 //! ```text
-//! magic        8 bytes  "SEPOCKP1"
+//! magic        8 bytes  "SEPOCKP2"
 //! iteration    u32      completed iterations at capture
 //! fault_stalls u32      consecutive fault-stalled iterations
 //! n_tasks      u64
@@ -42,26 +42,43 @@
 //!              resident u32 count, per page:
 //!              index/pending/head u32, host_id u64, kind u8, kept u8,
 //!              len u32, bytes
-//! host pages   u32 count, per page: id u64, kind u8, len u32, bytes
+//! host pages   u32 count, per page: id u64, kind u8, crc u32, len u32,
+//!              bytes — crc is the CRC32C stamp the page carried at
+//!              eviction, re-verified against the bytes at load
+//! trailer      u32      CRC32C of every preceding byte
 //! ```
 //!
-//! Sharded runs write one file for all shards (`SEPOCKS1`): a global
+//! The trailer is verified against the whole image *before* any
+//! structural parsing, so any single flipped bit anywhere in a checkpoint
+//! file is rejected with a checksum error naming the section, never a
+//! panic or a silently different boundary. Disk writes go through a
+//! write/read-back/verify loop ([`Checkpoint::write_to_path_with`]) that
+//! rewrites the file when a seeded disk byte flip damaged it in flight,
+//! giving up with a checksum error after a bounded number of rewrites.
+//!
+//! Sharded runs write one file for all shards (`SEPOCKS2`): a global
 //! header naming the shard count, then one length-prefixed standard
-//! `SEPOCKP1` section per shard (length 0 = that shard has not
-//! checkpointed yet). Each shard's driver updates its own section through
-//! a shared [`ShardedCheckpointFile`]; resume reads every section back
-//! with [`read_sharded_from_path`] and restores every shard.
+//! `SEPOCKP2` section per shard (length 0 = that shard has not
+//! checkpointed yet), then a whole-container CRC32C trailer. Each
+//! shard's driver updates its own section through a shared
+//! [`ShardedCheckpointFile`]; resume reads every section back with
+//! [`read_sharded_from_path`] and restores every shard. Every section is
+//! a complete `SEPOCKP2` image, so shard payloads are covered by their
+//! own trailers *and* the container trailer.
 //!
 //! ```text
-//! magic        8 bytes  "SEPOCKS1"
+//! magic        8 bytes  "SEPOCKS2"
 //! shard count  u32
-//! sections     per shard: len u32, len bytes of SEPOCKP1 image
+//! sections     per shard: len u32, len bytes of SEPOCKP2 image
+//! trailer      u32      CRC32C of every preceding byte
 //! ```
 
 use crate::bitmap::Bitmap;
-use crate::persist::{kind_from_tag, kind_tag, read_exact_field};
+use crate::integrity::{self, crc32c};
+use crate::persist::{append_trailer, kind_from_tag, kind_tag, read_exact_field, verify_trailer};
 use crate::sepo::IterationStats;
 use crate::table::SepoTable;
+use gpu_sim::faults::CorruptionKind;
 use gpu_sim::metrics::Snapshot;
 use gpu_sim::{FaultPlan, TransientDrawState};
 use sepo_alloc::{HeapSnapshot, PageKind, ResidentPage};
@@ -70,11 +87,58 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"SEPOCKP1";
-const MAGIC_NAME: &str = "SEPOCKP1";
-const SHARDED_MAGIC: &[u8; 8] = b"SEPOCKS1";
-const SHARDED_MAGIC_NAME: &str = "SEPOCKS1";
+const MAGIC: &[u8; 8] = b"SEPOCKP2";
+const MAGIC_NAME: &str = "SEPOCKP2";
+const SHARDED_MAGIC: &[u8; 8] = b"SEPOCKS2";
+const SHARDED_MAGIC_NAME: &str = "SEPOCKS2";
 const N_METRIC_WORDS: usize = 17;
+
+/// How many times a checkpoint write is retried when read-back
+/// verification finds the on-disk image damaged (seeded disk byte
+/// flips), before the write surfaces a checksum error.
+pub const MAX_CHECKPOINT_REWRITES: u32 = 8;
+
+/// Write `image` to `path`, read it back, and verify its checksum
+/// trailer, rewriting (bounded by [`MAX_CHECKPOINT_REWRITES`]) when a
+/// seeded disk byte flip from `plan` damaged the bytes in flight.
+/// Returns the number of rewrites a caller can fold into its recovery
+/// accounting.
+fn write_image_verified(
+    path: &Path,
+    image: &[u8],
+    plan: Option<&FaultPlan>,
+    section: &str,
+) -> io::Result<u32> {
+    let mut rewrites = 0u32;
+    loop {
+        match plan.and_then(|p| p.draw_corruption(CorruptionKind::DiskByteFlip)) {
+            Some(hit) => {
+                // The write is damaged in flight: flip one byte of what
+                // actually lands on disk.
+                let mut damaged = image.to_vec();
+                integrity::flip_byte_in_place(&mut damaged, hit.entropy);
+                std::fs::write(path, &damaged)?; // lint: io-ok (read back and verified below)
+            }
+            None => std::fs::write(path, image)?, // lint: io-ok (read back and verified below)
+        }
+        let back = std::fs::read(path)?; // lint: io-ok (read-back verification)
+        match verify_trailer(&back, section) {
+            Ok(_) => return Ok(rewrites),
+            Err(err) => {
+                if rewrites >= MAX_CHECKPOINT_REWRITES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{section} write failed verification after \
+                             {MAX_CHECKPOINT_REWRITES} rewrites: {err}"
+                        ),
+                    ));
+                }
+                rewrites += 1;
+            }
+        }
+    }
+}
 
 /// Where (and whether) the driver checkpoints at iteration boundaries.
 #[derive(Debug, Clone, Default)]
@@ -86,12 +150,12 @@ pub enum CheckpointPolicy {
     /// so the marginal cost is the resident device bytes).
     Memory,
     /// Keep the latest checkpoint in memory *and* persist it to this path
-    /// as a `SEPOCKP1` image after every boundary, so a separate process
+    /// as a `SEPOCKP2` image after every boundary, so a separate process
     /// can resume after the original one dies.
     Disk(PathBuf),
     /// Sharded-run variant of `Disk`: keep the latest checkpoint in memory
     /// and write it through to this shard's section of a shared
-    /// `SEPOCKS1` container, so one file resumes every shard.
+    /// `SEPOCKS2` container, so one file resumes every shard.
     SharedDisk(Arc<ShardedCheckpointFile>, u32),
 }
 
@@ -119,7 +183,7 @@ impl CheckpointPolicy {
 }
 
 /// The shared writer behind [`CheckpointPolicy::SharedDisk`]: one
-/// `SEPOCKS1` file holding every shard's latest boundary checkpoint.
+/// `SEPOCKS2` file holding every shard's latest boundary checkpoint.
 ///
 /// Shard drivers run concurrently, so updates serialize behind a mutex;
 /// each update replaces one shard's section and rewrites the file whole
@@ -163,53 +227,74 @@ impl ShardedCheckpointFile {
 
     /// Replace `shard`'s section with `ckp` and rewrite the file.
     pub fn update(&self, shard: u32, ckp: &Checkpoint) -> io::Result<()> {
+        self.update_with(shard, ckp, None).map(|_| ())
+    }
+
+    /// [`ShardedCheckpointFile::update`] with seeded disk-corruption
+    /// injection: the rewritten container is read back and its checksum
+    /// trailer verified, rewriting when `plan` flipped a byte in flight.
+    /// Returns the number of rewrites.
+    pub fn update_with(
+        &self,
+        shard: u32,
+        ckp: &Checkpoint,
+        plan: Option<&FaultPlan>,
+    ) -> io::Result<u32> {
         let mut buf = Vec::with_capacity(ckp.encoded_size() as usize);
         ckp.to_writer(&mut buf)?;
-        let sections = {
-            let mut sections = self.sections.lock();
-            let n = sections.len();
-            let slot = sections.get_mut(shard as usize).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("shard {shard} out of {n}"),
-                )
-            })?;
-            *slot = buf;
-            sections.clone()
-        };
-        let mut w = io::BufWriter::new(std::fs::File::create(&self.path)?);
-        w.write_all(SHARDED_MAGIC)?;
-        w.write_all(&(sections.len() as u32).to_le_bytes())?;
-        for s in &sections {
-            w.write_all(&(s.len() as u32).to_le_bytes())?;
-            w.write_all(s)?;
+        // Hold the sections lock across the file write *and* its read-back
+        // verification: concurrent shards updating the same container must
+        // not interleave, or a shard reads back its neighbor's in-flight
+        // write (torn, or damaged by the neighbor's injected flip) and the
+        // rewrite accounting no longer matches the injections one-to-one.
+        let mut sections = self.sections.lock();
+        let n = sections.len();
+        let slot = sections.get_mut(shard as usize).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {shard} out of {n}"),
+            )
+        })?;
+        *slot = buf;
+        let mut image = Vec::new();
+        image.extend_from_slice(SHARDED_MAGIC);
+        image.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for s in sections.iter() {
+            image.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            image.extend_from_slice(s);
         }
-        w.flush()
+        append_trailer(&mut image);
+        write_image_verified(&self.path, &image, plan, SHARDED_MAGIC_NAME)
     }
 }
 
-/// Load a `SEPOCKS1` container: one entry per shard, `None` for a shard
-/// that had not checkpointed when the file was last written.
+/// Load a `SEPOCKS2` container: one entry per shard, `None` for a shard
+/// that had not checkpointed when the file was last written. The
+/// container's checksum trailer is verified against the whole file
+/// before any section is parsed.
 pub fn read_sharded_from_path(path: &Path) -> io::Result<Vec<Option<Checkpoint>>> {
-    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let image = std::fs::read(path)?; // lint: io-ok (trailer verified below)
+    let body = verify_trailer(&image, SHARDED_MAGIC_NAME)?;
+    let mut body_reader = body;
+    let r = &mut body_reader;
     let mut magic = [0u8; 8];
-    read_exact_field(&mut r, &mut magic, "magic", SHARDED_MAGIC_NAME)?;
+    read_exact_field(r, &mut magic, "magic", SHARDED_MAGIC_NAME)?;
     if &magic != SHARDED_MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "not a SEPOCKS1 container",
+            "not a SEPOCKS2 container",
         ));
     }
-    let n_shards = read_u32(&mut r, "shard count")? as usize;
+    let n_shards = read_u32(r, "shard count")? as usize;
     let mut out = Vec::with_capacity(n_shards.min(1 << 16));
     for _ in 0..n_shards {
-        let len = read_u32(&mut r, "shard section length")? as usize;
+        let len = read_u32(r, "shard section length")? as usize;
         if len == 0 {
             out.push(None);
             continue;
         }
         let mut section = vec![0u8; len];
-        read_exact_field(&mut r, &mut section, "shard section", SHARDED_MAGIC_NAME)?;
+        read_exact_field(r, &mut section, "shard section", SHARDED_MAGIC_NAME)?;
         out.push(Some(Checkpoint::from_reader(&mut section.as_slice())?));
     }
     Ok(out)
@@ -230,7 +315,7 @@ pub struct Checkpoint {
     transient: Option<TransientDrawState>,
     iterations: Vec<IterationStats>,
     heap: HeapSnapshot,
-    host_pages: Vec<(u64, PageKind, Arc<[u8]>)>,
+    host_pages: Vec<(u64, PageKind, Arc<[u8]>, u32)>,
 }
 
 impl Checkpoint {
@@ -262,7 +347,7 @@ impl Checkpoint {
             transient: faults.map(|p| p.transient_snapshot()),
             iterations: iterations.to_vec(),
             heap: table.heap.snapshot(),
-            host_pages: table.host.pages_in_order(),
+            host_pages: table.host.pages_with_crcs_in_order(),
         }
     }
 
@@ -303,6 +388,7 @@ impl Checkpoint {
         table.groups.reset_iteration();
         table.groups.restore_alloc_counts(&self.group_allocs);
         table.heap.restore(&self.heap);
+        // lint: io-ok (stamps verified at capture/parse; restore swaps verified images)
         table.host.restore_pages(&self.host_pages);
         table.restore_touches(&self.touches);
         table.metrics().restore(&self.metrics);
@@ -328,7 +414,7 @@ impl Checkpoint {
         self.n_tasks
     }
 
-    /// Exact size in bytes of the `SEPOCKP1` image [`Checkpoint::to_writer`]
+    /// Exact size in bytes of the `SEPOCKP2` image [`Checkpoint::to_writer`]
     /// produces — the checkpoint footprint the chaos benchmark reports.
     pub fn encoded_size(&self) -> u64 {
         let mut n = 8 + 4 + 4 + 8; // magic, iteration, stalls, n_tasks
@@ -346,14 +432,22 @@ impl Checkpoint {
         n += self.iterations.len() as u64 * (4 + 4 + 1 + 3 * 8 + 8 * N_METRIC_WORDS as u64 + 4 * 8);
         n += self.heap.encoded_size();
         n += 4;
-        for (_, _, data) in &self.host_pages {
-            n += 8 + 1 + 4 + data.len() as u64;
+        for (_, _, data, _) in &self.host_pages {
+            n += 8 + 1 + 4 + 4 + data.len() as u64;
         }
-        n
+        n + 4 // whole-image checksum trailer
     }
 
-    /// Serialize as a `SEPOCKP1` image.
+    /// Serialize as a `SEPOCKP2` image: the body followed by a CRC32C
+    /// trailer over every preceding byte.
     pub fn to_writer<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut body = Vec::with_capacity(self.encoded_size() as usize);
+        self.write_body(&mut body)?;
+        append_trailer(&mut body);
+        w.write_all(&body)
+    }
+
+    fn write_body<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&self.iteration.to_le_bytes())?;
         w.write_all(&self.fault_stalls.to_le_bytes())?;
@@ -409,24 +503,34 @@ impl Checkpoint {
             w.write_all(&p.data)?;
         }
         w.write_all(&(self.host_pages.len() as u32).to_le_bytes())?;
-        for (id, kind, data) in &self.host_pages {
+        for (id, kind, data, crc) in &self.host_pages {
             w.write_all(&id.to_le_bytes())?;
             w.write_all(&[kind_tag(*kind)])?;
+            w.write_all(&crc.to_le_bytes())?;
             w.write_all(&(data.len() as u32).to_le_bytes())?;
             w.write_all(data)?;
         }
         Ok(())
     }
 
-    /// Deserialize a `SEPOCKP1` image. Truncated input is rejected with an
-    /// error naming the field that ended early.
+    /// Deserialize a `SEPOCKP2` image. The whole-image checksum trailer
+    /// is verified first, so any flipped bit anywhere is rejected with a
+    /// checksum error before structural parsing begins; truncated input
+    /// is rejected with an error naming the field that ended early.
     pub fn from_reader<R: Read>(r: &mut R) -> io::Result<Checkpoint> {
+        let mut image = Vec::new();
+        r.read_to_end(&mut image)?;
+        let body = verify_trailer(&image, MAGIC_NAME)?;
+        Checkpoint::parse_body(&mut &*body)
+    }
+
+    fn parse_body<R: Read>(r: &mut R) -> io::Result<Checkpoint> {
         let mut magic = [0u8; 8];
         read_exact_field(r, &mut magic, "magic", MAGIC_NAME)?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a SEPOCKP1 image",
+                "not a SEPOCKP2 image",
             ));
         }
         let iteration = read_u32(r, "iteration")?;
@@ -524,10 +628,17 @@ impl Checkpoint {
         for _ in 0..n_host {
             let id = read_u64(r, "host page id")?;
             let kind = kind_from_tag(read_u8(r, "host page kind")?)?;
+            let crc = read_u32(r, "host page checksum stamp")?;
             let len = read_u32(r, "host page length")? as usize;
             let mut data = vec![0u8; len];
             read_exact_field(r, &mut data, "host page payload", MAGIC_NAME)?;
-            host_pages.push((id, kind, Arc::from(data)));
+            if crc32c(&data) != crc {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("SEPOCKP2 image: host page {id} failed checksum verification"),
+                ));
+            }
+            host_pages.push((id, kind, Arc::from(data), crc));
         }
         Ok(Checkpoint {
             iteration,
@@ -554,17 +665,25 @@ impl Checkpoint {
         })
     }
 
-    /// Persist as a `SEPOCKP1` file (the `--checkpoint <path>` flag).
+    /// Persist as a `SEPOCKP2` file (the `--checkpoint <path>` flag).
     pub fn write_to_path(&self, path: &Path) -> io::Result<()> {
-        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
-        self.to_writer(&mut w)?;
-        w.flush()
+        self.write_to_path_with(path, None).map(|_| ())
     }
 
-    /// Load a `SEPOCKP1` file.
+    /// [`Checkpoint::write_to_path`] with seeded disk-corruption
+    /// injection: the written file is read back and its checksum trailer
+    /// verified, rewriting (bounded) when `plan` flipped a byte of it in
+    /// flight. Returns the number of rewrites.
+    pub fn write_to_path_with(&self, path: &Path, plan: Option<&FaultPlan>) -> io::Result<u32> {
+        let mut image = Vec::with_capacity(self.encoded_size() as usize);
+        self.to_writer(&mut image)?;
+        write_image_verified(path, &image, plan, MAGIC_NAME)
+    }
+
+    /// Load a `SEPOCKP2` file.
     pub fn read_from_path(path: &Path) -> io::Result<Checkpoint> {
-        let mut r = io::BufReader::new(std::fs::File::open(path)?);
-        Checkpoint::from_reader(&mut r)
+        let image = std::fs::read(path)?; // lint: io-ok (trailer verified in from_reader)
+        Checkpoint::from_reader(&mut image.as_slice())
     }
 }
 
@@ -926,12 +1045,13 @@ mod tests {
         let file = ShardedCheckpointFile::new(path.clone(), 2);
         file.update(0, &ckp).unwrap();
         let full = std::fs::read(&path).unwrap();
-        // A plain SEPOCKP1 image is not a container.
+        // A plain SEPOCKP2 image is not a container (its own trailer is
+        // valid, so this exercises the magic check, not the checksum).
         let mut plain = Vec::new();
         ckp.to_writer(&mut plain).unwrap();
         std::fs::write(&path, &plain).unwrap();
         let err = read_sharded_from_path(&path).unwrap_err();
-        assert!(err.to_string().contains("not a SEPOCKS1 container"));
+        assert!(err.to_string().contains("not a SEPOCKS2 container"));
         // Truncating the container anywhere is a clean InvalidData error.
         for len in [0, 4, 11, full.len() / 2, full.len() - 1] {
             std::fs::write(&path, &full[..len]).unwrap();
@@ -963,14 +1083,124 @@ mod tests {
         for len in 0..buf.len() {
             let err = Checkpoint::from_reader(&mut &buf[..len]).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix of {len}");
+            let msg = err.to_string();
             assert!(
-                err.to_string().contains("truncated SEPOCKP1 image"),
-                "prefix of {len}: unexpected message {:?}",
+                msg.contains("truncated SEPOCKP2 image")
+                    || msg.contains("SEPOCKP2 image failed checksum verification"),
+                "prefix of {len}: unexpected message {msg:?}"
+            );
+        }
+        // Garbage magic under a *valid* trailer is a distinct, equally
+        // clean rejection (garbage without a trailer fails the checksum).
+        let mut garbage = b"GARBAGE!________".to_vec();
+        append_trailer(&mut garbage);
+        let err = Checkpoint::from_reader(&mut garbage.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("not a SEPOCKP2 image"));
+    }
+
+    #[test]
+    fn single_bit_flip_at_every_byte_is_rejected_with_checksum_error() {
+        let t = small_table();
+        fill(&t, 0..40);
+        let done = Bitmap::new(40);
+        let progress: Vec<AtomicU32> = (0..40).map(|_| AtomicU32::new(0)).collect();
+        let ckp = Checkpoint::capture(&t, &done, &progress, &[fake_iteration(1)], 0, None);
+        let mut buf = Vec::new();
+        ckp.to_writer(&mut buf).unwrap();
+        for at in 0..buf.len() {
+            let mut damaged = buf.clone();
+            damaged[at] ^= 1 << (at % 8);
+            let err = Checkpoint::from_reader(&mut damaged.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at byte {at}");
+            assert!(
+                err.to_string()
+                    .contains("SEPOCKP2 image failed checksum verification"),
+                "flip at byte {at}: unexpected message {:?}",
                 err.to_string()
             );
         }
-        // Garbage magic is a distinct, equally clean rejection.
-        let err = Checkpoint::from_reader(&mut &b"GARBAGE!________"[..]).unwrap_err();
-        assert!(err.to_string().contains("not a SEPOCKP1 image"));
+    }
+
+    #[test]
+    fn container_bit_flips_are_rejected_with_checksum_error() {
+        let t = small_table();
+        fill(&t, 0..40);
+        let done = Bitmap::new(40);
+        let progress: Vec<AtomicU32> = (0..40).map(|_| AtomicU32::new(0)).collect();
+        let ckp = Checkpoint::capture(&t, &done, &progress, &[fake_iteration(1)], 0, None);
+        let path = std::env::temp_dir().join(format!("sepo-cks-flip-{}.bin", std::process::id()));
+        let file = ShardedCheckpointFile::new(path.clone(), 2);
+        file.update(0, &ckp).unwrap();
+        file.update(1, &ckp).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for at in 0..full.len() {
+            let mut damaged = full.clone();
+            damaged[at] ^= 1 << (at % 8);
+            std::fs::write(&path, &damaged).unwrap();
+            let err = read_sharded_from_path(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at byte {at}");
+            assert!(
+                err.to_string()
+                    .contains("SEPOCKS2 image failed checksum verification"),
+                "flip at byte {at}: unexpected message {:?}",
+                err.to_string()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_byte_flips_force_rewrites_until_the_image_verifies() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let plan = FaultPlan::new(gpu_sim::FaultConfig::quiet(9)).with_corruption(
+            gpu_sim::CorruptionConfig {
+                seed: 9,
+                pcie_bit_flip_rate: 0.0,
+                resting_page_flip_rate: 0.0,
+                disk_byte_flip_rate: 0.6,
+            },
+        );
+        let path = std::env::temp_dir().join(format!("sepo-ckp-flip-{}.bin", std::process::id()));
+        let mut total_rewrites = 0u64;
+        for _ in 0..8 {
+            total_rewrites += u64::from(ckp.write_to_path_with(&path, Some(&plan)).unwrap());
+            // Whatever the corruption did in flight, what is on disk now
+            // verifies and restores the identical boundary.
+            assert_eq!(Checkpoint::read_from_path(&path).unwrap(), ckp);
+        }
+        assert!(
+            total_rewrites > 0,
+            "a 0.6 flip rate over 8 writes must hit at least once"
+        );
+        assert_eq!(
+            total_rewrites,
+            plan.corruption_injected(CorruptionKind::DiskByteFlip),
+            "every injected disk flip must be caught by read-back verification"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhausted_rewrites_surface_a_checksum_error() {
+        let t = small_table();
+        let (ckp, _done, _progress) = mid_run_checkpoint(&t);
+        let plan = FaultPlan::new(gpu_sim::FaultConfig::quiet(3)).with_corruption(
+            gpu_sim::CorruptionConfig {
+                seed: 3,
+                pcie_bit_flip_rate: 0.0,
+                resting_page_flip_rate: 0.0,
+                disk_byte_flip_rate: 1.0,
+            },
+        );
+        let path = std::env::temp_dir().join(format!("sepo-ckp-exh-{}.bin", std::process::id()));
+        let err = ckp.write_to_path_with(&path, Some(&plan)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("failed verification after"),
+            "unexpected message {:?}",
+            err.to_string()
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

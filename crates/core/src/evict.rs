@@ -24,9 +24,11 @@
 use crate::config::Organization;
 use crate::entry::{self, key_entry};
 use crate::hash::bucket_of;
+use crate::integrity::{self, crc32c, TransferFailure, MAX_TRANSFER_RETRANSMITS};
 use crate::table::SepoTable;
 use gpu_sim::charge::{Charge, NoCharge};
 use gpu_sim::evict_pipe::EvictionPipe;
+use gpu_sim::faults::{CorruptionError, CorruptionKind};
 use gpu_sim::shadow::{AccessKind, ShadowAddr};
 use sepo_alloc::{DevHandle, HostLink, Link, PageKind};
 use std::sync::atomic::Ordering;
@@ -65,6 +67,9 @@ pub struct EvictedPage {
     pub kind: PageKind,
     /// The page image as copied off the device at enqueue time.
     pub data: Arc<[u8]>,
+    /// CRC32C of `data`, stamped from the pristine bytes before the image
+    /// crossed the bus; re-verified at adoption and by every later reader.
+    pub crc: u32,
 }
 
 /// Where evicted page images land: directly in the host heap (the
@@ -141,11 +146,70 @@ impl SepoTable {
     }
 
     /// Store pipe-drained page images in the host heap under their stamped
-    /// identities. The `Arc`-shared payloads make this copy-free.
+    /// identities, re-verifying each image's checksum stamp first. The
+    /// `Arc`-shared payloads make this copy-free. A stamp mismatch here
+    /// means in-flight corruption survived retransmission: the witness is
+    /// recorded and the driver aborts the run with
+    /// `SepoError::CorruptTransfer` at the next boundary (the damaged
+    /// image is quarantined, never stored).
     pub fn adopt_evicted(&self, pages: impl IntoIterator<Item = EvictedPage>) {
         for pg in pages {
-            self.host.store(pg.host_id, pg.kind, pg.data);
+            if crc32c(&pg.data) != pg.crc {
+                let draw = self
+                    .integrity
+                    .corrupting_plan()
+                    .map_or(0, |p| p.corruption_draws(CorruptionKind::PcieBitFlip));
+                self.integrity.note_failure(TransferFailure {
+                    host_id: pg.host_id,
+                    error: CorruptionError {
+                        kind: CorruptionKind::PcieBitFlip,
+                        draw,
+                    },
+                });
+                continue;
+            }
+            self.integrity.note_verified();
+            self.host.store(pg.host_id, pg.kind, pg.data, pg.crc);
         }
+    }
+
+    /// Model one page image crossing the PCIe bus under the integrity
+    /// layer: stamp a CRC32C from the pristine bytes, then — when a
+    /// corruption plan is live — draw in-flight bit flips, *materialize*
+    /// each one, prove the stamp catches it, and retransmit up to
+    /// [`MAX_TRANSFER_RETRANSMITS`] times. Exhausting the retransmit
+    /// budget records an unrecovered-transfer witness the driver surfaces
+    /// as `SepoError::CorruptTransfer`. Returns the stamp; the pristine
+    /// image is what lands host-side on success, so recovered runs stay
+    /// byte-identical to corruption-free ones.
+    fn wire_page(&self, host_id: u64, data: &[u8]) -> u32 {
+        let crc = crc32c(data);
+        self.integrity.note_stamped();
+        if let Some(plan) = self.integrity.corrupting_plan() {
+            let mut retransmits = 0;
+            while let Some(hit) = plan.draw_corruption(CorruptionKind::PcieBitFlip) {
+                // Materialize the damage and verify the stamp detects it
+                // (CRC32C catches all single-bit errors by construction).
+                let damaged = integrity::flip_bit(data, hit.entropy);
+                assert!(
+                    data.is_empty() || crc32c(&damaged) != crc,
+                    "single-bit flip must never pass checksum verification"
+                );
+                if retransmits >= MAX_TRANSFER_RETRANSMITS {
+                    self.integrity.note_failure(TransferFailure {
+                        host_id,
+                        error: CorruptionError {
+                            kind: hit.kind,
+                            draw: hit.draw,
+                        },
+                    });
+                    break;
+                }
+                retransmits += 1;
+                self.integrity.note_retransmit();
+            }
+        }
+        crc
     }
 
     /// Copy every resident page out and free it; clear all bucket heads.
@@ -175,16 +239,18 @@ impl SepoTable {
         charge.access(ShadowAddr::Page(self.heap.host_id(p)), AccessKind::Evicted);
         let data = self.heap.page_data(p);
         let bytes = data.len() as u64;
+        let host_id = self.heap.host_id(p);
+        let crc = self.wire_page(host_id, &data);
         match dest {
             EvictDest::Host => {
-                self.host
-                    .store(self.heap.host_id(p), self.heap.page_kind(p), data);
+                self.host.store(host_id, self.heap.page_kind(p), data, crc);
             }
             EvictDest::Pipe(pipe) => {
                 let page = EvictedPage {
-                    host_id: self.heap.host_id(p),
+                    host_id,
                     kind: self.heap.page_kind(p),
                     data: Arc::from(data),
+                    crc,
                 };
                 pipe.enqueue(page, bytes);
             }

@@ -38,7 +38,10 @@ impl<'t> HostIndex<'t> {
 
     /// Build the index by walking the host pages once. Returns
     /// [`QueryError::NotFinalized`] while the table still has resident
-    /// pages — the host walk would silently miss them.
+    /// pages — the host walk would silently miss them — and
+    /// [`QueryError::CorruptPage`] when a host page's bytes no longer
+    /// match the checksum stamp it was evicted with (silent corruption
+    /// would otherwise be indexed into every later answer).
     pub fn try_build(table: &'t SepoTable) -> Result<Self, QueryError> {
         if table.heap().free_pages() != table.heap().total_pages() {
             return Err(QueryError::NotFinalized);
@@ -53,7 +56,13 @@ impl<'t> HostIndex<'t> {
             _ => PageKind::Mixed,
         };
         let mut entries: HashMap<Vec<u8>, Vec<HostLink>> = HashMap::new();
-        for (host_id, pk, page) in table.host_heap().pages_in_order() {
+        for (host_id, pk, page, crc) in table.host_heap().pages_with_crcs_in_order() {
+            if crate::integrity::crc32c(&page) != crc {
+                return Err(QueryError::CorruptPage {
+                    epoch: None,
+                    host_id,
+                });
+            }
             if pk != page_kind {
                 continue;
             }
@@ -104,7 +113,10 @@ impl<'t> HostIndex<'t> {
                 .table
                 .host_heap()
                 .read_u64(*link, crate::entry::combining::VALUE)
-                .expect("indexed link must resolve");
+                .ok_or(QueryError::CorruptPage {
+                    epoch: None,
+                    host_id: link.host_page(),
+                })?;
             acc = Some(match acc {
                 None => v,
                 Some(a) => comb.apply(a, v),
@@ -132,7 +144,10 @@ impl<'t> HostIndex<'t> {
                 .table
                 .host_heap()
                 .read_u64(*link, crate::entry::key_entry::VALUE_HOST_CONT)
-                .expect("indexed link must resolve");
+                .ok_or(QueryError::CorruptPage {
+                    epoch: None,
+                    host_id: link.host_page(),
+                })?;
             values.extend(self.table.host_values_from(HostLink::from_raw(cont)));
         }
         Ok(Some(values))
@@ -266,6 +281,30 @@ mod tests {
         ));
         t.finalize();
         assert!(HostIndex::try_build(&t).is_ok());
+    }
+
+    #[test]
+    fn corrupt_host_pages_are_rejected_at_build_with_the_page_id() {
+        let t = pressured_combining(60);
+        assert!(HostIndex::try_build(&t).is_ok());
+        // Damage one evicted page in place: bytes no longer match the
+        // stamp the page carried at eviction.
+        let (host_id, kind, data, crc) = t.host_heap().pages_with_crcs_in_order()[0].clone();
+        let mut damaged = data.to_vec();
+        damaged[0] ^= 0x40;
+        t.host_heap().store(host_id, kind, damaged, crc);
+        let err = match HostIndex::try_build(&t) {
+            Err(e) => e,
+            Ok(_) => panic!("a damaged page must fail the build"),
+        };
+        assert_eq!(
+            err,
+            QueryError::CorruptPage {
+                epoch: None,
+                host_id
+            }
+        );
+        assert!(err.to_string().contains("failed checksum verification"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod entry;
 pub mod evict;
 pub mod hash;
 pub mod hostquery;
+pub mod integrity;
 pub mod lookup;
 pub mod persist;
 pub mod results;
@@ -71,6 +72,7 @@ pub use combiner::{CombinerConfig, WarpCombiner};
 pub use config::{Combiner, Organization, TableConfig};
 pub use evict::{EvictReport, EvictedPage};
 pub use hostquery::HostIndex;
+pub use integrity::{crc32c, IntegrityState, TransferFailure, MAX_TRANSFER_RETRANSMITS};
 pub use lookup::{LookupOutcome, LookupRound};
 pub use results::GroupedPair;
 pub use sepo::{

@@ -7,26 +7,37 @@
 //! iterations (restored heaps continue the host-id sequence so dual
 //! pointers never collide).
 //!
-//! Format (`SEPOHST1`, little-endian):
+//! Format (`SEPOHST2`, little-endian):
 //!
 //! ```text
-//! magic       8 bytes  "SEPOHST1"
+//! magic       8 bytes  "SEPOHST2"
 //! org         1 byte   0 basic | 1 multi-valued | 2..=5 combining Add/Or/Min/Max
 //! page count  u32
-//! per page:   host_id u64, kind u8 (1 mixed | 2 key | 3 value), len u32, bytes
+//! per page:   host_id u64, kind u8 (1 mixed | 2 key | 3 value), crc u32,
+//!             len u32, bytes
+//! trailer     u32      CRC32C of every preceding byte (magic included)
 //! ```
+//!
+//! The trailer is verified *before* any structural parsing, so a flipped
+//! bit anywhere in the file — header, payload, even the trailer itself —
+//! is rejected as a checksum error, never parsed into a silently wrong
+//! table. The per-page `crc` words carry each page's eviction-time stamp
+//! ([`crate::integrity`]) across the round trip, keeping the detection
+//! chain end-to-end: a restored page re-verifies against the checksum
+//! computed when it originally left the device.
 //!
 //! Custom combiners carry function pointers and cannot be serialized;
 //! saving such a table is an error.
 
 use crate::config::{Combiner, Organization, TableConfig};
+use crate::integrity::crc32c;
 use crate::table::SepoTable;
 use gpu_sim::metrics::Metrics;
 use sepo_alloc::{HostHeap, PageKind};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"SEPOHST1";
+const MAGIC: &[u8; 8] = b"SEPOHST2";
 
 fn org_tag(org: Organization) -> io::Result<u8> {
     Ok(match org {
@@ -88,7 +99,7 @@ pub(crate) fn kind_from_tag(tag: u8) -> io::Result<PageKind> {
 /// `read_exact` with truncation mapped to a descriptive [`io::ErrorKind::InvalidData`]
 /// error naming the field that ended early — a truncated image reports
 /// *where* it was cut, not a bare "unexpected end of file". Shared by the
-/// `SEPOHST1` loader here and the `SEPOCKP1` checkpoint reader
+/// `SEPOHST2` loader here and the `SEPOCKP2` checkpoint reader
 /// ([`crate::checkpoint`]).
 pub(crate) fn read_exact_field<R: Read>(
     r: &mut R,
@@ -105,6 +116,39 @@ pub(crate) fn read_exact_field<R: Read>(
     })
 }
 
+/// Split `image` into its body and trailing CRC32C and verify the trailer,
+/// naming `section` (a format magic like `SEPOHST2`) in every error. Used
+/// by all three persisted formats — whole-image verification comes first,
+/// before any structural parsing.
+pub(crate) fn verify_trailer<'a>(image: &'a [u8], section: &str) -> io::Result<&'a [u8]> {
+    if image.len() < 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("truncated {section} image: unexpected end of input reading checksum trailer"),
+        ));
+    }
+    let (body, trailer) = image.split_at(image.len() - 4);
+    // lint: unwrap-ok (split_at leaves exactly 4 trailer bytes)
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let computed = crc32c(body);
+    if stored != computed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{section} image failed checksum verification \
+                 (stored 0x{stored:08x}, computed 0x{computed:08x})"
+            ),
+        ));
+    }
+    Ok(body)
+}
+
+/// Append the CRC32C trailer to a serialized image body.
+pub(crate) fn append_trailer(body: &mut Vec<u8>) {
+    let crc = crc32c(body);
+    body.extend_from_slice(&crc.to_le_bytes());
+}
+
 impl SepoTable {
     /// Write this *finalized* table's host image to `w`.
     pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
@@ -113,37 +157,55 @@ impl SepoTable {
             self.heap().total_pages(),
             "save requires finalize(): resident pages would be lost"
         );
-        w.write_all(MAGIC)?;
-        w.write_all(&[org_tag(self.config().organization)?])?;
-        let pages = self.host_heap().pages_in_order();
-        w.write_all(&(pages.len() as u32).to_le_bytes())?;
-        for (id, kind, data) in pages {
-            w.write_all(&id.to_le_bytes())?;
-            w.write_all(&[kind_tag(kind)])?;
-            w.write_all(&(data.len() as u32).to_le_bytes())?;
-            w.write_all(&data)?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(org_tag(self.config().organization)?);
+        let pages = self.host_heap().pages_with_crcs_in_order();
+        buf.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        for (id, kind, data, crc) in pages {
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.push(kind_tag(kind));
+            buf.extend_from_slice(&crc.to_le_bytes());
+            buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&data);
         }
-        Ok(())
+        append_trailer(&mut buf);
+        w.write_all(&buf)
     }
 
     /// Restore a table from a saved image. The returned table has an empty
     /// device heap of `heap_bytes` (shaped by a tuned config for the saved
     /// organization) and the full host image; its host-id sequence resumes
     /// past every stored id, so further SEPO insert iterations are safe.
+    ///
+    /// The image's trailing checksum is verified before anything is
+    /// parsed, and every page's persisted stamp is re-verified against its
+    /// payload — a damaged file is rejected with a typed checksum error,
+    /// never restored into a silently wrong table.
     pub fn load<R: Read>(r: &mut R, heap_bytes: u64, metrics: Arc<Metrics>) -> io::Result<Self> {
+        let mut image = Vec::new();
+        r.read_to_end(&mut image)?;
+        if image.len() < MAGIC.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated SEPOHST2 image: unexpected end of input reading magic",
+            ));
+        }
+        let body = verify_trailer(&image, "SEPOHST2")?;
+        let r = &mut &body[..];
         let mut magic = [0u8; 8];
-        read_exact_field(r, &mut magic, "magic", "SEPOHST1")?;
+        read_exact_field(r, &mut magic, "magic", "SEPOHST2")?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a SEPOHST1 image",
+                "not a SEPOHST2 image",
             ));
         }
         let mut tag = [0u8; 1];
-        read_exact_field(r, &mut tag, "organization tag", "SEPOHST1")?;
+        read_exact_field(r, &mut tag, "organization tag", "SEPOHST2")?;
         let organization = org_from_tag(tag[0])?;
         let mut n = [0u8; 4];
-        read_exact_field(r, &mut n, "page count", "SEPOHST1")?;
+        read_exact_field(r, &mut n, "page count", "SEPOHST2")?;
         let n_pages = u32::from_le_bytes(n);
 
         let cfg = TableConfig::tuned(organization, heap_bytes);
@@ -152,17 +214,26 @@ impl SepoTable {
         let mut max_id = 0u64;
         for _ in 0..n_pages {
             let mut id = [0u8; 8];
-            read_exact_field(r, &mut id, "page host id", "SEPOHST1")?;
+            read_exact_field(r, &mut id, "page host id", "SEPOHST2")?;
             let id = u64::from_le_bytes(id);
             let mut k = [0u8; 1];
-            read_exact_field(r, &mut k, "page kind", "SEPOHST1")?;
+            read_exact_field(r, &mut k, "page kind", "SEPOHST2")?;
             let kind = kind_from_tag(k[0])?;
+            let mut crc = [0u8; 4];
+            read_exact_field(r, &mut crc, "page checksum stamp", "SEPOHST2")?;
+            let crc = u32::from_le_bytes(crc);
             let mut len = [0u8; 4];
-            read_exact_field(r, &mut len, "page length", "SEPOHST1")?;
+            read_exact_field(r, &mut len, "page length", "SEPOHST2")?;
             let len = u32::from_le_bytes(len) as usize;
             let mut data = vec![0u8; len];
-            read_exact_field(r, &mut data, "page payload", "SEPOHST1")?;
-            host.store(id, kind, data);
+            read_exact_field(r, &mut data, "page payload", "SEPOHST2")?;
+            if crc32c(&data) != crc {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("SEPOHST2 image: host page {id} failed checksum verification"),
+                ));
+            }
+            host.store(id, kind, data, crc);
             max_id = max_id.max(id);
         }
         table.adopt_host_heap(host, max_id + 1);
@@ -210,6 +281,23 @@ mod tests {
         let a: HashMap<Vec<u8>, u64> = t.collect_combining().into_iter().collect();
         let b: HashMap<Vec<u8>, u64> = restored.collect_combining().into_iter().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_preserves_page_checksum_stamps() {
+        let t = build(100);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let restored =
+            SepoTable::load(&mut buf.as_slice(), 4 * 1024, Arc::new(Metrics::new())).unwrap();
+        let before = t.host_heap().pages_with_crcs_in_order();
+        let after = restored.host_heap().pages_with_crcs_in_order();
+        assert!(!before.is_empty());
+        assert_eq!(before.len(), after.len());
+        for ((ia, ka, da, ca), (ib, kb, db, cb)) in before.iter().zip(&after) {
+            assert_eq!((ia, ka, da, ca), (ib, kb, db, cb));
+            assert_eq!(crc32c(da), *ca, "stamp must match payload");
+        }
     }
 
     #[test]
@@ -264,10 +352,12 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        // Truncation at *every* byte offset — and therefore at every field
-        // boundary (magic, organization tag, page count, per-page id, kind,
-        // length, payload) — must be rejected with the descriptive
-        // truncation error, never a bare EOF and never a partial table.
+        assert!(err.to_string().contains("SEPOHST2"), "{err}");
+        // Truncation at *every* byte offset must be rejected with a
+        // descriptive SEPOHST2 error — the truncation message for cuts
+        // inside the fixed header, the checksum error once enough bytes
+        // remain to carry a (now wrong) trailer — never a bare EOF and
+        // never a partial table.
         let t = build(20);
         let mut buf = Vec::new();
         t.save(&mut buf).unwrap();
@@ -277,8 +367,32 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix of {len}");
             let msg = err.to_string();
             assert!(
-                msg.contains("truncated SEPOHST1 image"),
+                msg.contains("truncated SEPOHST2 image")
+                    || msg.contains("SEPOHST2 image failed checksum verification"),
                 "prefix of {len}: unexpected message {msg:?}"
+            );
+        }
+    }
+
+    /// ISSUE satellite: a single flipped bit at *every* byte offset —
+    /// header, page records, payload bytes, even the checksum trailer
+    /// itself — must surface as a checksum error naming the section, never
+    /// a panic and never a silently wrong image.
+    #[test]
+    fn single_bit_flip_at_every_byte_is_rejected_with_checksum_error() {
+        let t = build(20);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        for at in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[at] ^= 1 << (at % 8);
+            let err = SepoTable::load(&mut bad.as_slice(), 4 * 1024, Arc::new(Metrics::new()))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at byte {at}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("SEPOHST2 image failed checksum verification"),
+                "flip at byte {at}: unexpected message {msg:?}"
             );
         }
     }

@@ -29,7 +29,9 @@ use gpu_sim::charge::Charge;
 use gpu_sim::executor::{Executor, LaneCtx, WarpScratch};
 use gpu_sim::metrics::{Metrics, Snapshot};
 use gpu_sim::spec::PcieSpec;
-use gpu_sim::{DeviceMemory, EvictionPipe, FaultPlan, HardFaultError, NoCharge, PcieBus};
+use gpu_sim::{
+    CorruptionKind, DeviceMemory, EvictionPipe, FaultPlan, HardFaultError, NoCharge, PcieBus,
+};
 use std::any::Any;
 use std::fmt;
 use std::io;
@@ -81,8 +83,23 @@ pub struct RecoveryStats {
     /// Checkpoints captured over the run (one per iteration boundary plus
     /// the pre-run baseline when checkpointing is on).
     pub checkpoints_taken: u32,
-    /// `SEPOCKP1` footprint of the latest checkpoint, in bytes.
+    /// `SEPOCKP2` footprint of the latest checkpoint, in bytes.
     pub checkpoint_bytes: u64,
+    /// In-flight eviction corruptions detected by the transfer checksum
+    /// and repaired by retransmitting the page.
+    pub retransmits: u64,
+    /// Resting-page corruptions detected by the boundary scrub (each one
+    /// was repaired by a checkpoint restore or failed the run loudly).
+    pub corruptions_detected: u64,
+    /// Resting-page corruptions repaired by restoring the last checkpoint.
+    pub integrity_restores: u32,
+    /// Checkpoint images that failed read-back verification (a disk byte
+    /// flipped in flight) and were rewritten until they verified.
+    pub checkpoint_rewrites: u32,
+    /// Host pages whose eviction stamp was re-verified clean by the
+    /// end-of-run scrub ([`DriverConfig::scrub`], forced on whenever the
+    /// fault plan draws corruption).
+    pub scrubbed_pages: u64,
 }
 
 /// Complete accounting for one SEPO run.
@@ -192,6 +209,41 @@ pub enum SepoError {
         /// The failed filesystem operation.
         source: io::Error,
     },
+    /// An eviction transfer failed checksum verification on every one of
+    /// its [`MAX_TRANSFER_RETRANSMITS`](crate::MAX_TRANSFER_RETRANSMITS)
+    /// retransmit attempts. The corruption draw behind the final attempt
+    /// is exposed through [`std::error::Error::source`].
+    CorruptTransfer {
+        /// 1-based iteration whose boundary eviction failed.
+        at_iteration: u32,
+        /// Host id of the page whose transfer kept failing verification.
+        host_id: u64,
+        /// The corruption draw that condemned the final attempt.
+        source: gpu_sim::CorruptionError,
+    },
+    /// Silent corruption of a resting page was detected by a checksum
+    /// scrub (at an iteration boundary, or end-of-run for host pages) and
+    /// could not be repaired: checkpointing was off, or the recovery
+    /// budget was already spent.
+    CorruptPage {
+        /// 1-based iteration at which the scrub detected the damage (one
+        /// past the last iteration for the end-of-run host scrub).
+        at_iteration: u32,
+        /// Host id of the damaged page.
+        host_id: u64,
+        /// Recoveries performed before the unrepairable detection.
+        recoveries: u32,
+    },
+    /// An iteration-boundary checkpoint image kept failing read-back
+    /// verification: a disk byte flipped in flight on every rewrite
+    /// attempt, so no trustworthy checkpoint exists. The underlying
+    /// [`io::Error`] is exposed through [`std::error::Error::source`].
+    CorruptCheckpoint {
+        /// Completed iterations at the failed checkpoint.
+        at_iteration: u32,
+        /// The exhausted-rewrites verification error.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for SepoError {
@@ -235,6 +287,34 @@ impl fmt::Display for SepoError {
                 f,
                 "checkpoint after iteration {at_iteration} failed: {source}"
             ),
+            SepoError::CorruptTransfer {
+                at_iteration,
+                host_id,
+                source,
+            } => write!(
+                f,
+                "eviction transfer of host page {host_id} at iteration \
+                 {at_iteration} failed checksum verification on every \
+                 retransmit: {source}"
+            ),
+            SepoError::CorruptPage {
+                at_iteration,
+                host_id,
+                recoveries,
+            } => write!(
+                f,
+                "silent corruption of page {host_id} detected at iteration \
+                 {at_iteration} ({recoveries} recoveries used) with no \
+                 checkpoint left to repair from"
+            ),
+            SepoError::CorruptCheckpoint {
+                at_iteration,
+                source,
+            } => write!(
+                f,
+                "checkpoint after iteration {at_iteration} failed \
+                 verification: {source}"
+            ),
         }
     }
 }
@@ -244,6 +324,8 @@ impl std::error::Error for SepoError {
         match self {
             SepoError::DeviceLost { source, .. } => Some(source),
             SepoError::CheckpointIo { source, .. } => Some(source),
+            SepoError::CorruptTransfer { source, .. } => Some(source),
+            SepoError::CorruptCheckpoint { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -319,6 +401,14 @@ pub struct DriverConfig {
     /// serving on or off. `None` (the default) skips publication; the
     /// CLI's `--serve` flag wires one in.
     pub serving: Option<Arc<EpochPublisher>>,
+    /// End-of-run integrity scrub: after `finalize()`, re-verify every
+    /// host-resident page against the CRC32C stamp it was evicted with,
+    /// failing the run with [`SepoError::CorruptPage`] on a mismatch.
+    /// Forced on whenever the executor's fault plan draws corruption
+    /// (there is something to detect); this flag additionally enables it
+    /// on corruption-free runs as a paranoia check. Off by default; the
+    /// CLI's `--scrub` flag turns it on.
+    pub scrub: bool,
 }
 
 impl Default for DriverConfig {
@@ -334,6 +424,7 @@ impl Default for DriverConfig {
             max_recoveries: 8,
             evict_overlap: false,
             serving: None,
+            scrub: false,
         }
     }
 }
@@ -393,20 +484,32 @@ impl<'a> SepoDriver<'a> {
         recovery: &mut RecoveryStats,
     ) -> Result<Checkpoint, SepoError> {
         let ckp = Checkpoint::capture(self.table, done, progress, iterations, fault_stalls, faults);
+        // Thread the corruption plan through so on-disk checkpoint writes
+        // draw seeded disk byte flips; the write path reads the image back,
+        // verifies its checksum trailer, and rewrites (bounded) until the
+        // landed bytes are trustworthy.
+        let corrupting = faults.filter(|p| p.has_corruption());
+        let typed = |source: io::Error| {
+            if source.kind() == io::ErrorKind::InvalidData {
+                SepoError::CorruptCheckpoint {
+                    at_iteration: ckp.iteration(),
+                    source,
+                }
+            } else {
+                SepoError::CheckpointIo {
+                    at_iteration: ckp.iteration(),
+                    source,
+                }
+            }
+        };
         match &self.config.checkpoint {
             CheckpointPolicy::Disk(path) => {
-                ckp.write_to_path(path)
-                    .map_err(|source| SepoError::CheckpointIo {
-                        at_iteration: ckp.iteration(),
-                        source,
-                    })?;
+                recovery.checkpoint_rewrites +=
+                    ckp.write_to_path_with(path, corrupting).map_err(typed)?;
             }
             CheckpointPolicy::SharedDisk(file, shard) => {
-                file.update(*shard, &ckp)
-                    .map_err(|source| SepoError::CheckpointIo {
-                        at_iteration: ckp.iteration(),
-                        source,
-                    })?;
+                recovery.checkpoint_rewrites +=
+                    file.update_with(*shard, &ckp, corrupting).map_err(typed)?;
             }
             _ => {}
         }
@@ -460,6 +563,45 @@ impl<'a> SepoDriver<'a> {
         // boundary (including the empty pre-run state, so a kill during
         // iteration 1 recovers too) and roll back to it when a launch dies.
         let faults = self.executor.faults().map(|p| p.as_ref());
+        // Integrity: install the fault plan on the table so eviction paths
+        // (wire_page, adopt_evicted) can draw in-flight corruption and
+        // verify stamps without signature changes. The guard detaches it on
+        // every exit path, success or typed failure.
+        struct PlanGuard<'t>(&'t SepoTable);
+        impl Drop for PlanGuard<'_> {
+            fn drop(&mut self) {
+                self.0.integrity().clear_plan();
+            }
+        }
+        let _plan_guard = self.executor.faults().map(|plan| {
+            self.table.integrity().install_plan(Arc::clone(plan));
+            PlanGuard(self.table)
+        });
+        let corrupt = faults.filter(|p| p.has_corruption());
+        let retransmits_baseline = self.table.integrity().retransmits();
+        // Resting-page integrity: CRC32C stamps of every resident device
+        // page with used bytes, taken at the last quiescent boundary. The
+        // next iteration's pre-launch scrub re-verifies them after seeded
+        // resting flips strike, so corruption never reaches a kernel.
+        let stamp_resting = |table: &SepoTable| -> Vec<(u32, u64, u32)> {
+            let heap = table.heap();
+            heap.resident_pages()
+                .into_iter()
+                .filter(|&p| heap.page_used(p) > 0)
+                .map(|p| {
+                    (
+                        p,
+                        heap.host_id(p),
+                        crate::integrity::crc32c(&heap.page_data(p)),
+                    )
+                })
+                .collect()
+        };
+        let mut resting: Vec<(u32, u64, u32)> = if corrupt.is_some() {
+            stamp_resting(self.table)
+        } else {
+            Vec::new()
+        };
         let mut recovery = RecoveryStats::default();
         let mut checkpoint: Option<Checkpoint> = None;
         if self.config.checkpoint.is_enabled() {
@@ -547,6 +689,56 @@ impl<'a> SepoDriver<'a> {
             }
             if let Some(sz) = &shadow {
                 sz.set_iteration(iter_no);
+            }
+            // Silent-corruption window: resident pages rested untouched
+            // since the last quiescent boundary. Draw seeded resting flips
+            // over them, then scrub every stamp before any kernel can
+            // consume damaged bytes — detected damage is repaired by
+            // restoring the boundary checkpoint (whose image is exactly
+            // the stamped bytes) or fails the run with a witness.
+            if let Some(plan) = corrupt {
+                let heap = self.table.heap();
+                for &(page, _, _) in &resting {
+                    if let Some(hit) = plan.draw_corruption(CorruptionKind::RestingPageFlip) {
+                        heap.corrupt_bit(page, hit.entropy);
+                    }
+                }
+                let mut witness: Option<u64> = None;
+                for &(page, host_id, crc) in &resting {
+                    if crate::integrity::crc32c(&heap.page_data(page)) != crc {
+                        recovery.corruptions_detected += 1;
+                        witness.get_or_insert(host_id);
+                    }
+                }
+                if let Some(host_id) = witness {
+                    let repairable = checkpoint.is_some()
+                        && recovery.integrity_restores < self.config.max_recoveries;
+                    if !repairable {
+                        return Err(SepoError::CorruptPage {
+                            at_iteration: iter_no,
+                            host_id,
+                            recoveries: recovery.integrity_restores,
+                        });
+                    }
+                    let Some(ckp) = checkpoint.as_ref() else {
+                        unreachable!("repairable implies a checkpoint");
+                    };
+                    ckp.restore(
+                        self.table,
+                        &done,
+                        &progress,
+                        &mut iterations,
+                        &mut fault_stalls,
+                        faults,
+                    );
+                    if let Some(sz) = &shadow {
+                        sz.device_reset();
+                    }
+                    recovery.integrity_restores += 1;
+                    resting = stamp_resting(self.table);
+                    pending = done.unset_indices().into_iter().map(|t| t as u32).collect();
+                    continue;
+                }
             }
             let before = self.table.metrics().snapshot();
             let mut input_bytes = 0u64;
@@ -648,6 +840,9 @@ impl<'a> SepoDriver<'a> {
                 }
                 recovery.recoveries += 1;
                 recovery.replayed_iterations += 1;
+                if corrupt.is_some() {
+                    resting = stamp_resting(self.table);
+                }
                 pending = done.unset_indices().into_iter().map(|t| t as u32).collect();
                 continue;
             }
@@ -675,6 +870,17 @@ impl<'a> SepoDriver<'a> {
                 (None, Some(p)) => self.table.end_iteration_piped(&mut NoCharge, p),
                 (None, None) => self.table.end_iteration(),
             };
+            // An eviction transfer that failed verification on every
+            // retransmit (or a damaged page caught at adoption) left a
+            // first-wins witness on the integrity state; surface it now,
+            // before anything downstream consumes the quarantined page.
+            if let Some(fail) = self.table.integrity().take_failure() {
+                return Err(SepoError::CorruptTransfer {
+                    at_iteration: iter_no,
+                    host_id: fail.host_id,
+                    source: fail.error,
+                });
+            }
             let after = self.table.metrics().snapshot();
             let next_pending: Vec<u32> = pending
                 .iter()
@@ -758,6 +964,13 @@ impl<'a> SepoDriver<'a> {
                     let adopted = p.quiesce();
                     self.table.adopt_evicted(adopted);
                 }
+                if let Some(fail) = self.table.integrity().take_failure() {
+                    return Err(SepoError::CorruptTransfer {
+                        at_iteration: iter_no,
+                        host_id: fail.host_id,
+                        source: fail.error,
+                    });
+                }
                 checkpoint = Some(self.take_checkpoint(
                     &done,
                     &progress,
@@ -766,6 +979,11 @@ impl<'a> SepoDriver<'a> {
                     faults,
                     &mut recovery,
                 )?);
+            }
+            // Re-stamp the surviving resident pages: this boundary is the
+            // start of the next resting window.
+            if corrupt.is_some() {
+                resting = stamp_resting(self.table);
             }
         }
 
@@ -796,6 +1014,32 @@ impl<'a> SepoDriver<'a> {
                 panic!("SEPO sanitizer failed at finalize: {}", sz.report());
             }
         }
+        // finalize() evicted the last resident pages; a transfer that
+        // exhausted its retransmits there must fail the run before anyone
+        // reads the (quarantined) result.
+        if let Some(fail) = self.table.integrity().take_failure() {
+            return Err(SepoError::CorruptTransfer {
+                at_iteration: iterations.len() as u32 + 1,
+                host_id: fail.host_id,
+                source: fail.error,
+            });
+        }
+        // End-of-run scrub: every page now lives in the host store; walk
+        // them all and re-verify the CRC32C stamp each carried out of the
+        // device. Always on under seeded corruption, opt-in otherwise.
+        if corrupt.is_some() || self.config.scrub {
+            for (host_id, _kind, data, crc) in self.table.host_heap().pages_with_crcs_in_order() {
+                if crate::integrity::crc32c(&data) != crc {
+                    return Err(SepoError::CorruptPage {
+                        at_iteration: iterations.len() as u32 + 1,
+                        host_id,
+                        recoveries: recovery.integrity_restores,
+                    });
+                }
+                recovery.scrubbed_pages += 1;
+            }
+        }
+        recovery.retransmits = self.table.integrity().retransmits() - retransmits_baseline;
         // Serving: the finalized epoch — everything is on the host now, so
         // snapshot reads resolve entirely through the incremental index.
         if let Some(publisher) = &self.config.serving {
@@ -1614,5 +1858,243 @@ mod tests {
         t1.save(&mut img1).unwrap();
         t2.save(&mut img2).unwrap();
         assert_eq!(img1, img2, "result images must be byte-identical");
+    }
+
+    fn corruption_plan(seed: u64, pcie: f64, resting: f64, disk: f64) -> Arc<FaultPlan> {
+        use gpu_sim::{CorruptionConfig, FaultConfig};
+        Arc::new(
+            FaultPlan::new(FaultConfig::quiet(seed)).with_corruption(CorruptionConfig {
+                seed,
+                pcie_bit_flip_rate: pcie,
+                resting_page_flip_rate: resting,
+                disk_byte_flip_rate: disk,
+            }),
+        )
+    }
+
+    /// Run the 30-key multivalued grouping workload with `plan` installed
+    /// and return (result of try_run, final image on success). Multivalued
+    /// keeps pending-key pages resident across boundaries (Basic/Combining
+    /// evict everything), so this is the workload where resting flips have
+    /// live device bytes to strike.
+    fn corrupted_run_mv(
+        plan: Option<Arc<FaultPlan>>,
+        config: DriverConfig,
+    ) -> (Result<SepoOutcome, SepoError>, Vec<u8>) {
+        let t = small_table(Organization::MultiValued, 6);
+        let mut e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        if let Some(plan) = plan {
+            e = e.with_faults(plan);
+        }
+        let records: Vec<(String, String)> = (0..240)
+            .map(|i| (format!("key-{:02}", i % 30), format!("value-{i:04}-pad")))
+            .collect();
+        let res = SepoDriver::new(&t, &e).with_config(config).try_run(
+            records.len(),
+            |_| 24,
+            |task, _start, lane| {
+                let (k, v) = &records[task];
+                match t.insert_multivalued(k.as_bytes(), v.as_bytes(), lane) {
+                    crate::table::InsertStatus::Success => TaskResult::Done,
+                    crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+                }
+            },
+        );
+        let mut img = Vec::new();
+        if res.is_ok() {
+            t.save(&mut img).unwrap();
+        }
+        (res, img)
+    }
+
+    /// Run the 400-key combining workload with `plan` installed and
+    /// return (result of try_run, final image on success).
+    fn corrupted_run(
+        plan: Option<Arc<FaultPlan>>,
+        config: DriverConfig,
+    ) -> (Result<SepoOutcome, SepoError>, Vec<u8>) {
+        let t = small_table(Organization::Combining(Combiner::Add), 4);
+        let mut e = Executor::new(ExecMode::Deterministic, Arc::clone(t.metrics()))
+            .with_shadow(Arc::new(gpu_sim::ShadowSanitizer::new()));
+        if let Some(plan) = plan {
+            e = e.with_faults(plan);
+        }
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i:05}")).collect();
+        let res = SepoDriver::new(&t, &e).with_config(config).try_run(
+            keys.len(),
+            |_| 16,
+            |task, _start, lane| match t.insert_combining(keys[task].as_bytes(), 1, lane) {
+                crate::table::InsertStatus::Success => TaskResult::Done,
+                crate::table::InsertStatus::Postponed => TaskResult::Postponed { next_pair: 0 },
+            },
+        );
+        let mut img = Vec::new();
+        if res.is_ok() {
+            t.save(&mut img).unwrap();
+        }
+        (res, img)
+    }
+
+    #[test]
+    fn seeded_corruption_recovers_byte_identical_to_a_clean_run() {
+        let (clean, clean_img) = corrupted_run(None, audited());
+        let clean = clean.unwrap();
+        let plan = corruption_plan(0xC0DE, 0.05, 0.02, 0.0);
+        let (dirty, dirty_img) = corrupted_run(
+            Some(Arc::clone(&plan)),
+            DriverConfig {
+                checkpoint: CheckpointPolicy::Memory,
+                max_recoveries: 10_000,
+                ..audited()
+            },
+        );
+        let dirty = dirty.unwrap();
+        assert!(
+            plan.total_corruption_injected() > 0,
+            "the seed must inject at least one flip for this test to bite"
+        );
+        assert!(
+            dirty.recovery.retransmits + u64::from(dirty.recovery.integrity_restores) > 0,
+            "at least one injected flip must have needed repair: {:?}",
+            dirty.recovery
+        );
+        assert!(
+            dirty.recovery.scrubbed_pages > 0,
+            "the end-of-run scrub walks every host page"
+        );
+        assert_eq!(
+            clean.iterations, dirty.iterations,
+            "repaired corruption must not change the iteration trajectory"
+        );
+        assert_eq!(clean.final_evict, dirty.final_evict);
+        assert_eq!(clean_img, dirty_img, "result images must be byte-identical");
+    }
+
+    #[test]
+    fn resting_flips_are_repaired_from_the_boundary_checkpoint() {
+        let (clean, clean_img) = corrupted_run_mv(None, audited());
+        let clean = clean.unwrap();
+        let plan = corruption_plan(3, 0.0, 0.25, 0.0);
+        let (dirty, dirty_img) = corrupted_run_mv(
+            Some(Arc::clone(&plan)),
+            DriverConfig {
+                checkpoint: CheckpointPolicy::Memory,
+                max_recoveries: 10_000,
+                ..audited()
+            },
+        );
+        let dirty = dirty.unwrap();
+        assert!(
+            plan.corruption_injected(gpu_sim::CorruptionKind::RestingPageFlip) > 0,
+            "kept multivalued pages must give resting flips a target"
+        );
+        assert!(dirty.recovery.corruptions_detected > 0);
+        assert_eq!(
+            u64::from(dirty.recovery.integrity_restores),
+            dirty.recovery.corruptions_detected,
+            "every detected resting flip is repaired by a checkpoint restore"
+        );
+        assert_eq!(clean.iterations, dirty.iterations);
+        assert_eq!(clean_img, dirty_img, "repair must be byte-exact");
+    }
+
+    #[test]
+    fn resting_corruption_without_checkpointing_fails_loudly_with_a_witness() {
+        // Certain resting flips, no checkpoint: the boundary scrub detects
+        // the damage and has nothing to repair from — the run must fail
+        // with the page and iteration, never complete divergent.
+        let plan = corruption_plan(7, 0.0, 1.0, 0.0);
+        let (res, _) = corrupted_run_mv(Some(plan), audited());
+        let err = res.expect_err("undetected corruption would be silent wrongness");
+        let SepoError::CorruptPage {
+            at_iteration,
+            host_id,
+            recoveries,
+        } = err
+        else {
+            panic!("expected CorruptPage, got {err}");
+        };
+        assert!(at_iteration >= 1);
+        assert_eq!(recoveries, 0);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("page {host_id}"))
+                && msg.contains(&format!("iteration {at_iteration}")),
+            "witness missing from: {msg}"
+        );
+    }
+
+    #[test]
+    fn exhausted_retransmits_surface_corrupt_transfer_with_source() {
+        // Certain in-flight flips: every retransmit of the first evicted
+        // page fails verification too, so the bounded retry gives up and
+        // the driver reports the transfer witness.
+        let plan = corruption_plan(11, 1.0, 0.0, 0.0);
+        let (res, _) = corrupted_run(Some(plan), audited());
+        let err = res.expect_err("a never-clean transfer cannot succeed");
+        let SepoError::CorruptTransfer {
+            at_iteration,
+            host_id,
+            ..
+        } = &err
+        else {
+            panic!("expected CorruptTransfer, got {err}");
+        };
+        assert!(*at_iteration >= 1);
+        assert!(err.to_string().contains(&format!("host page {host_id}")));
+        let source = std::error::Error::source(&err).expect("chains the corruption draw");
+        assert!(
+            source.to_string().contains("corruption draw"),
+            "unexpected source: {source}"
+        );
+    }
+
+    #[test]
+    fn disk_flips_on_checkpoints_are_caught_and_rewritten() {
+        let dir = std::env::temp_dir().join(format!("sepo-ckp-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckp");
+        let (clean, clean_img) = corrupted_run(None, audited());
+        let plan = corruption_plan(5, 0.0, 0.0, 0.4);
+        let (dirty, dirty_img) = corrupted_run(
+            Some(Arc::clone(&plan)),
+            DriverConfig {
+                checkpoint: CheckpointPolicy::Disk(path.clone()),
+                ..audited()
+            },
+        );
+        let dirty = dirty.unwrap();
+        assert!(
+            dirty.recovery.checkpoint_rewrites > 0,
+            "a 0.4 disk-flip rate over every boundary must strike at least once"
+        );
+        assert_eq!(
+            u64::from(dirty.recovery.checkpoint_rewrites),
+            plan.corruption_injected(gpu_sim::CorruptionKind::DiskByteFlip),
+            "every injected disk flip must be caught by read-back verification"
+        );
+        // The landed checkpoint is trustworthy despite the flips.
+        assert!(crate::checkpoint::Checkpoint::read_from_path(&path).is_ok());
+        assert_eq!(clean.unwrap().iterations, dirty.iterations);
+        assert_eq!(clean_img, dirty_img);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_flag_verifies_host_pages_on_clean_runs() {
+        let (res, _) = corrupted_run(
+            None,
+            DriverConfig {
+                scrub: true,
+                ..audited()
+            },
+        );
+        let outcome = res.unwrap();
+        assert!(
+            outcome.recovery.scrubbed_pages > 0,
+            "the opt-in scrub must walk the finalized host pages"
+        );
+        assert_eq!(outcome.recovery.corruptions_detected, 0);
     }
 }

@@ -63,6 +63,15 @@ pub enum QueryError {
     },
     /// The query batch exceeds what the path can address.
     BatchTooLarge { len: usize, max: usize },
+    /// A host-resident page failed checksum verification when a query
+    /// path tried to read it (silent corruption caught at the read).
+    CorruptPage {
+        /// The serving epoch that hit the page; `None` for offline paths
+        /// ([`crate::HostIndex`] builds, lookup-phase reads).
+        epoch: Option<u32>,
+        /// Host id of the page whose bytes no longer match their stamp.
+        host_id: u64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -78,11 +87,39 @@ impl fmt::Display for QueryError {
             QueryError::BatchTooLarge { len, max } => {
                 write!(f, "query batch of {len} exceeds the maximum of {max}")
             }
+            QueryError::CorruptPage {
+                epoch: Some(e),
+                host_id,
+            } => {
+                write!(
+                    f,
+                    "epoch {e}: host page {host_id} failed checksum verification"
+                )
+            }
+            QueryError::CorruptPage {
+                epoch: None,
+                host_id,
+            } => write!(f, "host page {host_id} failed checksum verification"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl QueryError {
+    /// Stamp a serving epoch onto a [`QueryError::CorruptPage`] raised by
+    /// the shared host-store internals (which do not know which epoch is
+    /// reading).
+    pub(crate) fn at_epoch(self, epoch: u32) -> QueryError {
+        match self {
+            QueryError::CorruptPage { host_id, .. } => QueryError::CorruptPage {
+                epoch: Some(epoch),
+                host_id,
+            },
+            other => other,
+        }
+    }
+}
 
 /// Guard a batch length against a path's addressing capacity.
 pub(crate) fn ensure_batch_fits(len: usize, max: usize) -> Result<(), QueryError> {
@@ -371,6 +408,7 @@ impl EpochSnapshot {
             }
         };
         ensure_batch_fits(queries.len(), self.max_batch)?;
+        self.ensure_host_intact()?;
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -392,20 +430,18 @@ impl EpochSnapshot {
         });
         self.charge_download(executor, unique.len() as u64 * 8);
         let mut host_bytes = 0u64;
-        let merged: Vec<Option<u64>> = unique
-            .iter()
-            .zip(&words)
-            .map(|(key, &word)| {
-                let dev = (word & PROBE_FOUND != 0).then_some(word & PROBE_VALUE_MASK);
-                let host = self
-                    .host
-                    .combined_under(key, self.watermark, comb, &mut host_bytes);
-                match (dev, host) {
-                    (Some(d), Some(h)) => Some(comb.apply(d, h)),
-                    (d, h) => d.or(h),
-                }
-            })
-            .collect();
+        let mut merged: Vec<Option<u64>> = Vec::with_capacity(unique.len());
+        for (key, &word) in unique.iter().zip(&words) {
+            let dev = (word & PROBE_FOUND != 0).then_some(word & PROBE_VALUE_MASK);
+            let host = self
+                .host
+                .combined_under(key, self.watermark, comb, &mut host_bytes)
+                .map_err(|e| e.at_epoch(self.iteration))?;
+            merged.push(match (dev, host) {
+                (Some(d), Some(h)) => Some(comb.apply(d, h)),
+                (d, h) => d.or(h),
+            });
+        }
         self.charge_host_reads(executor, host_bytes);
         Ok(slot_of.into_iter().map(|u| merged[u]).collect())
     }
@@ -427,6 +463,7 @@ impl EpochSnapshot {
             });
         }
         ensure_batch_fits(queries.len(), self.max_batch)?;
+        self.ensure_host_intact()?;
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -443,26 +480,26 @@ impl EpochSnapshot {
         });
         let mut host_bytes = 0u64;
         let mut down_bytes = 0u64;
-        let merged: Vec<Option<Vec<Vec<u8>>>> = unique
-            .iter()
-            .zip(&resident)
-            .map(|(key, slot)| {
-                let probed = slot.lock().take();
-                let host_tail = self
-                    .host
-                    .grouped_under(key, self.watermark, &mut host_bytes);
-                let (mut values, cont) = match probed {
-                    Some((v, c)) => (v, c),
-                    // Not resident: the whole group (if any) lives on the
-                    // host side.
-                    None => (Vec::new(), HostLink::NULL),
-                };
-                self.host.extend_chain(cont, &mut values, &mut host_bytes);
-                values.extend(host_tail);
-                down_bytes += values.iter().map(|v| v.len() as u64 + 8).sum::<u64>();
-                (!values.is_empty()).then_some(values)
-            })
-            .collect();
+        let mut merged: Vec<Option<Vec<Vec<u8>>>> = Vec::with_capacity(unique.len());
+        for (key, slot) in unique.iter().zip(&resident) {
+            let probed = slot.lock().take();
+            let host_tail = self
+                .host
+                .grouped_under(key, self.watermark, &mut host_bytes)
+                .map_err(|e| e.at_epoch(self.iteration))?;
+            let (mut values, cont) = match probed {
+                Some((v, c)) => (v, c),
+                // Not resident: the whole group (if any) lives on the
+                // host side.
+                None => (Vec::new(), HostLink::NULL),
+            };
+            self.host
+                .extend_chain(cont, &mut values, &mut host_bytes)
+                .map_err(|e| e.at_epoch(self.iteration))?;
+            values.extend(host_tail);
+            down_bytes += values.iter().map(|v| v.len() as u64 + 8).sum::<u64>();
+            merged.push((!values.is_empty()).then_some(values));
+        }
         self.charge_download(executor, down_bytes.max(unique.len() as u64 * 8));
         self.charge_host_reads(executor, host_bytes);
         Ok(slot_of.into_iter().map(|u| merged[u].clone()).collect())
@@ -516,6 +553,19 @@ impl EpochSnapshot {
         keys
     }
 
+    /// Fail the batch typed when this epoch's watermark covers a host
+    /// page that was quarantined at absorption: the page's entries are
+    /// invisible to the index, so any answer could silently miss data.
+    fn ensure_host_intact(&self) -> Result<(), QueryError> {
+        match self.host.corrupt_under(self.watermark) {
+            Some(host_id) => Err(QueryError::CorruptPage {
+                epoch: Some(self.iteration),
+                host_id,
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// One bulk PCIe upload for the deduplicated key batch, charged on the
     /// serving executor's metrics (never the driver's).
     fn charge_upload(&self, executor: &Executor, unique: &[&[u8]]) {
@@ -563,6 +613,12 @@ struct HostStoreInner {
     /// Own `Arc` clones of absorbed page images: an epoch's host reads are
     /// isolated from anything the live host heap does afterwards.
     pages: HashMap<u64, Arc<[u8]>>,
+    /// Pages whose bytes failed checksum verification at absorption,
+    /// with the sequence number they consumed. They are never indexed;
+    /// any epoch whose watermark covers one fails its batches with
+    /// [`QueryError::CorruptPage`] instead of silently dropping the
+    /// page's entries from answers.
+    corrupt: HashMap<u64, u64>,
 }
 
 impl HostStoreInner {
@@ -617,9 +673,18 @@ impl HostStore {
             _ => PageKind::Mixed,
         };
         let mut inner = self.inner.write();
-        // lint: serve-ok (epoch-guard internals: boundary absorption into the incremental index)
-        for (host_id, pk, data) in table.host_heap().pages_in_order() {
+        for (host_id, pk, data, crc) in table.host_heap().pages_with_crcs_in_order() {
             if !inner.seen.insert(host_id) {
+                continue;
+            }
+            if crate::integrity::crc32c(&data) != crc {
+                // The page's bytes no longer match the stamp they were
+                // evicted with: quarantine rather than index damaged
+                // data. It still consumes a sequence number, so epochs
+                // published *before* this boundary stay readable.
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.corrupt.insert(host_id, seq);
                 continue;
             }
             inner.pages.insert(host_id, Arc::clone(&data));
@@ -649,56 +714,76 @@ impl HostStore {
     }
 
     /// Combined host partial for `key` below `watermark` (combining
-    /// tables). `bytes` accumulates simulated CPU-side read traffic.
+    /// tables). `bytes` accumulates simulated CPU-side read traffic. A
+    /// link that lands on a quarantined (or vanished) page surfaces a
+    /// typed [`QueryError::CorruptPage`], never a panic.
     fn combined_under(
         &self,
         key: &[u8],
         watermark: u64,
         comb: Combiner,
         bytes: &mut u64,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, QueryError> {
         let inner = self.inner.read();
-        let refs = inner.entries.get(key)?;
+        let Some(refs) = inner.entries.get(key) else {
+            return Ok(None);
+        };
         let mut acc: Option<u64> = None;
         for r in refs.iter().filter(|r| r.seq < watermark) {
             let v = inner
                 .read_u64(r.link, combining::VALUE)
-                .expect("indexed host link must resolve");
+                .ok_or(QueryError::CorruptPage {
+                    epoch: None,
+                    host_id: r.link.host_page(),
+                })?;
             *bytes += 8;
             acc = Some(match acc {
                 None => v,
                 Some(a) => comb.apply(a, v),
             });
         }
-        acc
+        Ok(acc)
     }
 
     /// Values of every host-indexed key entry for `key` below `watermark`
     /// (multi-valued tables): each evicted key entry contributes its
     /// host-linked continuation chain, newest eviction first.
-    fn grouped_under(&self, key: &[u8], watermark: u64, bytes: &mut u64) -> Vec<Vec<u8>> {
+    fn grouped_under(
+        &self,
+        key: &[u8],
+        watermark: u64,
+        bytes: &mut u64,
+    ) -> Result<Vec<Vec<u8>>, QueryError> {
         let inner = self.inner.read();
         let Some(refs) = inner.entries.get(key) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let mut values = Vec::new();
         for r in refs.iter().rev().filter(|r| r.seq < watermark) {
-            let cont = inner
-                .read_u64(r.link, key_entry::VALUE_HOST_CONT)
-                .expect("indexed host link must resolve");
+            let cont = inner.read_u64(r.link, key_entry::VALUE_HOST_CONT).ok_or(
+                QueryError::CorruptPage {
+                    epoch: None,
+                    host_id: r.link.host_page(),
+                },
+            )?;
             *bytes += 8;
-            Self::walk_chain(&inner, HostLink::from_raw(cont), &mut values, bytes);
+            Self::walk_chain(&inner, HostLink::from_raw(cont), &mut values, bytes)?;
         }
-        values
+        Ok(values)
     }
 
     /// Append the host-linked value chain starting at `link` to `out`.
     /// Pages a visible entry's chain references were evicted at the same
     /// boundary or earlier, so they are always absorbed by the time any
     /// epoch can see the entry.
-    fn extend_chain(&self, link: HostLink, out: &mut Vec<Vec<u8>>, bytes: &mut u64) {
+    fn extend_chain(
+        &self,
+        link: HostLink,
+        out: &mut Vec<Vec<u8>>,
+        bytes: &mut u64,
+    ) -> Result<(), QueryError> {
         let inner = self.inner.read();
-        Self::walk_chain(&inner, link, out, bytes);
+        Self::walk_chain(&inner, link, out, bytes)
     }
 
     fn walk_chain(
@@ -706,9 +791,18 @@ impl HostStore {
         mut link: HostLink,
         out: &mut Vec<Vec<u8>>,
         bytes: &mut u64,
-    ) {
+    ) -> Result<(), QueryError> {
         while !link.is_null() {
-            let Some(page) = inner.pages.get(&link.host_page()) else {
+            let host_id = link.host_page();
+            if inner.corrupt.contains_key(&host_id) {
+                // The chain crosses into a quarantined page: fail typed
+                // rather than silently truncate the group.
+                return Err(QueryError::CorruptPage {
+                    epoch: None,
+                    host_id,
+                });
+            }
+            let Some(page) = inner.pages.get(&host_id) else {
                 break;
             };
             let Some((entry, _)) = entry::parse_at(page, link.offset() as usize, EntryKind::Value)
@@ -722,6 +816,21 @@ impl HostStore {
             out.push(value.to_vec());
             link = HostLink::from_raw(next_host);
         }
+        Ok(())
+    }
+
+    /// The lowest-id corrupt page an epoch with `watermark` can see, if
+    /// any. Batches against such an epoch fail typed: the quarantined
+    /// page's entries are unrecoverable from the serving side, so any
+    /// answer could silently miss data.
+    fn corrupt_under(&self, watermark: u64) -> Option<u64> {
+        let inner = self.inner.read();
+        inner
+            .corrupt
+            .iter()
+            .filter(|(_, &seq)| seq < watermark)
+            .map(|(&id, _)| id)
+            .min()
     }
 
     /// Keys with at least one entry below `watermark`.
@@ -1031,6 +1140,42 @@ mod tests {
         for (k, a) in keys.iter().zip(&ans) {
             assert_eq!(*a, truth.get(k).copied());
         }
+    }
+
+    #[test]
+    fn corrupt_host_pages_fail_batches_typed_with_epoch_and_page_id() {
+        let publisher = Arc::new(EpochPublisher::default());
+        let n = 100;
+        let t = run_combining_with_serving(n, 4, &publisher);
+        let good = publisher.current().expect("final epoch");
+        let exec = serving_exec();
+        let keys: Vec<Vec<u8>> = (0..n).map(key).collect();
+        let q: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        assert!(good.batch_get(&exec, &q).is_ok());
+        // A silently corrupted page lands in the host heap under a fresh
+        // id: its bytes no longer match its eviction-time stamp.
+        let wrong_stamp = crate::integrity::crc32c(b"damaged-bytes") ^ 1;
+        t.host_heap().store(
+            9_999,
+            PageKind::Mixed,
+            b"damaged-bytes".to_vec(),
+            wrong_stamp,
+        );
+        publisher.publish_boundary(&t, 99, false);
+        let bad = publisher.current().unwrap();
+        let err = bad.batch_get(&exec, &q).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::CorruptPage {
+                epoch: Some(99),
+                host_id: 9_999
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("epoch 99") && msg.contains("9999"), "{msg}");
+        // Epochs published before the corruption still answer: their
+        // watermark does not cover the quarantined page.
+        assert!(good.batch_get(&exec, &q).is_ok());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::config::{Combiner, Organization, TableConfig};
 use crate::entry::{self, basic, combining, key_entry, value_node};
 use crate::hash::{bucket_for, bucket_of, fnv1a};
+use crate::integrity::IntegrityState;
 use gpu_sim::charge::Charge;
 use gpu_sim::metrics::{ContentionHistogram, Metrics};
 use gpu_sim::shadow::{AccessKind, ShadowAddr};
@@ -49,6 +50,9 @@ pub struct SepoTable {
     /// Per-bucket insert-touch counters feeding the contention model.
     touches: Box<[AtomicU32]>,
     pub(crate) host: HostHeap,
+    /// Integrity layer: checksum counters, the installed corruption plan,
+    /// and the unrecovered-transfer witness slot.
+    pub(crate) integrity: IntegrityState,
     metrics: Arc<Metrics>,
 }
 
@@ -89,6 +93,7 @@ impl SepoTable {
             heads,
             touches,
             host: HostHeap::new(),
+            integrity: IntegrityState::default(),
             metrics,
         }
     }
@@ -106,6 +111,11 @@ impl SepoTable {
     /// The CPU-side store of evicted pages.
     pub fn host_heap(&self) -> &HostHeap {
         &self.host
+    }
+
+    /// The integrity layer (checksum counters, corruption-plan slot).
+    pub fn integrity(&self) -> &IntegrityState {
+        &self.integrity
     }
 
     /// The metrics sink.
@@ -127,10 +137,12 @@ impl SepoTable {
     /// Adopt a restored host image: copy its pages into this table's host
     /// heap and advance the device heap's host-id sequence past them.
     pub(crate) fn adopt_host_heap(&self, host: HostHeap, next_host_id: u64) {
-        for (id, kind, data) in host.pages_in_order() {
+        for (id, kind, data, crc) in host.pages_with_crcs_in_order() {
             // The restored image's pages are already shared buffers; adopt
-            // them as-is instead of cloning every page.
-            self.host.store(id, kind, data);
+            // them as-is instead of cloning every page. Stamps travel with
+            // the pages so later reads re-verify against the original
+            // eviction-time checksum.
+            self.host.store(id, kind, data, crc);
         }
         self.heap.advance_host_ids(next_host_id);
     }

@@ -73,6 +73,145 @@ pub enum HardFaultKind {
 
 const N_HARD_KINDS: usize = 2;
 
+/// A *silent* corruption kind: unlike both the transient [`FaultSite`]s and
+/// the [`HardFaultKind`]s, these do not announce themselves — they flip bits
+/// in data at rest or in flight and it is the integrity layer's job
+/// (CRC32C stamps in `sepo_core`) to notice before the damage propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A bit flips in an evicted page while it crosses the PCIe bus
+    /// (in-flight transfer corruption, including the eviction pipe's
+    /// ledgered transfers).
+    PcieBitFlip,
+    /// A bit flips in a device-resident page between kernel launches
+    /// (cosmic ray / weak cell in simulated device DRAM).
+    RestingPageFlip,
+    /// A byte is damaged in a checkpoint or host-image file on its way
+    /// to or from disk.
+    DiskByteFlip,
+}
+
+const N_CORRUPTION_KINDS: usize = 3;
+
+impl CorruptionKind {
+    /// All kinds in draw order.
+    pub const ALL: [CorruptionKind; N_CORRUPTION_KINDS] = [
+        CorruptionKind::PcieBitFlip,
+        CorruptionKind::RestingPageFlip,
+        CorruptionKind::DiskByteFlip,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CorruptionKind::PcieBitFlip => 0,
+            CorruptionKind::RestingPageFlip => 1,
+            CorruptionKind::DiskByteFlip => 2,
+        }
+    }
+
+    /// Per-kind salt; distinct from every transient-site and hard-kind salt
+    /// so corruption streams never correlate with fault streams.
+    fn salt(self) -> u64 {
+        match self {
+            CorruptionKind::PcieBitFlip => 0xBADF_00D0_0000_0006,
+            CorruptionKind::RestingPageFlip => 0x0E57_F11A_0000_0007,
+            CorruptionKind::DiskByteFlip => 0xD15C_B17E_0000_0008,
+        }
+    }
+
+    /// Human-readable name used in error messages and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionKind::PcieBitFlip => "pcie bit flip",
+            CorruptionKind::RestingPageFlip => "resting page flip",
+            CorruptionKind::DiskByteFlip => "disk byte flip",
+        }
+    }
+}
+
+/// One corruption decision that hit: which kind, the per-kind draw index
+/// (correlates a failure with a seed when reproducing), and an entropy word
+/// derived from the draw hash that injection sites use to pick *which* bit
+/// or byte to flip — so the damaged offset is as reproducible as the
+/// decision to damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionDraw {
+    /// Which corruption kind struck.
+    pub kind: CorruptionKind,
+    /// The 0-based draw index (for this kind) that hit.
+    pub draw: u64,
+    /// Deterministic entropy for choosing the flipped bit/byte offset.
+    pub entropy: u64,
+}
+
+/// The error value an *unrecovered* corruption surfaces as (the witness
+/// carried in `SepoError::Corrupt*` chains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionError {
+    /// Which corruption kind struck.
+    pub kind: CorruptionKind,
+    /// The 0-based draw index (for this kind) that hit.
+    pub draw: u64,
+}
+
+impl std::fmt::Display for CorruptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (corruption draw #{})", self.kind.label(), self.draw)
+    }
+}
+
+impl std::error::Error for CorruptionError {}
+
+/// Per-kind silent-corruption rates in `[0.0, 1.0]`, plus their own seed.
+/// Kept separate from [`FaultConfig`] and [`HardFaultConfig`] so existing
+/// plans are untouched: a corruption-free comparison run simply never
+/// attaches a corruption config, and its transient/hard draw streams stay
+/// byte-identical to a corrupting run's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Seed for the corruption draw streams (independent of the transient
+    /// and hard seeds).
+    pub seed: u64,
+    /// Probability that an evicted page is damaged in flight on the bus.
+    pub pcie_bit_flip_rate: f64,
+    /// Per-page, per-iteration probability that a resident page is damaged
+    /// between launches.
+    pub resting_page_flip_rate: f64,
+    /// Probability that a checkpoint/host-image write is damaged on disk.
+    pub disk_byte_flip_rate: f64,
+}
+
+impl CorruptionConfig {
+    /// Every rate zero (a base to tweak).
+    pub fn quiet(seed: u64) -> Self {
+        CorruptionConfig {
+            seed,
+            pcie_bit_flip_rate: 0.0,
+            resting_page_flip_rate: 0.0,
+            disk_byte_flip_rate: 0.0,
+        }
+    }
+
+    /// The silent-corruption mix used by `--corrupt <seed>`: rates high
+    /// enough that multi-iteration runs see detections on every path.
+    pub fn standard(seed: u64) -> Self {
+        CorruptionConfig {
+            seed,
+            pcie_bit_flip_rate: 0.05,
+            resting_page_flip_rate: 0.01,
+            disk_byte_flip_rate: 0.05,
+        }
+    }
+
+    fn rate(&self, kind: CorruptionKind) -> f64 {
+        match kind {
+            CorruptionKind::PcieBitFlip => self.pcie_bit_flip_rate,
+            CorruptionKind::RestingPageFlip => self.resting_page_flip_rate,
+            CorruptionKind::DiskByteFlip => self.disk_byte_flip_rate,
+        }
+    }
+}
+
 impl HardFaultKind {
     fn index(self) -> usize {
         match self {
@@ -182,6 +321,16 @@ struct HardFaults {
     injected: [AtomicU64; N_HARD_KINDS],
 }
 
+/// Silent-corruption state attached to a [`FaultPlan`] via
+/// [`FaultPlan::with_corruption`].
+#[derive(Debug)]
+struct Corruptions {
+    config: CorruptionConfig,
+    thresholds: [u64; N_CORRUPTION_KINDS],
+    draws: [AtomicU64; N_CORRUPTION_KINDS],
+    injected: [AtomicU64; N_CORRUPTION_KINDS],
+}
+
 /// Point-in-time copy of the three *transient* sites' draw/injection
 /// counters, captured into iteration-boundary checkpoints so a resumed run
 /// replays the exact same transient fault decisions as an unkilled run.
@@ -262,6 +411,9 @@ pub struct FaultPlan {
     /// Hard (non-retryable) fault streams; absent unless
     /// [`FaultPlan::with_hard`] attached them.
     hard: Option<HardFaults>,
+    /// Silent-corruption streams; absent unless
+    /// [`FaultPlan::with_corruption`] attached them.
+    corruption: Option<Corruptions>,
 }
 
 impl FaultPlan {
@@ -274,6 +426,7 @@ impl FaultPlan {
             draws: Default::default(),
             injected: Default::default(),
             hard: None,
+            corruption: None,
         }
     }
 
@@ -284,6 +437,22 @@ impl FaultPlan {
         let thresholds = [HardFaultKind::DeviceLost, HardFaultKind::PoisonedLaunch]
             .map(|k| threshold_for(config.rate(k)));
         self.hard = Some(HardFaults {
+            config,
+            thresholds,
+            draws: Default::default(),
+            injected: Default::default(),
+        });
+        self
+    }
+
+    /// Attach silent-corruption streams (in-flight bit flips, resting-page
+    /// flips, disk byte flips) to this plan. Corruption draws once per
+    /// *opportunity* (one per transfer attempt, one per resident page per
+    /// iteration, one per disk write) at quiescent points, so the draw
+    /// order is deterministic under `ParallelDeterministic`.
+    pub fn with_corruption(mut self, config: CorruptionConfig) -> Self {
+        let thresholds = CorruptionKind::ALL.map(|k| threshold_for(config.rate(k)));
+        self.corruption = Some(Corruptions {
             config,
             thresholds,
             draws: Default::default(),
@@ -354,6 +523,70 @@ impl FaultPlan {
     pub fn total_hard_injected(&self) -> u64 {
         self.hard.as_ref().map_or(0, |h| {
             h.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    /// The silent-corruption configuration, when attached.
+    pub fn corruption_config(&self) -> Option<&CorruptionConfig> {
+        self.corruption.as_ref().map(|c| &c.config)
+    }
+
+    /// Whether any silent-corruption stream is attached with a nonzero
+    /// rate. Gates every injection/stamp/scrub code path so corruption-off
+    /// runs pay nothing and stay byte-identical.
+    pub fn has_corruption(&self) -> bool {
+        self.corruption
+            .as_ref()
+            .is_some_and(|c| c.thresholds.iter().any(|&t| t != 0))
+    }
+
+    /// Draw the next corruption decision for `kind`: `Some` means "flip a
+    /// bit/byte here", with deterministic entropy for choosing the offset.
+    /// Like hard faults, corruption counters are never rolled back by
+    /// checkpoint recovery — a replayed iteration draws the *next*
+    /// decision and therefore cannot deterministically re-corrupt itself.
+    pub fn draw_corruption(&self, kind: CorruptionKind) -> Option<CorruptionDraw> {
+        let c = self.corruption.as_ref()?;
+        let i = kind.index();
+        if c.thresholds[i] == 0 {
+            return None; // rate 0: don't burn a counter increment
+        }
+        let n = c.draws[i].fetch_add(1, Ordering::Relaxed);
+        let hash = splitmix64(c.config.seed ^ kind.salt() ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        if hash < c.thresholds[i] {
+            c.injected[i].fetch_add(1, Ordering::Relaxed);
+            Some(CorruptionDraw {
+                kind,
+                draw: n,
+                // Re-finalize the hit hash so the offset entropy is
+                // decorrelated from the threshold comparison.
+                entropy: splitmix64(hash),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Corruption decisions drawn so far for `kind` (0 when no corruption
+    /// config is attached).
+    pub fn corruption_draws(&self, kind: CorruptionKind) -> u64 {
+        self.corruption
+            .as_ref()
+            .map_or(0, |c| c.draws[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Corruptions injected so far for `kind` (0 when no corruption config
+    /// is attached).
+    pub fn corruption_injected(&self, kind: CorruptionKind) -> u64 {
+        self.corruption
+            .as_ref()
+            .map_or(0, |c| c.injected[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total corruptions injected across all kinds.
+    pub fn total_corruption_injected(&self) -> u64 {
+        self.corruption.as_ref().map_or(0, |c| {
+            c.injected.iter().map(|n| n.load(Ordering::Relaxed)).sum()
         })
     }
 
@@ -596,6 +829,135 @@ mod tests {
         p.restore_transient(&snap);
         // The next hard draw advances — recovery cannot re-draw the kill.
         assert_eq!(p.draw_hard().expect("still rate 1.0").draw, 1);
+    }
+
+    #[test]
+    fn plans_without_corruption_config_never_draw_corruption() {
+        let p = FaultPlan::new(FaultConfig::standard(3));
+        assert!(!p.has_corruption());
+        for kind in CorruptionKind::ALL {
+            for _ in 0..1_000 {
+                assert!(p.draw_corruption(kind).is_none());
+            }
+            assert_eq!(p.corruption_draws(kind), 0);
+        }
+        assert_eq!(p.total_corruption_injected(), 0);
+    }
+
+    #[test]
+    fn quiet_corruption_rates_burn_no_draws() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_corruption(CorruptionConfig::quiet(2));
+        assert!(!p.has_corruption());
+        for kind in CorruptionKind::ALL {
+            for _ in 0..10_000 {
+                assert!(p.draw_corruption(kind).is_none());
+            }
+            assert_eq!(p.corruption_draws(kind), 0, "rate 0 must not burn draws");
+        }
+        assert_eq!(p.total_corruption_injected(), 0);
+    }
+
+    #[test]
+    fn corruption_rate_one_always_hits_with_monotone_draws() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_corruption(CorruptionConfig {
+            seed: 9,
+            pcie_bit_flip_rate: 1.0,
+            resting_page_flip_rate: 0.0,
+            disk_byte_flip_rate: 0.0,
+        });
+        assert!(p.has_corruption());
+        for n in 0..1_000u64 {
+            let hit = p
+                .draw_corruption(CorruptionKind::PcieBitFlip)
+                .expect("rate 1.0 must hit");
+            assert_eq!(hit.kind, CorruptionKind::PcieBitFlip);
+            assert_eq!(hit.draw, n);
+        }
+        assert_eq!(p.corruption_injected(CorruptionKind::PcieBitFlip), 1_000);
+        assert_eq!(p.corruption_draws(CorruptionKind::RestingPageFlip), 0);
+    }
+
+    #[test]
+    fn same_corruption_seed_reproduces_hits_and_entropy() {
+        let mk = || {
+            FaultPlan::new(FaultConfig::quiet(7)).with_corruption(CorruptionConfig {
+                seed: 0xC0FFEE,
+                pcie_bit_flip_rate: 0.05,
+                resting_page_flip_rate: 0.03,
+                disk_byte_flip_rate: 0.02,
+            })
+        };
+        let (a, b) = (mk(), mk());
+        for kind in CorruptionKind::ALL {
+            let seq_a: Vec<Option<CorruptionDraw>> =
+                (0..5_000).map(|_| a.draw_corruption(kind)).collect();
+            let seq_b: Vec<Option<CorruptionDraw>> =
+                (0..5_000).map(|_| b.draw_corruption(kind)).collect();
+            assert_eq!(seq_a, seq_b, "kind {kind:?} must replay exactly");
+            assert!(a.corruption_injected(kind) > 0, "rates should hit");
+        }
+    }
+
+    #[test]
+    fn corruption_draws_do_not_perturb_transient_or_hard_streams() {
+        let cfg = FaultConfig::standard(0xFEED);
+        let plain = FaultPlan::new(cfg).with_hard(HardFaultConfig::standard(0xFEED));
+        let noisy = FaultPlan::new(cfg)
+            .with_hard(HardFaultConfig::standard(0xFEED))
+            .with_corruption(CorruptionConfig::standard(0xFEED));
+        let seq_plain: Vec<(bool, Option<HardFaultKind>)> = (0..5_000)
+            .map(|_| {
+                (
+                    plain.should_fault(FaultSite::Lane),
+                    plain.draw_hard().map(|e| e.kind),
+                )
+            })
+            .collect();
+        let seq_noisy: Vec<(bool, Option<HardFaultKind>)> = (0..5_000)
+            .map(|_| {
+                for kind in CorruptionKind::ALL {
+                    let _ = noisy.draw_corruption(kind);
+                }
+                (
+                    noisy.should_fault(FaultSite::Lane),
+                    noisy.draw_hard().map(|e| e.kind),
+                )
+            })
+            .collect();
+        assert_eq!(
+            seq_plain, seq_noisy,
+            "attaching corruption must not shift transient/hard draws"
+        );
+    }
+
+    #[test]
+    fn restore_transient_leaves_corruption_counters_alone() {
+        let p = FaultPlan::new(FaultConfig::quiet(1)).with_corruption(CorruptionConfig {
+            seed: 5,
+            pcie_bit_flip_rate: 1.0,
+            resting_page_flip_rate: 0.0,
+            disk_byte_flip_rate: 0.0,
+        });
+        let snap = p.transient_snapshot();
+        assert!(p.draw_corruption(CorruptionKind::PcieBitFlip).is_some());
+        p.restore_transient(&snap);
+        // The next corruption draw advances — recovery cannot replay the
+        // very flip that triggered it.
+        assert_eq!(
+            p.draw_corruption(CorruptionKind::PcieBitFlip)
+                .expect("still rate 1.0")
+                .draw,
+            1
+        );
+    }
+
+    #[test]
+    fn corruption_error_display_names_kind_and_draw() {
+        let e = CorruptionError {
+            kind: CorruptionKind::RestingPageFlip,
+            draw: 17,
+        };
+        assert_eq!(e.to_string(), "resting page flip (corruption draw #17)");
     }
 
     #[test]

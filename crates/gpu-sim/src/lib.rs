@@ -59,8 +59,8 @@ pub use executor::{
     ExecMode, Executor, LaneCtx, LaunchError, LaunchStats, WarpCharge, WarpScratch,
 };
 pub use faults::{
-    FaultConfig, FaultPlan, FaultSite, HardFaultConfig, HardFaultError, HardFaultKind,
-    TransientDrawState,
+    CorruptionConfig, CorruptionDraw, CorruptionError, CorruptionKind, FaultConfig, FaultPlan,
+    FaultSite, HardFaultConfig, HardFaultError, HardFaultKind, TransientDrawState,
 };
 pub use memory::{DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use metrics::{ContentionHistogram, Metrics, Snapshot};

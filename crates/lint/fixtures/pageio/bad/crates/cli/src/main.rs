@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: opening an image file raw on the CLI path.
+
+pub fn open_image(path: &str) -> std::io::Result<std::fs::File> {
+    std::fs::File::open(path)
+}

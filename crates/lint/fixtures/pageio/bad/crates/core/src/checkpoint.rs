@@ -1,0 +1,13 @@
+//! Seeded-bad fixture: raw image IO on a checksummed path, no escapes.
+
+pub fn write_unverified(path: &std::path::Path, image: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, image)
+}
+
+pub fn read_unverified(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+pub fn adopt_unverified(host: &HostHeap, pages: &[(u64, PageKind, Arc<[u8]>, u32)]) {
+    host.restore_pages(pages);
+}

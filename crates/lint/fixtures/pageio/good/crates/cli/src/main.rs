@@ -1,0 +1,6 @@
+//! Good fixture: dataset input is not a checksummed image, and says so.
+
+pub fn read_dataset(path: &str) -> std::io::Result<Vec<u8>> {
+    // lint: io-ok (raw dataset input, not a checksummed image)
+    std::fs::read(path)
+}

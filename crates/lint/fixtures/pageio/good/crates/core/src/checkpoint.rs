@@ -1,0 +1,12 @@
+//! Good fixture: every raw IO carries a deliberate-use escape.
+
+pub fn write_verified(path: &std::path::Path, image: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, image)?; // lint: io-ok (read back and verified below)
+    let back = std::fs::read(path)?; // lint: io-ok (read-back verification)
+    verify_trailer(&back, "SEPOCKP2").map(|_| ())
+}
+
+pub fn adopt_verified(host: &HostHeap, pages: &[(u64, PageKind, Arc<[u8]>, u32)]) {
+    // lint: io-ok (stamps verified at parse before adoption)
+    host.restore_pages(pages);
+}

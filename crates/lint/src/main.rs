@@ -423,6 +423,27 @@ mod tests {
     }
 
     #[test]
+    fn pageio_fixture_bad_fails_and_good_passes() {
+        let bad = analyze(&load_tree(&fixture_dir("pageio/bad")).unwrap());
+        assert_eq!(
+            rules_of(&bad),
+            vec!["unchecked-page-io"; 4],
+            "raw write/read/restore_pages/open must all fire (and the \
+             persist.rs twin must not): {bad:?}"
+        );
+        assert!(
+            bad.iter().all(|f| !f.file.contains("persist.rs")),
+            "persist.rs implements verification and is out of scope: {bad:?}"
+        );
+        let good = analyze(&load_tree(&fixture_dir("pageio/good")).unwrap());
+        assert!(
+            good.is_empty(),
+            "escaped IO and out-of-scope persist.rs must pass clean \
+             (including the stale-escape audit): {good:?}"
+        );
+    }
+
+    #[test]
     fn stale_escape_fixture_bad_fails_and_good_passes() {
         let bad = analyze(&load_tree(&fixture_dir("stale/bad")).unwrap());
         let count = |slug: &str| rules_of(&bad).iter().filter(|r| **r == slug).count();

@@ -30,6 +30,11 @@ fn path2(toks: &[&Tok], i: usize, a: &str, b: &str) -> bool {
         && is_ident(toks[i + 3], b)
 }
 
+/// `A::B(` — the two-segment path at `i`, immediately called.
+fn path2_call(toks: &[&Tok], i: usize, a: &str, b: &str) -> bool {
+    path2(toks, i, a, b) && i + 4 < toks.len() && is_punct(toks[i + 4], "(")
+}
+
 /// `.name(` with the dot at `i - 1` and `name` at `i`.
 fn method_call(toks: &[&Tok], i: usize, name: &str) -> bool {
     i >= 1
@@ -73,6 +78,7 @@ pub fn check(file: &SourceFile, escapes: &mut Registry) -> Vec<Finding> {
     let dma = applies("evict-direct-dma");
     let serve = applies("serve-snapshot-bypass");
     let shard = applies("cross-shard-direct");
+    let pageio = applies("unchecked-page-io");
 
     let toks: Vec<&Tok> = file.lx.toks.iter().filter(|t| !t.in_attr).collect();
     let mut out = Vec::new();
@@ -175,6 +181,26 @@ pub fn check(file: &SourceFile, escapes: &mut Registry) -> Vec<Finding> {
                  serving path; read through the epoch snapshot / \
                  incremental HostStore (or annotate a deliberate \
                  offline use with `// lint: serve-ok (<why>)`)",
+            );
+        }
+        if pageio
+            && (path2_call(&toks, i, "fs", "read")
+                || path2_call(&toks, i, "fs", "write")
+                || path2_call(&toks, i, "fs", "read_to_string")
+                || path2_call(&toks, i, "File", "open")
+                || path2_call(&toks, i, "File", "create")
+                || method_call(&toks, i, "restore_pages"))
+        {
+            emit(
+                &mut out,
+                escapes,
+                rel,
+                t.line,
+                "unchecked-page-io",
+                "raw page/checkpoint image IO on a checksummed path; go \
+                 through the verified write/read-back helpers, or \
+                 annotate a deliberate use with \
+                 `// lint: io-ok (<why>)`",
             );
         }
         if shard

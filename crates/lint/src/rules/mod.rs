@@ -266,6 +266,31 @@ pub const RULES: &[RuleSpec] = &[
               analyzer re-parses the trait's method set on every run.",
     },
     RuleSpec {
+        slug: "unchecked-page-io",
+        summary: "raw page/checkpoint image IO without checksum verification",
+        severity: Severity::Error,
+        escape: Some("io-ok"),
+        scope: Scope::Files(&[
+            "crates/core/src/checkpoint.rs",
+            "crates/core/src/sepo.rs",
+            "crates/core/src/serve.rs",
+            "crates/core/src/table.rs",
+            "crates/cli/src/main.rs",
+        ]),
+        doc: "Checkpoint and host-image bytes must never be trusted raw: \
+              every persisted image carries a CRC32C trailer (and host \
+              pages carry per-page stamps), and the only sound way to move \
+              them is through the verified helpers in `persist.rs` / \
+              `checkpoint.rs` (write + read-back + `verify_trailer`). A \
+              bare `std::fs::read(` / `std::fs::write(` / `File::open(` / \
+              `File::create(` — or adopting `Arc<[u8]>` page images via \
+              `.restore_pages(` — on these paths can silently accept a \
+              flipped bit. A deliberate use (the verified helpers' own \
+              internals, stamp-verified adoption, non-image IO like \
+              dataset input) needs a `// lint: io-ok (<why>)` comment. \
+              `persist.rs` itself and `#[cfg(test)]` extents are exempt.",
+    },
+    RuleSpec {
         slug: "stale-escape",
         summary: "a `// lint: <slug>-ok` escape that suppresses nothing",
         severity: Severity::Warning,
@@ -399,7 +424,11 @@ mod tests {
                 r.slug
             );
         }
-        assert_eq!(RULES.len(), 11, "8 legacy rules + 3 cross-file analyses");
+        assert_eq!(
+            RULES.len(),
+            12,
+            "8 legacy rules + unchecked-page-io + 3 cross-file analyses"
+        );
     }
 
     #[test]
@@ -422,6 +451,6 @@ mod tests {
             assert!(!seen.contains(&r), "marker {r} reused");
             seen.push(r);
         }
-        assert_eq!(seen.len(), 6);
+        assert_eq!(seen.len(), 7);
     }
 }

@@ -1,0 +1,234 @@
+//! End-to-end data-integrity properties: seeded silent corruption layered
+//! under the transient fault mix and hard DeviceLost/poisoned-launch
+//! chaos, over the seven paper applications at 1 and 4 shards.
+//!
+//! The pinned invariant: a run whose fault plan draws corruption either
+//! recovers to a final image (and, unsharded, a completion trajectory)
+//! **byte-identical** to a corruption-free run of the same workload, or
+//! fails loudly with a typed witness. With in-memory checkpointing armed
+//! the recovery path always has a repair source, so every case here must
+//! take the first branch — any divergence means a flip escaped CRC32C
+//! detection somewhere in the PCIe/resting/disk pipeline.
+
+use gpu_sim::executor::{ExecMode, Executor};
+use gpu_sim::metrics::Metrics;
+use gpu_sim::{CorruptionConfig, FaultConfig, FaultPlan, HardFaultConfig, ShadowSanitizer};
+use proptest::prelude::*;
+use sepo_apps::sharded::run_app_sharded;
+use sepo_apps::{run_app, AppConfig};
+use sepo_core::CheckpointPolicy;
+use sepo_datagen::App;
+use std::sync::Arc;
+
+/// Records-per-app scale divisor (the regression harnesses' shared scale).
+const SCALE: u64 = 16_384;
+/// Device heap small enough that every app evicts across iterations.
+const HEAP: u64 = 96 << 10;
+/// Tasks per launch: small, so kills and flips land mid-iteration too.
+const CHUNK_TASKS: usize = 32;
+/// Per-launch kill rates when chaos is layered on.
+const HARD_RATES: (f64, f64) = (0.05, 0.02);
+
+/// What to layer onto a run besides the workload itself.
+#[derive(Clone, Copy, Debug, Default)]
+struct Layers {
+    transient_seed: Option<u64>,
+    chaos_seed: Option<u64>,
+    /// (seed, pcie bit-flip rate, resting page-flip rate). Disk flips
+    /// need a disk checkpoint path; these runs checkpoint in memory, so
+    /// the disk stream stays zero-rate (and burns no draws).
+    corrupt: Option<(u64, f64, f64)>,
+}
+
+impl Layers {
+    fn armed(&self) -> bool {
+        self.transient_seed.is_some() || self.chaos_seed.is_some() || self.corrupt.is_some()
+    }
+
+    fn plan(&self) -> FaultPlan {
+        let base = match self.transient_seed {
+            Some(seed) => FaultConfig::standard(seed),
+            None => FaultConfig::quiet(0),
+        };
+        let mut plan = FaultPlan::new(base);
+        if let Some(seed) = self.chaos_seed {
+            plan = plan.with_hard(HardFaultConfig {
+                seed,
+                device_loss_rate: HARD_RATES.0,
+                poisoned_launch_rate: HARD_RATES.1,
+            });
+        }
+        if let Some((seed, pcie, resting)) = self.corrupt {
+            plan = plan.with_corruption(CorruptionConfig {
+                seed,
+                pcie_bit_flip_rate: pcie,
+                resting_page_flip_rate: resting,
+                disk_byte_flip_rate: 0.0,
+            });
+        }
+        plan
+    }
+}
+
+fn executor(layers: Layers) -> Executor {
+    let mut exec = Executor::new(ExecMode::ParallelDeterministic, Arc::new(Metrics::new()))
+        .with_shadow(Arc::new(ShadowSanitizer::new()));
+    if layers.armed() {
+        exec = exec.with_faults(Arc::new(layers.plan()));
+    }
+    exec
+}
+
+/// The shared app config; chaos and corruption arm in-memory
+/// checkpointing so every detected fault has a repair source.
+fn config(layers: Layers) -> AppConfig {
+    let mut cfg = AppConfig::new(HEAP)
+        .with_chunk_tasks(CHUNK_TASKS)
+        .with_audit(true)
+        .with_sanitize(true);
+    if layers.chaos_seed.is_some() || layers.corrupt.is_some() {
+        cfg = cfg
+            .with_checkpoint(CheckpointPolicy::Memory)
+            .with_max_recoveries(10_000);
+    }
+    cfg
+}
+
+/// Run `app` unsharded; returns (image, trajectory, flips injected).
+fn run_once(app: App, ds: &sepo_datagen::Dataset, layers: Layers) -> (Vec<u8>, Vec<u64>, u64) {
+    let exec = executor(layers);
+    let run = run_app(app, ds, &config(layers), &exec);
+    let mut image = Vec::new();
+    run.table.save(&mut image).expect("save table image");
+    let trajectory: Vec<u64> = run
+        .outcome
+        .iterations
+        .iter()
+        .map(|i| i.tasks_completed)
+        .collect();
+    let injected = exec
+        .faults()
+        .map(|p| p.total_corruption_injected())
+        .unwrap_or(0);
+    (image, trajectory, injected)
+}
+
+/// Run `app` at `n` shards (shard i layers seeds `^ i`); returns the
+/// merged canonical image and total flips injected across shards.
+fn run_sharded(app: App, ds: &sepo_datagen::Dataset, n: u32, layers: Layers) -> (Vec<u8>, u64) {
+    let layered = |i: u32| Layers {
+        transient_seed: layers.transient_seed.map(|s| s ^ u64::from(i)),
+        chaos_seed: layers.chaos_seed.map(|s| s ^ u64::from(i)),
+        corrupt: layers.corrupt.map(|(s, p, r)| (s ^ u64::from(i), p, r)),
+    };
+    let execs: Vec<Executor> = (0..n).map(|i| executor(layered(i))).collect();
+    let cfgs: Vec<AppConfig> = (0..n).map(|i| config(layered(i))).collect();
+    let sharded = run_app_sharded(app, ds, &cfgs, &execs);
+    let injected = execs
+        .iter()
+        .filter_map(|e| e.faults())
+        .map(|p| p.total_corruption_injected())
+        .sum();
+    (sharded.image, injected)
+}
+
+/// Every app, 1 and 4 shards, hostile fixed rates with chaos and the
+/// transient mix layered under the corruption: recovery must be invisible
+/// byte-for-byte, and the sweep as a whole must see real flips.
+#[test]
+fn all_apps_recover_byte_identical_under_layered_corruption() {
+    let mut total_injected = 0u64;
+    for app in App::ALL {
+        let ds = app.generate(0, SCALE);
+        let clean = Layers {
+            transient_seed: Some(0xA5),
+            ..Layers::default()
+        };
+        let dirty = Layers {
+            corrupt: Some((0xD1A6, 0.20, 0.08)),
+            chaos_seed: Some(0xC4A5),
+            ..clean
+        };
+
+        let (ref_img, ref_traj, _) = run_once(app, &ds, clean);
+        let (img, traj, injected) = run_once(app, &ds, dirty);
+        total_injected += injected;
+        assert_eq!(
+            img,
+            ref_img,
+            "{}: recovered image diverged from corruption-free",
+            app.name()
+        );
+        assert_eq!(traj, ref_traj, "{}: trajectory diverged", app.name());
+
+        let (ref_merged, _) = run_sharded(app, &ds, 4, clean);
+        let (merged, injected4) = run_sharded(app, &ds, 4, dirty);
+        total_injected += injected4;
+        assert_eq!(
+            merged,
+            ref_merged,
+            "{}: sharded merged image diverged under corruption",
+            app.name()
+        );
+    }
+    assert!(
+        total_injected > 0,
+        "the hostile rates must inject at least one flip across the sweep"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random app, random corruption seed and rates, chaos and the
+    /// transient mix randomly layered under it: the unsharded run must
+    /// recover byte-identically to its corruption-free twin.
+    #[test]
+    fn corruption_recovery_is_invisible_under_random_layers(
+        app_idx in 0usize..7,
+        seed in any::<u64>(),
+        pcie in 0.0f64..0.3,
+        resting in 0.0f64..0.1,
+        with_transient in any::<bool>(),
+        with_chaos in any::<bool>(),
+    ) {
+        let app = App::ALL[app_idx];
+        let ds = app.generate(0, SCALE);
+        let clean = Layers {
+            transient_seed: with_transient.then_some(seed ^ 0x7A),
+            ..Layers::default()
+        };
+        let dirty = Layers {
+            corrupt: Some((seed, pcie, resting)),
+            chaos_seed: with_chaos.then_some(seed ^ 0xC4),
+            ..clean
+        };
+        let (ref_img, ref_traj, _) = run_once(app, &ds, clean);
+        let (img, traj, _) = run_once(app, &ds, dirty);
+        prop_assert_eq!(img, ref_img, "{}: image diverged", app.name());
+        prop_assert_eq!(traj, ref_traj, "{}: trajectory diverged", app.name());
+    }
+
+    /// The same invariant across 4 shards with per-shard derived seeds:
+    /// the merged canonical image must match the corruption-free merge.
+    #[test]
+    fn sharded_corruption_recovery_is_invisible(
+        app_idx in 0usize..7,
+        seed in any::<u64>(),
+        pcie in 0.0f64..0.3,
+        resting in 0.0f64..0.1,
+        with_chaos in any::<bool>(),
+    ) {
+        let app = App::ALL[app_idx];
+        let ds = app.generate(0, SCALE);
+        let clean = Layers::default();
+        let dirty = Layers {
+            corrupt: Some((seed, pcie, resting)),
+            chaos_seed: with_chaos.then_some(seed ^ 0xC4),
+            ..clean
+        };
+        let (ref_merged, _) = run_sharded(app, &ds, 4, clean);
+        let (merged, _) = run_sharded(app, &ds, 4, dirty);
+        prop_assert_eq!(merged, ref_merged, "{}: merged image diverged", app.name());
+    }
+}

@@ -62,7 +62,8 @@ proptest! {
         len in 0usize..512,
     ) {
         let hh = HostHeap::new();
-        hh.store(page_id, PageKind::Mixed, data.clone());
+        let crc = sepo_core::crc32c(&data);
+        hh.store(page_id, PageKind::Mixed, data.clone(), crc);
         let link = HostLink::new(link_page, offset);
         if let Some(read) = hh.read(link, len) {
             prop_assert_eq!(read.len(), len);
